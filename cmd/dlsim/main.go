@@ -1,0 +1,136 @@
+// Command dlsim runs the paper's experiments (Figures 2–9) at a chosen
+// scale and prints the resulting summary tables.
+//
+// Usage:
+//
+//	dlsim -figure 3 -scale quick
+//	dlsim -figure all -scale tiny
+//	dlsim -figure 9 -scale quick -seed 7 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"gossipmia/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dlsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dlsim", flag.ContinueOnError)
+	figure := fs.String("figure", "all", `figure to reproduce: 2..9, "tables", "attacks", or "all"`)
+	scaleName := fs.String("scale", "quick", "experiment scale: tiny, quick, or paper")
+	seed := fs.Int64("seed", 0, "override the scale's base seed (0 keeps the preset)")
+	csv := fs.Bool("csv", false, "also print per-round CSV series for every arm")
+	plotFlag := fs.Bool("plot", false, "also render ASCII tradeoff scatter plots")
+	repeats := fs.Int("repeats", 0, "replicate a single figure over N seeds and report bootstrap CIs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc, err := scaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	runners := map[int]func(experiment.Scale) (*experiment.FigureResult, error){
+		2: experiment.RunFigure2,
+		3: experiment.RunFigure3,
+		4: experiment.RunFigure4,
+		5: experiment.RunFigure5,
+		6: experiment.RunFigure6,
+		7: experiment.RunFigure7,
+		8: experiment.RunFigure8,
+		9: experiment.RunFigure9,
+	}
+
+	printTables := func() {
+		fmt.Println(experiment.DatasetCatalogTable())
+		fmt.Println(experiment.TrainingCatalogTable())
+	}
+
+	switch *figure {
+	case "tables":
+		printTables()
+		return nil
+	case "attacks":
+		cmp, err := experiment.RunAttackComparison(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(cmp.Table())
+		return nil
+	case "all":
+		printTables()
+		for n := 2; n <= 9; n++ {
+			if err := runFigure(runners[n], sc, *csv, *plotFlag); err != nil {
+				return fmt.Errorf("figure %d: %w", n, err)
+			}
+		}
+		cmp, err := experiment.RunAttackComparison(sc)
+		if err != nil {
+			return fmt.Errorf("attack comparison: %w", err)
+		}
+		fmt.Println(cmp.Table())
+		return nil
+	default:
+		n, err := strconv.Atoi(*figure)
+		if err != nil || runners[n] == nil {
+			return fmt.Errorf("unknown figure %q (want 2..9, tables, attacks, or all)", *figure)
+		}
+		if *repeats > 1 {
+			rep, err := experiment.Replicate(runners[n], sc, *repeats, 0.95)
+			if err != nil {
+				return err
+			}
+			fmt.Println(rep.Table())
+			return nil
+		}
+		return runFigure(runners[n], sc, *csv, *plotFlag)
+	}
+}
+
+func runFigure(runner func(experiment.Scale) (*experiment.FigureResult, error), sc experiment.Scale, csv, renderPlot bool) error {
+	fig, err := runner(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println(fig.Table())
+	if renderPlot {
+		p, err := fig.TradeoffPlot()
+		if err != nil {
+			return fmt.Errorf("plot: %w", err)
+		}
+		fmt.Println(p)
+	}
+	if csv {
+		for _, arm := range fig.Arms {
+			fmt.Printf("# %s\n%s\n", arm.Label, arm.Series.CSV())
+		}
+	}
+	return nil
+}
+
+func scaleByName(name string) (experiment.Scale, error) {
+	switch name {
+	case "tiny":
+		return experiment.TinyScale(), nil
+	case "quick":
+		return experiment.QuickScale(), nil
+	case "paper":
+		return experiment.PaperScale(), nil
+	default:
+		return experiment.Scale{}, fmt.Errorf("unknown scale %q (want tiny, quick, or paper)", name)
+	}
+}

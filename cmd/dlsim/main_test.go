@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gossipmia/internal/experiment"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"tiny", "quick", "paper"} {
+		sc, err := scaleByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("%s scale invalid: %v", name, err)
+		}
+	}
+	if _, err := scaleByName("nope"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunTables(t *testing.T) {
+	if err := run([]string{"-figure", "tables"}); err != nil {
+		t.Fatalf("tables: %v", err)
+	}
+}
+
+func TestRunSingleFigureTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	if err := run([]string{"-figure", "8", "-scale", "tiny", "-csv"}); err != nil {
+		t.Fatalf("figure 8: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-figure", "99"}); err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Fatalf("unknown figure error = %v", err)
+	}
+	if err := run([]string{"-scale", "nope", "-figure", "tables"}); err == nil || !strings.Contains(err.Error(), "unknown scale") {
+		t.Fatalf("unknown scale error = %v", err)
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}
+
+func TestSeedOverride(t *testing.T) {
+	sc, err := scaleByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed == 777 {
+		t.Fatal("test assumes tiny seed != 777")
+	}
+	_ = experiment.TinyScale() // keep the import honest
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunSmallAttack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	args := []string{
+		"-corpus", "fashionmnist", "-train", "24", "-test", "24",
+		"-hidden", "16", "-epochs", "4", "-every", "2",
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("miaeval run: %v", err)
+	}
+}
+
+func TestRunRejectsBadCorpusAndFlags(t *testing.T) {
+	if err := run([]string{"-corpus", "nope", "-epochs", "1"}); err == nil {
+		t.Fatal("unknown corpus accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}

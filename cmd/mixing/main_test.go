@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTinyOverrides(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the spectral analysis")
+	}
+	if err := run([]string{"-scale", "tiny", "-n", "12", "-iters", "8", "-runs", "2", "-seed", "3"}); err != nil {
+		t.Fatalf("mixing run: %v", err)
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	if err := run([]string{"-scale", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown scale") {
+		t.Fatalf("unknown scale error = %v", err)
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// Mixing analysis (Section 4): compute λ₂(W*) of accumulated mixing
+// products for a sparse and a dense k-regular graph under static,
+// PeerSwap, and random-permutation dynamics, showing why dynamics help
+// exactly when the graph is sparse.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gossipmia/internal/graph"
+	"gossipmia/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mixinganalysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		n     = 60
+		steps = 30
+	)
+	rng := tensor.NewRNG(11)
+
+	fmt.Printf("lambda2(W*) after %d mixing iterations on %d nodes\n\n", steps, n)
+	fmt.Printf("%-8s %12s %12s %12s\n", "degree", "static", "peerswap", "permutation")
+	for _, k := range []int{2, 5, 10, 25} {
+		g, err := graph.NewRegular(n, k, rng)
+		if err != nil {
+			return err
+		}
+
+		static, err := graph.StaticSequence(g, steps)
+		if err != nil {
+			return err
+		}
+		sStat, err := static.ContractionFactor(0, 120, rng)
+		if err != nil {
+			return err
+		}
+
+		swap, err := graph.PeerSwapSequence(g, steps, n, rng)
+		if err != nil {
+			return err
+		}
+		sSwap, err := swap.ContractionFactor(0, 120, rng)
+		if err != nil {
+			return err
+		}
+
+		perm, err := graph.DynamicSequence(g, steps, rng)
+		if err != nil {
+			return err
+		}
+		sPerm, err := perm.ContractionFactor(0, 120, rng)
+		if err != nil {
+			return err
+		}
+
+		fmt.Printf("k=%-6d %12.3e %12.3e %12.3e\n", k, sStat, sSwap, sPerm)
+	}
+	fmt.Println("\nsmaller is better mixing. Dynamics collapse lambda2 for sparse")
+	fmt.Println("graphs (k=2); for dense graphs static is already near-optimal,")
+	fmt.Println("matching Figure 10 and the RQ4 view-size findings.")
+	return nil
+}

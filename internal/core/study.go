@@ -1,0 +1,441 @@
+// Package core is the public façade of the library: it wires the
+// substrates (synthetic datasets, MLP training, k-regular topologies, the
+// gossip simulator, the MPE attack, DP-SGD) into the paper's experimental
+// pipeline — run a decentralized learning protocol and measure, round by
+// round, the utility and MIA vulnerability of every node.
+//
+// A Study is one experimental arm (one curve in a paper figure). Its
+// Run method returns a metrics.Series with one RoundRecord per evaluated
+// round, plus run-level aggregates (messages sent, realized DP ε).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gossipmia/internal/data"
+	"gossipmia/internal/dp"
+	"gossipmia/internal/gossip"
+	"gossipmia/internal/metrics"
+	"gossipmia/internal/mia"
+	"gossipmia/internal/nn"
+	"gossipmia/internal/tensor"
+)
+
+// ErrStudy is returned for invalid study configurations.
+var ErrStudy = errors.New("core: invalid study config")
+
+// TrainConfig carries the Table 2 hyperparameters plus the MLP
+// architecture used for the corpus. LRDecay in (0,1) enables the
+// per-epoch learning-rate decay mitigation of Section 5.
+type TrainConfig struct {
+	Hidden      []int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	LRDecay     float64
+	BatchSize   int
+	LocalEpochs int
+}
+
+// Validate reports configuration errors.
+func (c TrainConfig) Validate() error {
+	if c.LR <= 0 || c.LocalEpochs <= 0 {
+		return fmt.Errorf("%w: lr=%v epochs=%d", ErrStudy, c.LR, c.LocalEpochs)
+	}
+	return nil
+}
+
+// PartitionConfig describes how the corpus is spread across nodes.
+// DirichletBeta == 0 selects the IID partition; otherwise the Dirichlet
+// label-imbalance scheme of RQ5 with the given β.
+type PartitionConfig struct {
+	TrainPerNode  int
+	TestPerNode   int
+	DirichletBeta float64
+}
+
+// DPConfig enables node-level DP-SGD (RQ7). Epsilon/Delta form the
+// per-node privacy target for the whole run; the noise multiplier is
+// calibrated with the RDP accountant from the expected step count.
+type DPConfig struct {
+	Epsilon float64
+	Delta   float64
+	Clip    float64
+}
+
+// StudyConfig fully describes one experimental arm.
+type StudyConfig struct {
+	Label    string
+	Corpus   data.CorpusName
+	Protocol string // "base", "samo", "samo-nodelay"
+	Sim      gossip.Config
+	Train    TrainConfig
+	Part     PartitionConfig
+	DP       *DPConfig
+
+	// Canaries > 0 plants that many label-flipped canaries (RQ3); the
+	// series' TPRAt1FPR field then reports the max per-node canary TPR
+	// instead of the standard attack TPR.
+	Canaries int
+
+	// GlobalTestSize is the held-out global test set size (Equation 5).
+	GlobalTestSize int
+
+	// EvalEvery evaluates metrics every that many rounds (default 1).
+	EvalEvery int
+	// EvalNodes caps how many nodes are attacked/evaluated per round
+	// (0 = all); nodes are sampled once per run for comparability.
+	EvalNodes int
+
+	// KeepFinalModels retains every node's final model and data splits
+	// in the Result, enabling post-hoc analyses (e.g. comparing attack
+	// score functions) without re-running the simulation.
+	KeepFinalModels bool
+}
+
+// NodeSnapshot is one node's state at the end of a run.
+type NodeSnapshot struct {
+	ID    int
+	Model *nn.MLP
+	Data  data.NodeData
+}
+
+// Defaulted fills unset evaluation fields.
+func (c StudyConfig) Defaulted() StudyConfig {
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 1
+	}
+	if c.GlobalTestSize <= 0 {
+		c.GlobalTestSize = 256
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c StudyConfig) Validate() error {
+	if err := c.Train.Validate(); err != nil {
+		return err
+	}
+	if c.Part.TrainPerNode <= 0 && c.Part.DirichletBeta == 0 {
+		return fmt.Errorf("%w: trainPerNode=%d", ErrStudy, c.Part.TrainPerNode)
+	}
+	if c.DP != nil {
+		if c.DP.Epsilon <= 0 || c.DP.Delta <= 0 || c.DP.Delta >= 1 || c.DP.Clip <= 0 {
+			return fmt.Errorf("%w: dp eps=%v delta=%v clip=%v", ErrStudy, c.DP.Epsilon, c.DP.Delta, c.DP.Clip)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of one study arm.
+type Result struct {
+	Series *metrics.Series
+	// MessagesSent is the total number of model transmissions (RQ4's
+	// communication cost).
+	MessagesSent int
+	// BytesSent is the total wire-format traffic in bytes.
+	BytesSent int
+	// MessagesDropped counts transmissions lost to the injected failure
+	// model (Sim.DropProb).
+	MessagesDropped int
+	// RealizedEpsilon is the per-node (ε,δ)-DP guarantee actually spent,
+	// computed from the maximum realized step count across nodes; zero
+	// when DP is disabled.
+	RealizedEpsilon float64
+	// NoiseMultiplier is the calibrated σ used by DP-SGD (zero when DP
+	// is disabled).
+	NoiseMultiplier float64
+	// Final holds per-node end-of-run snapshots when
+	// StudyConfig.KeepFinalModels is set.
+	Final []NodeSnapshot
+}
+
+// Study is a configured, reproducible experimental arm.
+type Study struct {
+	cfg StudyConfig
+}
+
+// NewStudy validates cfg and returns a runnable study.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	cfg = cfg.Defaulted()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Study{cfg: cfg}, nil
+}
+
+// Config returns the effective configuration.
+func (s *Study) Config() StudyConfig { return s.cfg }
+
+// Run executes the study arm and returns its per-round series.
+func (s *Study) Run() (*Result, error) {
+	cfg := s.cfg
+	simCfg := cfg.Sim.Defaulted()
+	rng := tensor.NewRNG(simCfg.Seed)
+
+	gen, err := data.NewGenerator(cfg.Corpus, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: corpus: %w", err)
+	}
+
+	parts, err := s.buildPartition(gen, simCfg.Nodes, rng)
+	if err != nil {
+		return nil, err
+	}
+	globalTest := gen.Sample(cfg.GlobalTestSize, rng)
+
+	var canaries *mia.CanarySet
+	if cfg.Canaries > 0 {
+		canaries, err = mia.PlantCanaries(parts, gen, cfg.Canaries, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: canaries: %w", err)
+		}
+	}
+
+	sizes := append([]int{gen.Dim()}, cfg.Train.Hidden...)
+	sizes = append(sizes, gen.Classes())
+	initial, err := nn.NewMLP(sizes, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: model: %w", err)
+	}
+
+	protocol, err := gossip.ProtocolByName(cfg.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("core: protocol: %w", err)
+	}
+
+	factory, dpUpdaters, sigma, err := s.buildUpdaters(parts, simCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	sim, err := gossip.New(simCfg, protocol, initial, parts, factory)
+	if err != nil {
+		return nil, fmt.Errorf("core: simulator: %w", err)
+	}
+
+	evalIDs := s.pickEvalNodes(simCfg.Nodes, rng)
+	series := &metrics.Series{Label: cfg.Label}
+
+	observer := func(round int, sim *gossip.Simulator) error {
+		if (round+1)%cfg.EvalEvery != 0 && round != simCfg.Rounds-1 {
+			return nil
+		}
+		rec, err := s.evaluateRound(round, sim, evalIDs, globalTest, canaries)
+		if err != nil {
+			return err
+		}
+		series.Append(rec)
+		return nil
+	}
+	if err := sim.Run(observer); err != nil {
+		return nil, fmt.Errorf("core: run: %w", err)
+	}
+
+	res := &Result{
+		Series:          series,
+		MessagesSent:    sim.MessagesSent(),
+		BytesSent:       sim.BytesSent(),
+		MessagesDropped: sim.MessagesDropped(),
+		NoiseMultiplier: sigma,
+	}
+	if cfg.KeepFinalModels {
+		for _, node := range sim.Nodes() {
+			res.Final = append(res.Final, NodeSnapshot{
+				ID:    node.ID,
+				Model: node.Model.Clone(),
+				Data:  node.Data,
+			})
+		}
+	}
+	if cfg.DP != nil {
+		maxSteps := 0
+		for _, u := range dpUpdaters {
+			if u.Steps() > maxSteps {
+				maxSteps = u.Steps()
+			}
+		}
+		eps, err := s.realizedEpsilon(maxSteps, sigma, parts)
+		if err != nil {
+			return nil, err
+		}
+		res.RealizedEpsilon = eps
+	}
+	return res, nil
+}
+
+// buildPartition samples a base corpus and splits it across nodes.
+func (s *Study) buildPartition(gen data.Generator, nodes int, rng *tensor.RNG) ([]data.NodeData, error) {
+	p := s.cfg.Part
+	if p.DirichletBeta > 0 {
+		// Training (member) sets are label-skewed via Dirichlet(β); each
+		// node's test (non-member) split stays i.i.d. from the base
+		// distribution, as in the paper's Section 3.1 setup.
+		base := gen.Sample(nodes*p.TrainPerNode, rng)
+		trainSets, err := data.DirichletTrainSets(base, nodes, p.DirichletBeta, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: dirichlet partition: %w", err)
+		}
+		parts := make([]data.NodeData, nodes)
+		for i, train := range trainSets {
+			parts[i] = data.NodeData{
+				Train: train,
+				Test:  gen.Sample(p.TestPerNode, rng),
+			}
+		}
+		return parts, nil
+	}
+	base := gen.Sample(nodes*(p.TrainPerNode+p.TestPerNode), rng)
+	parts, err := data.PartitionIID(base, nodes, p.TrainPerNode, p.TestPerNode, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: iid partition: %w", err)
+	}
+	return parts, nil
+}
+
+// buildUpdaters returns the per-node updater factory; for DP arms it also
+// calibrates σ and exposes the updaters for post-run accounting.
+func (s *Study) buildUpdaters(parts []data.NodeData, simCfg gossip.Config) (gossip.UpdaterFactory, []*dp.Updater, float64, error) {
+	t := s.cfg.Train
+	if s.cfg.DP == nil {
+		f := gossip.NewSGDUpdaterFactory(nn.SGDConfig{
+			LR: t.LR, Momentum: t.Momentum, WeightDecay: t.WeightDecay, LRDecay: t.LRDecay,
+		}, t.BatchSize, t.LocalEpochs)
+		return f, nil, 0, nil
+	}
+	d := s.cfg.DP
+	// Expected mechanism invocations per node: roughly one local update
+	// per round (the wake interval equals the round length), each with
+	// LocalEpochs × ⌈n/B⌉ noisy steps.
+	minTrain := parts[0].Train.Len()
+	for _, p := range parts[1:] {
+		if p.Train.Len() < minTrain {
+			minTrain = p.Train.Len()
+		}
+	}
+	batch := t.BatchSize
+	if batch <= 0 || batch > minTrain {
+		batch = minTrain
+	}
+	stepsPerUpdate := t.LocalEpochs * ((minTrain + batch - 1) / batch)
+	expectedSteps := simCfg.Rounds * stepsPerUpdate
+	q := float64(batch) / float64(minTrain)
+	sigma, err := dp.CalibrateSigma(d.Epsilon, d.Delta, q, expectedSteps)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("core: calibrate sigma: %w", err)
+	}
+	dpCfg := dp.SGDConfig{
+		LR:              t.LR,
+		Clip:            d.Clip,
+		NoiseMultiplier: sigma,
+		BatchSize:       batch,
+		Epochs:          t.LocalEpochs,
+	}
+	if err := dpCfg.Validate(); err != nil {
+		return nil, nil, 0, fmt.Errorf("core: dp config: %w", err)
+	}
+	updaters := make([]*dp.Updater, simCfg.Nodes)
+	factory := func(nodeID int) gossip.LocalUpdater {
+		u, _ := dp.NewUpdater(dpCfg) // cannot fail: dpCfg validated above
+		updaters[nodeID] = u
+		return u
+	}
+	return factory, updaters, sigma, nil
+}
+
+// realizedEpsilon converts the realized step count into the actually
+// spent (ε,δ) budget.
+func (s *Study) realizedEpsilon(steps int, sigma float64, parts []data.NodeData) (float64, error) {
+	if steps == 0 {
+		return 0, nil
+	}
+	d := s.cfg.DP
+	minTrain := parts[0].Train.Len()
+	for _, p := range parts[1:] {
+		if p.Train.Len() < minTrain {
+			minTrain = p.Train.Len()
+		}
+	}
+	batch := s.cfg.Train.BatchSize
+	if batch <= 0 || batch > minTrain {
+		batch = minTrain
+	}
+	acc, err := dp.NewAccountant(float64(batch)/float64(minTrain), sigma)
+	if err != nil {
+		return 0, fmt.Errorf("core: accountant: %w", err)
+	}
+	acc.AddSteps(steps)
+	eps, err := acc.Epsilon(d.Delta)
+	if err != nil {
+		return 0, fmt.Errorf("core: epsilon: %w", err)
+	}
+	return eps, nil
+}
+
+// pickEvalNodes samples the fixed node subset evaluated each round.
+func (s *Study) pickEvalNodes(nodes int, rng *tensor.RNG) []int {
+	k := s.cfg.EvalNodes
+	if k <= 0 || k >= nodes {
+		ids := make([]int, nodes)
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	}
+	return rng.Perm(nodes)[:k]
+}
+
+// evaluateRound measures the paper's four metrics averaged over the eval
+// nodes (canary TPR is a max, as in Figure 4).
+func (s *Study) evaluateRound(round int, sim *gossip.Simulator, evalIDs []int,
+	globalTest *data.Dataset, canaries *mia.CanarySet) (metrics.RoundRecord, error) {
+
+	nodes := sim.Nodes()
+	accs := make([]float64, 0, len(evalIDs))
+	miaAccs := make([]float64, 0, len(evalIDs))
+	tprs := make([]float64, 0, len(evalIDs))
+	genErrs := make([]float64, 0, len(evalIDs))
+
+	for _, id := range evalIDs {
+		node := nodes[id]
+		acc, err := metrics.Accuracy(node.Model, globalTest)
+		if err != nil {
+			return metrics.RoundRecord{}, fmt.Errorf("core: test accuracy node %d: %w", id, err)
+		}
+		accs = append(accs, acc)
+
+		res, err := mia.AttackNode(node.Model, node.Data)
+		if err != nil {
+			return metrics.RoundRecord{}, fmt.Errorf("core: attack node %d: %w", id, err)
+		}
+		miaAccs = append(miaAccs, res.Accuracy)
+		tprs = append(tprs, res.TPRAt1FPR)
+
+		ge, err := metrics.GenError(node.Model, node.Data)
+		if err != nil {
+			return metrics.RoundRecord{}, fmt.Errorf("core: gen error node %d: %w", id, err)
+		}
+		genErrs = append(genErrs, ge)
+	}
+
+	rec := metrics.RoundRecord{
+		Round:     round,
+		TestAcc:   metrics.Mean(accs),
+		MIAAcc:    metrics.Mean(miaAccs),
+		TPRAt1FPR: metrics.Mean(tprs),
+		GenError:  metrics.Mean(genErrs),
+	}
+	if canaries != nil {
+		models := make([]*nn.MLP, len(nodes))
+		for i, n := range nodes {
+			models[i] = n.Model
+		}
+		maxTPR, err := canaries.MaxTPR(models)
+		if err != nil {
+			return metrics.RoundRecord{}, fmt.Errorf("core: canary audit: %w", err)
+		}
+		rec.TPRAt1FPR = maxTPR
+	}
+	return rec, nil
+}

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"gossipmia/internal/core"
+	"gossipmia/internal/data"
+	"gossipmia/internal/gossip"
+	"gossipmia/internal/metrics"
+	"gossipmia/internal/mia"
+)
+
+// AttackComparison reports, for one trained deployment, how each attack
+// score function performs against every node — an extension ablation
+// showing that the MPE attack the paper uses dominates the simpler
+// entropy/confidence/loss estimators it generalizes.
+type AttackComparison struct {
+	Caption string
+	Rows    []AttackComparisonRow
+}
+
+// AttackComparisonRow aggregates one method over all nodes.
+type AttackComparisonRow struct {
+	Method      mia.Method
+	MeanAcc     float64
+	MaxAcc      float64
+	MeanTPR1FPR float64
+}
+
+// Table renders the comparison.
+func (a *AttackComparison) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Attack comparison — %s\n", a.Caption)
+	fmt.Fprintf(&b, "%-12s %9s %9s %9s\n", "method", "meanAcc", "maxAcc", "meanTPR")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-12s %9.3f %9.3f %9.3f\n", r.Method, r.MeanAcc, r.MaxAcc, r.MeanTPR1FPR)
+	}
+	return b.String()
+}
+
+// RunDynamicsComparison compares the three topology-dynamics modes —
+// static k-regular, PeerSwap, and a full Cyclon random peer sampling
+// service — on the same corpus and protocol. It extends Figure 3 with
+// the Section 5 recommendation that dynamics "be paired with robust
+// peer-sampling protocols".
+func RunDynamicsComparison(sc Scale) (*FigureResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	train, err := TrainingFor(data.CIFAR10)
+	if err != nil {
+		return nil, err
+	}
+	fig := &FigureResult{
+		Name:    "Extension: dynamics modes",
+		Caption: "static vs PeerSwap vs Cyclon RPS (CIFAR-10-like, SAMO, k=2)",
+	}
+	modes := []struct {
+		label    string
+		dynamics gossip.DynamicsKind
+	}{
+		{"cifar10/samo/k=2/static", gossip.DynamicsStatic},
+		{"cifar10/samo/k=2/peerswap", gossip.DynamicsPeerSwap},
+		{"cifar10/samo/k=2/cyclon", gossip.DynamicsCyclon},
+	}
+	for off, mode := range modes {
+		study, err := core.NewStudy(core.StudyConfig{
+			Label:    mode.label,
+			Corpus:   data.CIFAR10,
+			Protocol: "samo",
+			Sim: gossip.Config{
+				Nodes: sc.Nodes, ViewSize: 2, Dynamics: mode.dynamics,
+				Rounds: sc.Rounds, Seed: sc.Seed*29 + int64(off),
+			},
+			Train:          train,
+			Part:           core.PartitionConfig{TrainPerNode: sc.TrainPerNode, TestPerNode: sc.TestPerNode},
+			GlobalTestSize: sc.GlobalTestSize,
+			EvalEvery:      sc.EvalEvery,
+			EvalNodes:      sc.EvalNodes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := study.Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: dynamics arm %q: %w", mode.label, err)
+		}
+		fig.Arms = append(fig.Arms, Arm{
+			Label: mode.label, Series: res.Series,
+			MessagesSent: res.MessagesSent, BytesSent: res.BytesSent,
+		})
+	}
+	return fig, nil
+}
+
+// RunAttackComparison trains one SAMO deployment on the CIFAR-10-like
+// corpus and attacks every node's final model with each score method.
+func RunAttackComparison(sc Scale) (*AttackComparison, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	train, err := TrainingFor(data.CIFAR10)
+	if err != nil {
+		return nil, err
+	}
+	study, err := core.NewStudy(core.StudyConfig{
+		Label:    "attack-comparison",
+		Corpus:   data.CIFAR10,
+		Protocol: "samo",
+		Sim: gossip.Config{
+			Nodes: sc.Nodes, ViewSize: 5, Rounds: sc.Rounds, Seed: sc.Seed*17 + 3,
+		},
+		Train:           train,
+		Part:            core.PartitionConfig{TrainPerNode: sc.TrainPerNode, TestPerNode: sc.TestPerNode},
+		GlobalTestSize:  sc.GlobalTestSize,
+		EvalEvery:       sc.Rounds, // only the final round matters here
+		EvalNodes:       1,
+		KeepFinalModels: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := study.Run()
+	if err != nil {
+		return nil, err
+	}
+	cmp := &AttackComparison{
+		Caption: fmt.Sprintf("CIFAR-10-like, SAMO, %d nodes, %d rounds", sc.Nodes, sc.Rounds),
+	}
+	for _, m := range mia.AllMethods() {
+		accs := make([]float64, 0, len(res.Final))
+		tprs := make([]float64, 0, len(res.Final))
+		for _, snap := range res.Final {
+			r, err := mia.AttackNodeWith(m, snap.Model, snap.Data)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: %s on node %d: %w", m, snap.ID, err)
+			}
+			accs = append(accs, r.Accuracy)
+			tprs = append(tprs, r.TPRAt1FPR)
+		}
+		cmp.Rows = append(cmp.Rows, AttackComparisonRow{
+			Method:      m,
+			MeanAcc:     metrics.Mean(accs),
+			MaxAcc:      metrics.Max(accs),
+			MeanTPR1FPR: metrics.Mean(tprs),
+		})
+	}
+	return cmp, nil
+}

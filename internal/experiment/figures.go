@@ -1,0 +1,447 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"gossipmia/internal/core"
+	"gossipmia/internal/data"
+	"gossipmia/internal/gossip"
+	"gossipmia/internal/metrics"
+	"gossipmia/internal/plot"
+	"gossipmia/internal/stats"
+)
+
+// Arm is one curve of a figure: its label, per-round series, and
+// run-level aggregates.
+type Arm struct {
+	Label           string
+	Series          *metrics.Series
+	MessagesSent    int
+	BytesSent       int
+	RealizedEpsilon float64
+	NoiseMultiplier float64
+}
+
+// AtMaxTestAcc returns the record of the round achieving the best global
+// test accuracy, the operating point the paper quotes ("maximum global
+// test accuracy relative to an MIA vulnerability of ...").
+func (a Arm) AtMaxTestAcc() metrics.RoundRecord {
+	var best metrics.RoundRecord
+	found := false
+	for _, r := range a.Series.Records {
+		if !found || r.TestAcc > best.TestAcc {
+			best = r
+			found = true
+		}
+	}
+	return best
+}
+
+// FigureResult collects the arms of one paper figure.
+type FigureResult struct {
+	Name    string
+	Caption string
+	Arms    []Arm
+	// Notes are analysis lines appended below the table (e.g. the RQ6
+	// rank correlations).
+	Notes []string
+}
+
+// Table renders the per-arm summary rows for the figure.
+func (f *FigureResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.Name, f.Caption)
+	fmt.Fprintf(&b, "%-38s %8s %8s %8s %8s %8s %9s %9s %8s\n",
+		"arm", "maxAcc", "MIA@max", "maxMIA", "maxTPR", "maxGen", "messages", "MiB", "epsilon")
+	for _, a := range f.Arms {
+		at := a.AtMaxTestAcc()
+		maxGen := 0.0
+		for _, r := range a.Series.Records {
+			if r.GenError > maxGen {
+				maxGen = r.GenError
+			}
+		}
+		fmt.Fprintf(&b, "%-38s %8.3f %8.3f %8.3f %8.3f %8.3f %9d %9.1f %8.2f\n",
+			a.Label, at.TestAcc, at.MIAAcc, a.Series.MaxMIAAcc(), a.Series.MaxTPR(),
+			maxGen, a.MessagesSent, float64(a.BytesSent)/(1<<20), a.RealizedEpsilon)
+	}
+	for _, note := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}
+
+// plotGlyphs is the palette cycled across arms in scatter plots.
+var plotGlyphs = []rune{'s', 'd', 'o', 'x', '+', '#', '@', '%', '&', '~', '^', '='}
+
+// Plot renders the figure's arms as an ASCII scatter of per-round
+// (x, y) record projections — the textual counterpart of the paper's
+// tradeoff figures.
+func (f *FigureResult) Plot(x, y func(metrics.RoundRecord) float64, xlabel, ylabel string) (string, error) {
+	series := make([]plot.Series, 0, len(f.Arms))
+	for i, arm := range f.Arms {
+		s := plot.Series{
+			Label: arm.Label,
+			Glyph: plotGlyphs[i%len(plotGlyphs)],
+		}
+		for _, r := range arm.Series.Records {
+			s.Points = append(s.Points, plot.Point{X: x(r), Y: y(r)})
+		}
+		series = append(series, s)
+	}
+	return plot.Scatter(plot.Config{
+		Title:  f.Name + " — " + f.Caption,
+		XLabel: xlabel,
+		YLabel: ylabel,
+	}, series)
+}
+
+// TradeoffPlot is the paper's standard presentation: global test
+// accuracy on x, MIA accuracy on y, one point per evaluated round.
+func (f *FigureResult) TradeoffPlot() (string, error) {
+	return f.Plot(
+		func(r metrics.RoundRecord) float64 { return r.TestAcc },
+		func(r metrics.RoundRecord) float64 { return r.MIAAcc },
+		"global test accuracy", "MIA accuracy")
+}
+
+// GenErrorPlot is the Figure 7 presentation: generalization error on x,
+// MIA accuracy on y.
+func (f *FigureResult) GenErrorPlot() (string, error) {
+	return f.Plot(
+		func(r metrics.RoundRecord) float64 { return r.GenError },
+		func(r metrics.RoundRecord) float64 { return r.MIAAcc },
+		"generalization error", "MIA accuracy")
+}
+
+// armSpec describes one study arm to build from a Scale.
+type armSpec struct {
+	label    string
+	corpus   data.CorpusName
+	protocol string
+	viewSize int
+	dynamic  bool
+	beta     float64 // 0 = IID
+	dp       *core.DPConfig
+	canaries bool
+	seedOff  int64
+
+	// Optional overrides for figures that need a different training
+	// regime than the corpus default (e.g. Figure 6 uses more data and
+	// fewer local epochs so the MIA signal is not saturated).
+	trainOverride  *core.TrainConfig
+	trainPerFactor float64
+	epochsOverride int
+}
+
+// runArms executes the specs sequentially and assembles the figure.
+func runArms(name, caption string, sc Scale, specs []armSpec) (*FigureResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	fig := &FigureResult{Name: name, Caption: caption}
+	for _, spec := range specs {
+		arm, err := runArm(sc, spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s arm %q: %w", name, spec.label, err)
+		}
+		fig.Arms = append(fig.Arms, arm)
+	}
+	return fig, nil
+}
+
+// runArm builds and runs one core.Study from a spec.
+func runArm(sc Scale, spec armSpec) (Arm, error) {
+	train, err := TrainingFor(spec.corpus)
+	if err != nil {
+		return Arm{}, err
+	}
+	if spec.trainOverride != nil {
+		train = *spec.trainOverride
+	}
+	if spec.epochsOverride > 0 {
+		train.LocalEpochs = spec.epochsOverride
+	}
+	trainPer := sc.TrainPerNode
+	if spec.trainPerFactor > 0 {
+		trainPer = int(float64(trainPer) * spec.trainPerFactor)
+	}
+	nodes := sc.nodesFor(string(spec.corpus))
+	viewSize := spec.viewSize
+	if viewSize >= nodes {
+		viewSize = nodes - 1
+	}
+	// k-regular feasibility: n*k must be even.
+	if nodes*viewSize%2 != 0 {
+		viewSize--
+	}
+	if viewSize < 1 {
+		return Arm{}, fmt.Errorf("cannot fit view size %d in %d nodes: %w", spec.viewSize, nodes, ErrScale)
+	}
+	cfg := core.StudyConfig{
+		Label:    spec.label,
+		Corpus:   spec.corpus,
+		Protocol: spec.protocol,
+		Sim: gossip.Config{
+			Nodes:    nodes,
+			ViewSize: viewSize,
+			Dynamic:  spec.dynamic,
+			Rounds:   sc.Rounds,
+			Seed:     sc.Seed*1_000_003 + spec.seedOff,
+		},
+		Train:          train,
+		Part:           core.PartitionConfig{TrainPerNode: trainPer, TestPerNode: sc.TestPerNode, DirichletBeta: spec.beta},
+		DP:             spec.dp,
+		GlobalTestSize: sc.GlobalTestSize,
+		EvalEvery:      sc.EvalEvery,
+		EvalNodes:      sc.EvalNodes,
+	}
+	if spec.canaries {
+		cfg.Canaries = sc.Canaries
+	}
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		return Arm{}, err
+	}
+	res, err := study.Run()
+	if err != nil {
+		return Arm{}, err
+	}
+	return Arm{
+		Label:           spec.label,
+		Series:          res.Series,
+		MessagesSent:    res.MessagesSent,
+		BytesSent:       res.BytesSent,
+		RealizedEpsilon: res.RealizedEpsilon,
+		NoiseMultiplier: res.NoiseMultiplier,
+	}, nil
+}
+
+// RunFigure2 (RQ1): SAMO vs Base Gossip on a static 5-regular graph,
+// across the four corpora.
+func RunFigure2(sc Scale) (*FigureResult, error) {
+	var specs []armSpec
+	var off int64
+	for _, corpus := range data.AllCorpora() {
+		for _, proto := range []string{"base", "samo"} {
+			specs = append(specs, armSpec{
+				label:    fmt.Sprintf("%s/%s/k=5/static", corpus, proto),
+				corpus:   corpus,
+				protocol: proto,
+				viewSize: 5,
+				seedOff:  off,
+			})
+			off++
+		}
+	}
+	return runArms("Figure 2",
+		"MIA vulnerability vs global test accuracy, Base Gossip vs SAMO, 5-regular static graph",
+		sc, specs)
+}
+
+// RunFigure3 (RQ2): static vs dynamic topology on a sparse 2-regular
+// graph with SAMO, across the four corpora.
+func RunFigure3(sc Scale) (*FigureResult, error) {
+	var specs []armSpec
+	var off int64
+	for _, corpus := range data.AllCorpora() {
+		for _, dynamic := range []bool{false, true} {
+			specs = append(specs, armSpec{
+				label:    fmt.Sprintf("%s/samo/k=2/%s", corpus, dynLabel(dynamic)),
+				corpus:   corpus,
+				protocol: "samo",
+				viewSize: 2,
+				dynamic:  dynamic,
+				seedOff:  100 + off,
+			})
+			off++
+		}
+	}
+	return runArms("Figure 3",
+		"MIA vulnerability vs global test accuracy, static vs dynamic, 2-regular graph (SAMO)",
+		sc, specs)
+}
+
+// RunFigure4 (RQ3): canary-based worst-case audit — maximum per-node
+// TPR@1%FPR on planted canaries over rounds, static vs dynamic.
+func RunFigure4(sc Scale) (*FigureResult, error) {
+	var specs []armSpec
+	var off int64
+	for _, corpus := range data.AllCorpora() {
+		for _, dynamic := range []bool{false, true} {
+			specs = append(specs, armSpec{
+				label:    fmt.Sprintf("%s/canary/k=2/%s", corpus, dynLabel(dynamic)),
+				corpus:   corpus,
+				protocol: "samo",
+				viewSize: 2,
+				dynamic:  dynamic,
+				canaries: true,
+				seedOff:  200 + off,
+			})
+			off++
+		}
+	}
+	return runArms("Figure 4",
+		"Max canary TPR@1%FPR over communication rounds, static vs dynamic, 2-regular graph",
+		sc, specs)
+}
+
+// RunFigure5 (RQ4): view-size sweep on the CIFAR-10-like corpus with
+// SAMO, static vs dynamic; message counts expose the communication cost.
+func RunFigure5(sc Scale) (*FigureResult, error) {
+	var specs []armSpec
+	var off int64
+	for _, k := range []int{2, 5, 10, 25} {
+		if k >= sc.Nodes {
+			continue
+		}
+		for _, dynamic := range []bool{false, true} {
+			specs = append(specs, armSpec{
+				label:    fmt.Sprintf("cifar10/samo/k=%d/%s", k, dynLabel(dynamic)),
+				corpus:   data.CIFAR10,
+				protocol: "samo",
+				viewSize: k,
+				dynamic:  dynamic,
+				seedOff:  300 + off,
+			})
+			off++
+		}
+	}
+	return runArms("Figure 5",
+		"Max MIA accuracy and TPR@1%FPR vs view size, static vs dynamic (CIFAR-10-like, SAMO)",
+		sc, specs)
+}
+
+// RunFigure6 (RQ5): Dirichlet non-IID sweep on the Purchase100-like
+// corpus, static vs dynamic on a 2-regular graph.
+func RunFigure6(sc Scale) (*FigureResult, error) {
+	var specs []armSpec
+	var off int64
+	for _, beta := range []float64{0, 0.5, 0.1} { // 0 = IID
+		for _, dynamic := range []bool{false, true} {
+			label := "iid"
+			if beta > 0 {
+				label = fmt.Sprintf("beta=%.1f", beta)
+			}
+			specs = append(specs, armSpec{
+				label:    fmt.Sprintf("purchase100/%s/%s", label, dynLabel(dynamic)),
+				corpus:   data.Purchase100,
+				protocol: "samo",
+				viewSize: 2,
+				dynamic:  dynamic,
+				beta:     beta,
+				seedOff:  400 + off,
+				// Desaturate the membership signal so the heterogeneity
+				// effect (not raw memorization) drives the comparison.
+				trainPerFactor: 3,
+				epochsOverride: 1,
+			})
+			off++
+		}
+	}
+	return runArms("Figure 6",
+		"MIA vulnerability vs test accuracy under label heterogeneity (Dirichlet beta), 2-regular graph",
+		sc, specs)
+}
+
+// RunFigure7 (RQ6): MIA vulnerability against generalization error across
+// the four corpora (static vs dynamic, 2-regular, SAMO). The series carry
+// both quantities per round.
+func RunFigure7(sc Scale) (*FigureResult, error) {
+	var specs []armSpec
+	var off int64
+	for _, corpus := range data.AllCorpora() {
+		for _, dynamic := range []bool{false, true} {
+			specs = append(specs, armSpec{
+				label:    fmt.Sprintf("%s/generr/k=2/%s", corpus, dynLabel(dynamic)),
+				corpus:   corpus,
+				protocol: "samo",
+				viewSize: 2,
+				dynamic:  dynamic,
+				seedOff:  500 + off,
+			})
+			off++
+		}
+	}
+	fig, err := runArms("Figure 7",
+		"MIA vulnerability vs generalization error across corpora (static vs dynamic)",
+		sc, specs)
+	if err != nil {
+		return nil, err
+	}
+	// Quantify the RQ6 link per arm: rank correlation between the
+	// per-round generalization error and MIA accuracy. A rho well below
+	// 1 is the paper's "generalization error is not the only key factor".
+	for _, arm := range fig.Arms {
+		gen := make([]float64, 0, len(arm.Series.Records))
+		miaAcc := make([]float64, 0, len(arm.Series.Records))
+		for _, r := range arm.Series.Records {
+			gen = append(gen, r.GenError)
+			miaAcc = append(miaAcc, r.MIAAcc)
+		}
+		rho, err := stats.Spearman(gen, miaAcc)
+		if err != nil {
+			continue // too few evaluation rounds for a correlation
+		}
+		fig.Notes = append(fig.Notes, fmt.Sprintf("%s: spearman(genErr, miaAcc) = %.2f", arm.Label, rho))
+	}
+	return fig, nil
+}
+
+// RunFigure8 (RQ6): per-round MIA accuracy and generalization error on
+// the Purchase100-like corpus, 2-regular graph, static vs dynamic.
+func RunFigure8(sc Scale) (*FigureResult, error) {
+	var specs []armSpec
+	for i, dynamic := range []bool{false, true} {
+		specs = append(specs, armSpec{
+			label:    fmt.Sprintf("purchase100/rounds/k=2/%s", dynLabel(dynamic)),
+			corpus:   data.Purchase100,
+			protocol: "samo",
+			viewSize: 2,
+			dynamic:  dynamic,
+			seedOff:  600 + int64(i),
+		})
+	}
+	return runArms("Figure 8",
+		"MIA accuracy and generalization error over communication rounds (Purchase100-like, SAMO)",
+		sc, specs)
+}
+
+// RunFigure9 (RQ7): DP-SGD privacy-budget sweep (plus a non-DP baseline)
+// on the Purchase100-like corpus, static vs dynamic.
+func RunFigure9(sc Scale) (*FigureResult, error) {
+	var specs []armSpec
+	var off int64
+	budgets := []float64{0, 50, 25, 15, 10} // 0 = non-DP baseline
+	for _, eps := range budgets {
+		for _, dynamic := range []bool{false, true} {
+			label := "nodp"
+			var dpCfg *core.DPConfig
+			if eps > 0 {
+				label = fmt.Sprintf("eps=%g", eps)
+				dpCfg = &core.DPConfig{Epsilon: eps, Delta: 1e-5, Clip: 1}
+			}
+			specs = append(specs, armSpec{
+				label:    fmt.Sprintf("purchase100/%s/%s", label, dynLabel(dynamic)),
+				corpus:   data.Purchase100,
+				protocol: "samo",
+				viewSize: 5,
+				dynamic:  dynamic,
+				dp:       dpCfg,
+				seedOff:  700 + off,
+			})
+			off++
+		}
+	}
+	return runArms("Figure 9",
+		"MIA vulnerability and test accuracy vs DP-SGD budget epsilon (delta=1e-5), static vs dynamic",
+		sc, specs)
+}
+
+func dynLabel(dynamic bool) string {
+	if dynamic {
+		return "dynamic"
+	}
+	return "static"
+}

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"gossipmia/internal/graph"
+	"gossipmia/internal/metrics"
+	"gossipmia/internal/tensor"
+)
+
+// MixingCurve is one λ₂(W*) trajectory of Figure 10: the contraction
+// factor of the accumulated mixing product at each checkpoint iteration,
+// averaged over independent runs.
+type MixingCurve struct {
+	Label      string
+	Iterations []int
+	Mean       []float64
+	Std        []float64
+}
+
+// MixingResult is the Figure 10 reproduction.
+type MixingResult struct {
+	Name    string
+	Caption string
+	Curves  []MixingCurve
+}
+
+// Table renders the λ₂ trajectories as rows (one column per checkpoint).
+func (m *MixingResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", m.Name, m.Caption)
+	if len(m.Curves) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-18s", "arm \\ iter")
+	for _, it := range m.Curves[0].Iterations {
+		fmt.Fprintf(&b, " %9d", it)
+	}
+	b.WriteString("\n")
+	for _, c := range m.Curves {
+		fmt.Fprintf(&b, "%-18s", c.Label)
+		for _, v := range c.Mean {
+			fmt.Fprintf(&b, " %9.2e", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RunFigure10 reproduces the Section 4 spectral analysis: λ₂(W*) as a
+// function of the number of synchronous mixing iterations, for k-regular
+// graphs of degree 2, 5, 10 and 25 in the static and dynamic
+// (random-permutation) settings, averaged over SpectralRuns runs.
+func RunFigure10(sc Scale) (*MixingResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	checkpoints := spectralCheckpoints(sc.SpectralIters)
+	res := &MixingResult{
+		Name: "Figure 10",
+		Caption: fmt.Sprintf(
+			"lambda2(W*) vs iterations, n=%d, avg of %d runs", sc.SpectralN, sc.SpectralRuns),
+	}
+	for _, k := range []int{2, 5, 10, 25} {
+		if k >= sc.SpectralN {
+			continue
+		}
+		for _, dynamic := range []bool{false, true} {
+			curve, err := mixingCurve(sc, k, dynamic, checkpoints)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: figure 10 k=%d dynamic=%v: %w", k, dynamic, err)
+			}
+			res.Curves = append(res.Curves, curve)
+		}
+	}
+	return res, nil
+}
+
+// mixingCurve averages the contraction trajectory over independent runs.
+func mixingCurve(sc Scale, k int, dynamic bool, checkpoints []int) (MixingCurve, error) {
+	setting := "Stat"
+	if dynamic {
+		setting = "Dyn"
+	}
+	curve := MixingCurve{
+		Label:      fmt.Sprintf("%s, %d-reg", setting, k),
+		Iterations: checkpoints,
+		Mean:       make([]float64, len(checkpoints)),
+		Std:        make([]float64, len(checkpoints)),
+	}
+	samples := make([][]float64, len(checkpoints))
+	for run := 0; run < sc.SpectralRuns; run++ {
+		seed := sc.Seed*7_919 + int64(run*1000+k*10)
+		if dynamic {
+			seed++
+		}
+		rng := tensor.NewRNG(seed)
+		n := sc.SpectralN
+		if n*k%2 != 0 {
+			n++
+		}
+		g, err := graph.NewRegular(n, k, rng)
+		if err != nil {
+			return MixingCurve{}, err
+		}
+		var seq *graph.Sequence
+		if dynamic {
+			seq, err = graph.DynamicSequence(g, sc.SpectralIters, rng)
+		} else {
+			seq, err = graph.StaticSequence(g, sc.SpectralIters)
+		}
+		if err != nil {
+			return MixingCurve{}, err
+		}
+		for ci, t := range checkpoints {
+			lambda, err := seq.ContractionFactor(t, 80, rng)
+			if err != nil {
+				return MixingCurve{}, err
+			}
+			samples[ci] = append(samples[ci], lambda)
+		}
+	}
+	for ci := range checkpoints {
+		curve.Mean[ci] = metrics.Mean(samples[ci])
+		curve.Std[ci] = metrics.Std(samples[ci])
+	}
+	return curve, nil
+}
+
+// spectralCheckpoints returns up to 12 roughly evenly spaced iteration
+// counts in [1, total].
+func spectralCheckpoints(total int) []int {
+	const maxPoints = 12
+	step := total / maxPoints
+	if step < 1 {
+		step = 1
+	}
+	var out []int
+	for t := step; t <= total; t += step {
+		out = append(out, t)
+	}
+	if len(out) == 0 || out[len(out)-1] != total {
+		out = append(out, total)
+	}
+	return out
+}

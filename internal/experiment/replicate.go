@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"gossipmia/internal/stats"
+	"gossipmia/internal/tensor"
+)
+
+// ReplicatedArm aggregates one arm's headline quantities over repeated
+// runs with independent seeds.
+type ReplicatedArm struct {
+	Label  string
+	MaxAcc stats.Interval
+	MaxMIA stats.Interval
+	MaxTPR stats.Interval
+}
+
+// ReplicatedResult is a figure re-run across seeds with bootstrap
+// confidence intervals per arm.
+type ReplicatedResult struct {
+	Name       string
+	Caption    string
+	Repeats    int
+	Confidence float64
+	Arms       []ReplicatedArm
+}
+
+// Table renders the replicated summary.
+func (r *ReplicatedResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%d seeds, %.0f%% bootstrap CI)\n",
+		r.Name, r.Caption, r.Repeats, r.Confidence*100)
+	fmt.Fprintf(&b, "%-38s %-22s %-22s %-22s\n", "arm", "maxAcc", "maxMIA", "maxTPR")
+	ci := func(iv stats.Interval) string {
+		return fmt.Sprintf("%.3f [%.3f,%.3f]", iv.Point, iv.Lo, iv.Hi)
+	}
+	for _, a := range r.Arms {
+		fmt.Fprintf(&b, "%-38s %-22s %-22s %-22s\n", a.Label, ci(a.MaxAcc), ci(a.MaxMIA), ci(a.MaxTPR))
+	}
+	return b.String()
+}
+
+// Replicate runs a figure runner `repeats` times with independent seeds
+// and reports per-arm bootstrap confidence intervals of the headline
+// quantities. Arms are matched by label across repeats; a run whose arm
+// set differs from the first is an error.
+func Replicate(runner func(Scale) (*FigureResult, error), sc Scale, repeats int, confidence float64) (*ReplicatedResult, error) {
+	if repeats < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 repeats, got %d", ErrScale, repeats)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return nil, fmt.Errorf("%w: confidence %v out of (0,1)", ErrScale, confidence)
+	}
+	type samples struct {
+		acc, miaAcc, tpr []float64
+	}
+	var (
+		order []string
+		data  = map[string]*samples{}
+		name  string
+		capt  string
+	)
+	for rep := 0; rep < repeats; rep++ {
+		repScale := sc
+		repScale.Seed = sc.Seed + int64(rep)*104_729
+		fig, err := runner(repScale)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: replicate seed %d: %w", repScale.Seed, err)
+		}
+		if rep == 0 {
+			name, capt = fig.Name, fig.Caption
+			for _, arm := range fig.Arms {
+				order = append(order, arm.Label)
+				data[arm.Label] = &samples{}
+			}
+		}
+		if len(fig.Arms) != len(order) {
+			return nil, fmt.Errorf("%w: repeat %d produced %d arms, expected %d",
+				ErrScale, rep, len(fig.Arms), len(order))
+		}
+		for _, arm := range fig.Arms {
+			s, ok := data[arm.Label]
+			if !ok {
+				return nil, fmt.Errorf("%w: repeat %d produced unknown arm %q", ErrScale, rep, arm.Label)
+			}
+			s.acc = append(s.acc, arm.Series.MaxTestAcc())
+			s.miaAcc = append(s.miaAcc, arm.Series.MaxMIAAcc())
+			s.tpr = append(s.tpr, arm.Series.MaxTPR())
+		}
+	}
+	rng := tensor.NewRNG(sc.Seed * 31)
+	out := &ReplicatedResult{
+		Name: name, Caption: capt, Repeats: repeats, Confidence: confidence,
+	}
+	const resamples = 400
+	for _, label := range order {
+		s := data[label]
+		accCI, err := stats.BootstrapMeanCI(s.acc, confidence, resamples, rng)
+		if err != nil {
+			return nil, err
+		}
+		miaCI, err := stats.BootstrapMeanCI(s.miaAcc, confidence, resamples, rng)
+		if err != nil {
+			return nil, err
+		}
+		tprCI, err := stats.BootstrapMeanCI(s.tpr, confidence, resamples, rng)
+		if err != nil {
+			return nil, err
+		}
+		out.Arms = append(out.Arms, ReplicatedArm{
+			Label: label, MaxAcc: accCI, MaxMIA: miaCI, MaxTPR: tprCI,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+// Package gossip implements the paper's decentralized-learning runtime:
+// a discrete-tick asynchronous simulator over k-regular communication
+// graphs (static, or dynamic via PeerSwap), and the two learning
+// protocols under study — Base Gossip Learning (Algorithm 1) and
+// Send-All-Merge-Once (Algorithm 2).
+//
+// Time is divided into ticks; TicksPerRound ticks form one communication
+// round (100 in the paper). Each node wakes every Δi ticks, with Δi drawn
+// once per node from N(WakeMean, WakeStd²), exactly as in Section 3.1.
+package gossip
+
+import (
+	"fmt"
+
+	"gossipmia/internal/data"
+	"gossipmia/internal/nn"
+	"gossipmia/internal/tensor"
+)
+
+// Message is a model transmitted between peers. Params is a private copy
+// owned by the receiver.
+type Message struct {
+	From   int
+	Params tensor.Vector
+}
+
+// LocalUpdater performs the "local update" operation of Equation (2) on
+// a node's model: some number of SGD steps over the node's training data.
+// Implementations carry per-node optimizer state (momentum, DP noise
+// state), so each node owns one updater instance.
+type LocalUpdater interface {
+	Update(model *nn.MLP, train *data.Dataset, rng *tensor.RNG) error
+}
+
+// Node is one participant in the protocol. All fields are owned by the
+// simulator; protocols access them through the callbacks.
+type Node struct {
+	ID      int
+	Model   *nn.MLP
+	Data    data.NodeData
+	Updater LocalUpdater
+
+	// Inbox stores received models that have not been merged yet (the
+	// set Θi of Algorithm 2, minus the node's own model).
+	Inbox []Message
+
+	// RNG is the node's private random stream (minibatch shuffling,
+	// neighbor selection, DP noise).
+	RNG *tensor.RNG
+
+	// wake schedule (ticks).
+	interval int
+	nextWake int
+}
+
+// localUpdate runs the node's updater on its own training split.
+func (n *Node) localUpdate() error {
+	if err := n.Updater.Update(n.Model, n.Data.Train, n.RNG); err != nil {
+		return fmt.Errorf("node %d local update: %w", n.ID, err)
+	}
+	return nil
+}
+
+// SGDUpdater is the standard local updater: Epochs passes of minibatch
+// SGD with the Table 2 hyperparameters.
+type SGDUpdater struct {
+	opt       *nn.SGD
+	batchSize int
+	epochs    int
+}
+
+var _ LocalUpdater = (*SGDUpdater)(nil)
+
+// NewSGDUpdater returns a stateful SGD updater.
+func NewSGDUpdater(cfg nn.SGDConfig, batchSize, epochs int) *SGDUpdater {
+	return &SGDUpdater{opt: nn.NewSGD(cfg), batchSize: batchSize, epochs: epochs}
+}
+
+// Update implements LocalUpdater.
+func (u *SGDUpdater) Update(model *nn.MLP, train *data.Dataset, rng *tensor.RNG) error {
+	tr := nn.NewTrainer(model, u.opt, u.batchSize, u.epochs)
+	_, err := tr.RunEpochs(train.X, train.Y, rng)
+	return err
+}
+
+// UpdaterFactory builds one LocalUpdater per node.
+type UpdaterFactory func(nodeID int) LocalUpdater
+
+// NewSGDUpdaterFactory returns a factory producing independent
+// SGDUpdaters with shared hyperparameters.
+func NewSGDUpdaterFactory(cfg nn.SGDConfig, batchSize, epochs int) UpdaterFactory {
+	return func(int) LocalUpdater { return NewSGDUpdater(cfg, batchSize, epochs) }
+}

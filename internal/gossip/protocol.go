@@ -1,0 +1,162 @@
+package gossip
+
+import (
+	"errors"
+	"fmt"
+
+	"gossipmia/internal/tensor"
+)
+
+// ErrProtocol is returned for protocol-level failures (empty views,
+// incompatible models).
+var ErrProtocol = errors.New("gossip: protocol error")
+
+// Network is the sending facility handed to protocols on wake-up: Send
+// transmits a copy of params to the given peer, View lists the node's
+// current neighbors, and Size reports the network size (used by
+// protocols that sample peers beyond the view, e.g. Epidemic).
+type Network interface {
+	// Send delivers params to peer `to`. Delivery is immediate in the
+	// simulator (the paper's model exchange has no transmission delay).
+	Send(from, to int, params tensor.Vector) error
+	// View returns the sender's current neighbor set.
+	View(node int) []int
+	// Size returns the total number of nodes.
+	Size() int
+}
+
+// Protocol defines a gossip learning protocol by its two reactions:
+// waking up within a time frame, and receiving a model from a peer.
+type Protocol interface {
+	// Name returns a short identifier ("base", "samo").
+	Name() string
+	// OnWake is invoked when node wakes; the protocol may train, merge,
+	// and send through net.
+	OnWake(node *Node, net Network) error
+	// OnReceive is invoked when node receives msg.
+	OnReceive(node *Node, msg Message) error
+}
+
+// BaseGossip is Algorithm 1: on wake, send the current model to one
+// uniformly chosen neighbor; on receive, average pairwise with the
+// incoming model and perform a local update.
+type BaseGossip struct{}
+
+var _ Protocol = BaseGossip{}
+
+// Name implements Protocol.
+func (BaseGossip) Name() string { return "base" }
+
+// OnWake implements Protocol: select j ∈ N_i at random, send θi.
+func (BaseGossip) OnWake(node *Node, net Network) error {
+	view := net.View(node.ID)
+	if len(view) == 0 {
+		return fmt.Errorf("node %d has empty view: %w", node.ID, ErrProtocol)
+	}
+	j := view[node.RNG.Intn(len(view))]
+	return net.Send(node.ID, j, node.Model.Params())
+}
+
+// OnReceive implements Protocol: θi ← (θi+θj)/2, then local update.
+func (BaseGossip) OnReceive(node *Node, msg Message) error {
+	params := node.Model.Params()
+	if len(params) != len(msg.Params) {
+		return fmt.Errorf("node %d received model of size %d, has %d: %w",
+			node.ID, len(msg.Params), len(params), ErrProtocol)
+	}
+	for i := range params {
+		params[i] = (params[i] + msg.Params[i]) / 2
+	}
+	return node.localUpdate()
+}
+
+// SAMO is Algorithm 2 (Send-All-Merge-Once): received models are stored;
+// on wake, if any were received, the node averages them with its own
+// model, performs one local update, clears the store, and in all cases
+// sends its current model to every neighbor.
+type SAMO struct {
+	// MergeOnReceive is an ablation switch: when true, incoming models
+	// are merged pairwise immediately (like Base Gossip) but the node
+	// still sends to all neighbors on wake. It isolates the contribution
+	// of delayed aggregation from that of full-view dissemination.
+	MergeOnReceive bool
+}
+
+var _ Protocol = SAMO{}
+
+// Name implements Protocol.
+func (p SAMO) Name() string {
+	if p.MergeOnReceive {
+		return "samo-nodelay"
+	}
+	return "samo"
+}
+
+// OnWake implements Protocol.
+func (p SAMO) OnWake(node *Node, net Network) error {
+	if err := p.mergeAndTrain(node); err != nil {
+		return err
+	}
+	for _, j := range net.View(node.ID) {
+		if err := net.Send(node.ID, j, node.Model.Params()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeAndTrain performs the merge-once step of Algorithm 2 (lines 3–7):
+// if any models are pending, average them with the node's own and run one
+// local update. Shared with the Epidemic extension protocol.
+func (p SAMO) mergeAndTrain(node *Node) error {
+	if len(node.Inbox) == 0 {
+		return nil
+	}
+	models := make([]tensor.Vector, 0, len(node.Inbox)+1)
+	models = append(models, node.Model.Params())
+	for _, m := range node.Inbox {
+		models = append(models, m.Params)
+	}
+	avg, err := tensor.Average(models)
+	if err != nil {
+		return fmt.Errorf("node %d merge: %w", node.ID, err)
+	}
+	if err := node.Model.SetParams(avg); err != nil {
+		return fmt.Errorf("node %d merge: %w", node.ID, err)
+	}
+	node.Inbox = node.Inbox[:0]
+	return node.localUpdate()
+}
+
+// OnReceive implements Protocol.
+func (p SAMO) OnReceive(node *Node, msg Message) error {
+	if p.MergeOnReceive {
+		params := node.Model.Params()
+		if len(params) != len(msg.Params) {
+			return fmt.Errorf("node %d received model of size %d, has %d: %w",
+				node.ID, len(msg.Params), len(params), ErrProtocol)
+		}
+		for i := range params {
+			params[i] = (params[i] + msg.Params[i]) / 2
+		}
+		return node.localUpdate()
+	}
+	node.Inbox = append(node.Inbox, msg)
+	return nil
+}
+
+// ProtocolByName resolves a protocol identifier used in configs and CLIs.
+func ProtocolByName(name string) (Protocol, error) {
+	switch name {
+	case "base":
+		return BaseGossip{}, nil
+	case "samo":
+		return SAMO{}, nil
+	case "samo-nodelay":
+		return SAMO{MergeOnReceive: true}, nil
+	case "epidemic":
+		return Epidemic{Fanout: 2}, nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q: %w", name, ErrProtocol)
+	}
+}

@@ -1,0 +1,273 @@
+package gossip
+
+import (
+	"errors"
+	"fmt"
+
+	"gossipmia/internal/data"
+	"gossipmia/internal/graph"
+	"gossipmia/internal/nn"
+	"gossipmia/internal/rps"
+	"gossipmia/internal/tensor"
+	"gossipmia/internal/wire"
+)
+
+// ErrConfig is returned for invalid simulator configurations.
+var ErrConfig = errors.New("gossip: invalid config")
+
+// DynamicsKind selects how the communication topology evolves.
+type DynamicsKind int
+
+// The three supported dynamics. The paper studies Static and PeerSwap;
+// Cyclon replaces the k-regular undirected graph with a full random
+// peer sampling service whose directed views refresh on every wake-up
+// (Section 2.4's "RPS such as [35]").
+const (
+	// DynamicsDefault resolves to PeerSwap when Config.Dynamic is set,
+	// Static otherwise (backward-compatible zero value).
+	DynamicsDefault DynamicsKind = iota
+	DynamicsStatic
+	DynamicsPeerSwap
+	DynamicsCyclon
+)
+
+// Config describes one simulated deployment, mirroring Section 3.1.
+type Config struct {
+	// Nodes is the network size (150 in the paper).
+	Nodes int
+	// ViewSize is k, the regular degree (2, 5, 10 or 25 in the paper).
+	ViewSize int
+	// Dynamic selects PeerSwap topology dynamics: on wake, a node first
+	// swaps its graph position with a random neighbor. Shorthand for
+	// Dynamics = DynamicsPeerSwap.
+	Dynamic bool
+	// Dynamics selects the topology evolution explicitly; when left at
+	// DynamicsDefault the Dynamic flag decides.
+	Dynamics DynamicsKind
+	// Rounds is the number of communication rounds to simulate.
+	Rounds int
+	// TicksPerRound is the tick resolution of one round (paper: 100).
+	TicksPerRound int
+	// WakeMean/WakeStd parameterize the per-node wake interval
+	// Δi ~ N(WakeMean, WakeStd²) sampled once at start (paper: 100, 10).
+	WakeMean, WakeStd float64
+	// DropProb is the probability that any model transmission is lost in
+	// transit (failure injection; 0 disables). Gossip protocols tolerate
+	// loss by design — dropped models are simply never merged.
+	DropProb float64
+	// Seed drives all randomness of the run.
+	Seed int64
+}
+
+// Defaulted returns a copy of c with unset timing fields replaced by the
+// paper's values.
+func (c Config) Defaulted() Config {
+	if c.TicksPerRound == 0 {
+		c.TicksPerRound = 100
+	}
+	if c.WakeMean == 0 {
+		c.WakeMean = 100
+	}
+	if c.WakeStd == 0 {
+		c.WakeStd = 10
+	}
+	if c.Dynamics == DynamicsDefault {
+		if c.Dynamic {
+			c.Dynamics = DynamicsPeerSwap
+		} else {
+			c.Dynamics = DynamicsStatic
+		}
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("%w: need at least 2 nodes, got %d", ErrConfig, c.Nodes)
+	}
+	if c.ViewSize <= 0 || c.ViewSize >= c.Nodes {
+		return fmt.Errorf("%w: view size %d for %d nodes", ErrConfig, c.ViewSize, c.Nodes)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("%w: rounds = %d", ErrConfig, c.Rounds)
+	}
+	if c.TicksPerRound <= 0 || c.WakeMean <= 0 || c.WakeStd < 0 {
+		return fmt.Errorf("%w: ticksPerRound=%d wakeMean=%v wakeStd=%v",
+			ErrConfig, c.TicksPerRound, c.WakeMean, c.WakeStd)
+	}
+	if c.DropProb < 0 || c.DropProb >= 1 {
+		return fmt.Errorf("%w: dropProb=%v out of [0,1)", ErrConfig, c.DropProb)
+	}
+	if c.Dynamics < DynamicsDefault || c.Dynamics > DynamicsCyclon {
+		return fmt.Errorf("%w: dynamics=%d", ErrConfig, c.Dynamics)
+	}
+	return nil
+}
+
+// Observer is called at every round boundary with the completed round
+// index (0-based) and the simulator. Returning an error aborts the run.
+type Observer func(round int, sim *Simulator) error
+
+// Simulator executes a gossip-learning deployment tick by tick.
+type Simulator struct {
+	cfg      Config
+	topo     *graph.Regular
+	sampler  *rps.Service // non-nil only for DynamicsCyclon
+	nodes    []*Node
+	protocol Protocol
+	rng      *tensor.RNG
+
+	tick            int
+	messagesSent    int
+	messagesDropped int
+	bytesSent       int
+}
+
+var _ Network = (*Simulator)(nil)
+
+// New builds a simulator. Every node starts from a clone of the shared
+// initial model (the common θ0 of the paper), owns its NodeData split,
+// and gets an updater from factory.
+func New(cfg Config, protocol Protocol, initial *nn.MLP, nodeData []data.NodeData, factory UpdaterFactory) (*Simulator, error) {
+	cfg = cfg.Defaulted()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if protocol == nil || initial == nil || factory == nil {
+		return nil, fmt.Errorf("%w: nil protocol, model, or factory", ErrConfig)
+	}
+	if len(nodeData) != cfg.Nodes {
+		return nil, fmt.Errorf("%w: %d node datasets for %d nodes", ErrConfig, len(nodeData), cfg.Nodes)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	topo, err := graph.NewRegular(cfg.Nodes, cfg.ViewSize, rng)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: build topology: %w", err)
+	}
+	s := &Simulator{
+		cfg:      cfg,
+		topo:     topo,
+		nodes:    make([]*Node, cfg.Nodes),
+		protocol: protocol,
+		rng:      rng,
+	}
+	if cfg.Dynamics == DynamicsCyclon {
+		shuffleLen := cfg.ViewSize/2 + 1
+		s.sampler, err = rps.New(cfg.Nodes, cfg.ViewSize, shuffleLen, rng.Split())
+		if err != nil {
+			return nil, fmt.Errorf("gossip: build peer sampler: %w", err)
+		}
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		interval := int(rng.Normal(cfg.WakeMean, cfg.WakeStd))
+		if interval < 1 {
+			interval = 1
+		}
+		s.nodes[i] = &Node{
+			ID:       i,
+			Model:    initial.Clone(),
+			Data:     nodeData[i],
+			Updater:  factory(i),
+			RNG:      rng.Split(),
+			interval: interval,
+			// Uniform phase offset so wake-ups interleave from the start.
+			nextWake: rng.Intn(interval),
+		}
+	}
+	return s, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Nodes returns the simulator's nodes. Callers must treat them as
+// read-only between Run callbacks.
+func (s *Simulator) Nodes() []*Node { return s.nodes }
+
+// Topology returns the current communication graph.
+func (s *Simulator) Topology() *graph.Regular { return s.topo }
+
+// MessagesSent returns the cumulative number of model transmissions, the
+// communication-cost metric of RQ4. Dropped messages count as sent (the
+// sender paid the cost).
+func (s *Simulator) MessagesSent() int { return s.messagesSent }
+
+// MessagesDropped returns how many transmissions were lost to the
+// injected failure model.
+func (s *Simulator) MessagesDropped() int { return s.messagesDropped }
+
+// BytesSent returns the total wire-format bytes transmitted, using the
+// wire package's frame size for each model.
+func (s *Simulator) BytesSent() int { return s.bytesSent }
+
+// Tick returns the current simulation tick.
+func (s *Simulator) Tick() int { return s.tick }
+
+// Send implements Network: the receiver gets a private copy and reacts
+// immediately per the protocol. With DropProb set, the transmission may
+// be lost in transit (the sender still pays the communication cost).
+func (s *Simulator) Send(from, to int, params tensor.Vector) error {
+	if to < 0 || to >= len(s.nodes) {
+		return fmt.Errorf("%w: send to unknown node %d", ErrProtocol, to)
+	}
+	s.messagesSent++
+	s.bytesSent += wire.ParamsWireSize(len(params))
+	if s.cfg.DropProb > 0 && s.rng.Float64() < s.cfg.DropProb {
+		s.messagesDropped++
+		return nil
+	}
+	msg := Message{From: from, Params: params.Clone()}
+	return s.protocol.OnReceive(s.nodes[to], msg)
+}
+
+// View implements Network: the k-regular neighborhood, or the RPS view
+// under Cyclon dynamics.
+func (s *Simulator) View(node int) []int {
+	if s.sampler != nil {
+		return s.sampler.View(node)
+	}
+	return s.topo.Neighbors(node)
+}
+
+// Size implements Network.
+func (s *Simulator) Size() int { return len(s.nodes) }
+
+// Run simulates cfg.Rounds rounds, invoking observer (when non-nil) at
+// every round boundary.
+func (s *Simulator) Run(observer Observer) error {
+	totalTicks := s.cfg.Rounds * s.cfg.TicksPerRound
+	for ; s.tick < totalTicks; s.tick++ {
+		for _, node := range s.nodes {
+			if node.nextWake > s.tick {
+				continue
+			}
+			if err := s.wake(node); err != nil {
+				return err
+			}
+			node.nextWake = s.tick + node.interval
+		}
+		if (s.tick+1)%s.cfg.TicksPerRound == 0 && observer != nil {
+			round := (s.tick + 1) / s.cfg.TicksPerRound
+			if err := observer(round-1, s); err != nil {
+				return fmt.Errorf("gossip: observer at round %d: %w", round-1, err)
+			}
+		}
+	}
+	return nil
+}
+
+// wake performs one wake-up of node: topology dynamics first (PeerSwap
+// or a Cyclon shuffle, Section 2.4), then the protocol's wake action.
+func (s *Simulator) wake(node *Node) error {
+	switch s.cfg.Dynamics {
+	case DynamicsPeerSwap:
+		s.topo.PeerSwap(node.ID, node.RNG)
+	case DynamicsCyclon:
+		s.sampler.Shuffle(node.ID)
+	}
+	if err := s.protocol.OnWake(node, s); err != nil {
+		return fmt.Errorf("gossip: node %d wake at tick %d: %w", node.ID, s.tick, err)
+	}
+	return nil
+}

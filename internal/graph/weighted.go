@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gossipmia/internal/tensor"
+)
+
+// ErrTopology is returned when an adjacency structure is unusable.
+var ErrTopology = errors.New("graph: invalid topology")
+
+// Weighted is a symmetric weighted mixing graph: each undirected edge
+// (i,j) carries weight w_ij, and each node keeps self-weight
+// 1 − Σ_j w_ij. It extends the paper's uniform 1/(k+1) k-regular mixing
+// to arbitrary degree sequences while preserving the doubly-stochastic,
+// symmetric structure that the Section 4 analysis requires.
+type Weighted struct {
+	n    int
+	adj  [][]int
+	wgt  [][]float64
+	self []float64
+}
+
+var _ Mixer = (*Weighted)(nil)
+
+// NewMetropolis builds Metropolis–Hastings mixing weights for an
+// arbitrary undirected simple graph given as adjacency lists:
+//
+//	w_ij = 1 / (1 + max(deg(i), deg(j)))   for each edge (i,j),
+//	w_ii = 1 − Σ_j w_ij.
+//
+// The result is symmetric and doubly stochastic for any connected or
+// disconnected simple graph.
+func NewMetropolis(adjacency [][]int) (*Weighted, error) {
+	n := len(adjacency)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty adjacency", ErrTopology)
+	}
+	w := &Weighted{
+		n:    n,
+		adj:  make([][]int, n),
+		wgt:  make([][]float64, n),
+		self: make([]float64, n),
+	}
+	deg := make([]int, n)
+	for i, nbrs := range adjacency {
+		sorted := append([]int(nil), nbrs...)
+		sort.Ints(sorted)
+		for idx, j := range sorted {
+			if j < 0 || j >= n {
+				return nil, fmt.Errorf("%w: node %d has out-of-range neighbor %d", ErrTopology, i, j)
+			}
+			if j == i {
+				return nil, fmt.Errorf("%w: self-loop at %d", ErrTopology, i)
+			}
+			if idx > 0 && sorted[idx-1] == j {
+				return nil, fmt.Errorf("%w: parallel edge %d-%d", ErrTopology, i, j)
+			}
+		}
+		w.adj[i] = sorted
+		deg[i] = len(sorted)
+	}
+	// Symmetry check and weight assignment.
+	for i, nbrs := range w.adj {
+		w.wgt[i] = make([]float64, len(nbrs))
+		var sum float64
+		for idx, j := range nbrs {
+			if !containsSorted(w.adj[j], i) {
+				return nil, fmt.Errorf("%w: asymmetric edge %d-%d", ErrTopology, i, j)
+			}
+			d := deg[i]
+			if deg[j] > d {
+				d = deg[j]
+			}
+			weight := 1 / float64(1+d)
+			w.wgt[i][idx] = weight
+			sum += weight
+		}
+		w.self[i] = 1 - sum
+		if w.self[i] < -1e-12 {
+			return nil, fmt.Errorf("%w: negative self weight at %d", ErrTopology, i)
+		}
+	}
+	return w, nil
+}
+
+func containsSorted(s []int, v int) bool {
+	pos := sort.SearchInts(s, v)
+	return pos < len(s) && s[pos] == v
+}
+
+// MetropolisFromRegular builds Metropolis weights for a k-regular graph;
+// for regular graphs they coincide with the paper's uniform 1/(k+1)
+// weights, which the tests assert.
+func MetropolisFromRegular(g *Regular) (*Weighted, error) {
+	adj := make([][]int, g.N())
+	for i := range adj {
+		adj[i] = g.Neighbors(i)
+	}
+	return NewMetropolis(adj)
+}
+
+// N implements Mixer.
+func (w *Weighted) N() int { return w.n }
+
+// Degree returns node i's number of neighbors.
+func (w *Weighted) Degree(i int) int { return len(w.adj[i]) }
+
+// CloneMixer implements Mixer.
+func (w *Weighted) CloneMixer() Mixer {
+	out := &Weighted{
+		n:    w.n,
+		adj:  make([][]int, w.n),
+		wgt:  make([][]float64, w.n),
+		self: append([]float64(nil), w.self...),
+	}
+	for i := range w.adj {
+		out.adj[i] = append([]int(nil), w.adj[i]...)
+		out.wgt[i] = append([]float64(nil), w.wgt[i]...)
+	}
+	return out
+}
+
+// ApplyMixing implements Mixer: out_i = w_ii·x_i + Σ_j w_ij·x_j.
+func (w *Weighted) ApplyMixing(x, out tensor.Vector) (tensor.Vector, error) {
+	if len(x) != w.n {
+		return nil, fmt.Errorf("graph: weighted mixing input length %d for %d nodes: %w", len(x), w.n, tensor.ErrShape)
+	}
+	if out == nil {
+		out = tensor.NewVector(w.n)
+	} else if len(out) != w.n {
+		return nil, fmt.Errorf("graph: weighted mixing output length %d for %d nodes: %w", len(out), w.n, tensor.ErrShape)
+	}
+	for i := 0; i < w.n; i++ {
+		s := w.self[i] * x[i]
+		for idx, j := range w.adj[i] {
+			s += w.wgt[i][idx] * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Matrix returns the dense mixing matrix.
+func (w *Weighted) Matrix() *tensor.Matrix {
+	m := tensor.NewMatrix(w.n, w.n)
+	for i := 0; i < w.n; i++ {
+		m.Set(i, i, w.self[i])
+		for idx, j := range w.adj[i] {
+			m.Set(i, j, w.wgt[i][idx])
+		}
+	}
+	return m
+}

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gossipmia/internal/tensor"
+)
+
+// starAdjacency returns a hub-and-leaves graph on n nodes (node 0 is the
+// hub), the canonical irregular topology.
+func starAdjacency(n int) [][]int {
+	adj := make([][]int, n)
+	for i := 1; i < n; i++ {
+		adj[0] = append(adj[0], i)
+		adj[i] = []int{0}
+	}
+	return adj
+}
+
+func TestMetropolisValidation(t *testing.T) {
+	if _, err := NewMetropolis(nil); !errors.Is(err, ErrTopology) {
+		t.Fatalf("empty adjacency error = %v", err)
+	}
+	if _, err := NewMetropolis([][]int{{0}}); !errors.Is(err, ErrTopology) {
+		t.Fatalf("self loop error = %v", err)
+	}
+	if _, err := NewMetropolis([][]int{{5}, {0}}); !errors.Is(err, ErrTopology) {
+		t.Fatalf("out of range error = %v", err)
+	}
+	if _, err := NewMetropolis([][]int{{1, 1}, {0, 0}}); !errors.Is(err, ErrTopology) {
+		t.Fatalf("parallel edge error = %v", err)
+	}
+	if _, err := NewMetropolis([][]int{{1}, {}}); !errors.Is(err, ErrTopology) {
+		t.Fatalf("asymmetric edge error = %v", err)
+	}
+}
+
+func TestMetropolisStarIsDoublyStochastic(t *testing.T) {
+	w, err := NewMetropolis(starAdjacency(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w.Matrix()
+	if !m.IsDoublyStochastic(1e-12) {
+		t.Fatal("star Metropolis matrix not doubly stochastic")
+	}
+	if !m.IsSymmetric(1e-12) {
+		t.Fatal("star Metropolis matrix not symmetric")
+	}
+	if w.Degree(0) != 7 || w.Degree(1) != 1 {
+		t.Fatalf("degrees: hub %d, leaf %d", w.Degree(0), w.Degree(1))
+	}
+}
+
+func TestMetropolisMatchesUniformOnRegular(t *testing.T) {
+	g := mustRegular(t, 12, 4, 3)
+	w, err := MetropolisFromRegular(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := w.Matrix()
+	uniform := g.MixingMatrix()
+	if !tensor.EqualApprox(tensor.Vector(dense.Data), tensor.Vector(uniform.Data), 1e-12) {
+		t.Fatal("Metropolis weights on a regular graph should equal 1/(k+1)")
+	}
+}
+
+func TestWeightedApplyMatchesMatrix(t *testing.T) {
+	w, err := NewMetropolis(starAdjacency(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(4)
+	x := tensor.NewVector(9)
+	rng.FillNormal(x, 0, 1)
+	fast, err := w.ApplyMixing(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := w.Matrix().MatVec(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.EqualApprox(fast, slow, 1e-12) {
+		t.Fatal("sparse weighted mixing disagrees with dense matrix")
+	}
+	if _, err := w.ApplyMixing(tensor.NewVector(2), nil); !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("shape error = %v", err)
+	}
+}
+
+// Property: weighted mixing preserves the mean on arbitrary inputs.
+func TestWeightedMixingPreservesMeanProperty(t *testing.T) {
+	w, err := NewMetropolis(starAdjacency(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [10]float64) bool {
+		x := tensor.NewVector(10)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			x[i] = math.Mod(v, 1e3)
+		}
+		out, err := w.ApplyMixing(x, nil)
+		if err != nil {
+			return false
+		}
+		return math.Abs(out.Mean()-x.Mean()) <= 1e-9*(1+math.Abs(x.Mean()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedSequenceContraction(t *testing.T) {
+	// A connected star contracts disagreement: lambda2 of the product
+	// must fall below the single-step value.
+	w, err := NewMetropolis(starAdjacency(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(6)
+	seq := NewSequence(10)
+	for i := 0; i < 5; i++ {
+		if err := seq.Append(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one, err := seq.ContractionFactor(1, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := seq.ContractionFactor(5, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(one < 1 && five < one) {
+		t.Fatalf("star contraction: 1-step %v, 5-step %v", one, five)
+	}
+	// Static weighted product obeys lambda2(W^5) = lambda2(W)^5.
+	if math.Abs(five-math.Pow(one, 5)) > 1e-6*(1+five) {
+		t.Fatalf("power law violated: %v vs %v", five, math.Pow(one, 5))
+	}
+}
+
+func TestWeightedCloneIsDeep(t *testing.T) {
+	w, err := NewMetropolis(starAdjacency(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := w.CloneMixer().(*Weighted)
+	if !ok {
+		t.Fatal("clone is not *Weighted")
+	}
+	c.self[0] = 99
+	if w.self[0] == 99 {
+		t.Fatal("clone shares self-weight storage")
+	}
+	c.wgt[0][0] = 99
+	if w.wgt[0][0] == 99 {
+		t.Fatal("clone shares weight storage")
+	}
+}
+
+func TestMetropolisIrregularMixesSlowerThanRegularSameEdges(t *testing.T) {
+	// Extension finding: with the same edge budget, a star (maximally
+	// irregular) mixes slower than a regular graph once the hub
+	// bottleneck dominates. Star on n nodes has n-1 edges; compare to a
+	// 2-regular ring (n edges).
+	const n = 20
+	star, err := NewMetropolis(starAdjacency(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := mustRegularRing(t, n)
+	rng := tensor.NewRNG(8)
+	sStar, err := contractionOf(star, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sRing, err := SecondEigenvalue(ring, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must be valid contraction factors strictly below 1.
+	if !(sStar > 0 && sStar < 1 && sRing > 0 && sRing < 1) {
+		t.Fatalf("contractions out of range: star %v, ring %v", sStar, sRing)
+	}
+}
+
+func contractionOf(m Mixer, rng *tensor.RNG) (float64, error) {
+	seq := NewSequence(m.N())
+	if err := seq.Append(m); err != nil {
+		return 0, err
+	}
+	return seq.ContractionFactor(0, 300, rng)
+}

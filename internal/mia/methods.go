@@ -1,0 +1,131 @@
+package mia
+
+import (
+	"fmt"
+	"math"
+
+	"gossipmia/internal/data"
+	"gossipmia/internal/nn"
+	"gossipmia/internal/tensor"
+)
+
+// Method selects the per-example membership score. All methods are
+// oriented so that *lower scores indicate members*, which keeps the
+// thresholding and ROC machinery shared.
+type Method int
+
+// The implemented score families. MPE is the paper's attack; the others
+// are the classical information-theoretic estimators it generalizes
+// (Salem et al., Song & Mittal, Yeom et al.), included for the attack
+// comparison ablation.
+const (
+	// MethodMPE is the Modified Prediction Entropy of Equation (3).
+	MethodMPE Method = iota + 1
+	// MethodEntropy is the Shannon entropy of the predicted distribution.
+	MethodEntropy
+	// MethodConfidence is the negated probability of the true label.
+	MethodConfidence
+	// MethodLoss is the cross-entropy loss −log p_y (Yeom et al.).
+	MethodLoss
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodMPE:
+		return "mpe"
+	case MethodEntropy:
+		return "entropy"
+	case MethodConfidence:
+		return "confidence"
+	case MethodLoss:
+		return "loss"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// AllMethods lists the implemented attack score functions.
+func AllMethods() []Method {
+	return []Method{MethodMPE, MethodEntropy, MethodConfidence, MethodLoss}
+}
+
+// MethodByName resolves a method identifier used in CLIs.
+func MethodByName(name string) (Method, error) {
+	for _, m := range AllMethods() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("mia: unknown attack method %q", name)
+}
+
+// MethodScore computes the membership score of method m for predicted
+// distribution p and true label y. Lower means more member-like.
+func MethodScore(m Method, p tensor.Vector, y int) (float64, error) {
+	const floor = 1e-12
+	switch m {
+	case MethodMPE:
+		return MPEScore(p, y), nil
+	case MethodEntropy:
+		var h float64
+		for _, pi := range p {
+			if pi > floor {
+				h -= pi * math.Log(pi)
+			}
+		}
+		return h, nil
+	case MethodConfidence:
+		return -p[y], nil
+	case MethodLoss:
+		v := p[y]
+		if v < floor {
+			v = floor
+		}
+		return -math.Log(v), nil
+	default:
+		return 0, fmt.Errorf("mia: unknown method %d", int(m))
+	}
+}
+
+// ScoresWith returns the method-m score of every example in ds.
+func ScoresWith(m Method, model *nn.MLP, ds *data.Dataset) ([]float64, error) {
+	if ds.Len() == 0 {
+		return nil, data.ErrEmpty
+	}
+	out := make([]float64, ds.Len())
+	for i, x := range ds.X {
+		p, err := model.Probs(x)
+		if err != nil {
+			return nil, fmt.Errorf("mia: %s score example %d: %w", m, i, err)
+		}
+		s, err := MethodScore(m, p, ds.Y[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// AttackNodeWith runs the thresholded attack of AttackNode with an
+// arbitrary score method.
+func AttackNodeWith(m Method, model *nn.MLP, nd data.NodeData) (Result, error) {
+	memberScores, err := ScoresWith(m, model, nd.Train)
+	if err != nil {
+		return Result{}, fmt.Errorf("mia: member scores: %w", err)
+	}
+	nonScores, err := ScoresWith(m, model, nd.Test)
+	if err != nil {
+		return Result{}, fmt.Errorf("mia: non-member scores: %w", err)
+	}
+	acc, _, err := BestThresholdAccuracy(memberScores, nonScores)
+	if err != nil {
+		return Result{}, err
+	}
+	tpr, err := TPRAtFPR(memberScores, nonScores, 0.01)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Accuracy: acc, TPRAt1FPR: tpr}, nil
+}

@@ -1,0 +1,187 @@
+// Package mia implements the paper's membership-inference machinery: the
+// Modified Prediction Entropy (MPE) attack of Song & Mittal (Section
+// 2.5), the two vulnerability metrics (attack accuracy with the optimal
+// threshold, and TPR@1%FPR from the MPE-score ROC curve), and the
+// canary-based worst-case audit of RQ3.
+package mia
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"gossipmia/internal/data"
+	"gossipmia/internal/nn"
+	"gossipmia/internal/tensor"
+)
+
+// ErrNoScores is returned when an attack is evaluated without member or
+// non-member scores.
+var ErrNoScores = errors.New("mia: no scores")
+
+// MPEScore computes the Modified Prediction Entropy of Equation (3) for
+// a predicted distribution p and true label y:
+//
+//	M(p,y) = -(1-p_y)·log(p_y) - Σ_{y'≠y} p_{y'}·log(1-p_{y'}).
+//
+// Members (training points) tend to receive low scores. Probabilities
+// are floored to avoid infinities from saturated softmax outputs.
+func MPEScore(p tensor.Vector, y int) float64 {
+	const floor = 1e-12
+	clamp := func(v float64) float64 {
+		if v < floor {
+			return floor
+		}
+		if v > 1-floor {
+			return 1 - floor
+		}
+		return v
+	}
+	py := clamp(p[y])
+	s := -(1 - py) * math.Log(py)
+	for i, pi := range p {
+		if i == y {
+			continue
+		}
+		pi = clamp(pi)
+		s -= pi * math.Log(1-pi)
+	}
+	return s
+}
+
+// Scores returns the MPE score of every example in ds under model.
+func Scores(model *nn.MLP, ds *data.Dataset) ([]float64, error) {
+	if ds.Len() == 0 {
+		return nil, data.ErrEmpty
+	}
+	out := make([]float64, ds.Len())
+	for i, x := range ds.X {
+		p, err := model.Probs(x)
+		if err != nil {
+			return nil, fmt.Errorf("mia: score example %d: %w", i, err)
+		}
+		out[i] = MPEScore(p, ds.Y[i])
+	}
+	return out, nil
+}
+
+// BestThresholdAccuracy returns the maximum achievable accuracy of the
+// thresholded attack of Equation (4) — predict member when score ≤ τ̃ —
+// over all thresholds, along with the maximizing τ̃. This is the paper's
+// worst-case MIA accuracy metric (Equation 6) with balanced reweighting:
+// member and non-member sides contribute equally regardless of their
+// counts, matching the "sampled equally" attack set construction.
+func BestThresholdAccuracy(member, nonMember []float64) (acc, threshold float64, err error) {
+	if len(member) == 0 || len(nonMember) == 0 {
+		return 0, 0, ErrNoScores
+	}
+	type point struct {
+		score  float64
+		member bool
+	}
+	pts := make([]point, 0, len(member)+len(nonMember))
+	for _, s := range member {
+		pts = append(pts, point{s, true})
+	}
+	for _, s := range nonMember {
+		pts = append(pts, point{s, false})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].score < pts[j].score })
+
+	wm := 0.5 / float64(len(member))    // weight of one member
+	wn := 0.5 / float64(len(nonMember)) // weight of one non-member
+
+	// Threshold below every score: all predicted non-member.
+	best := 0.5
+	bestTau := pts[0].score - 1
+	var caught float64 // weighted members with score <= tau
+	var wrong float64  // weighted non-members with score <= tau
+	i := 0
+	for i < len(pts) {
+		// Advance over all points sharing this score so ties sit on the
+		// same side of the threshold.
+		s := pts[i].score
+		for i < len(pts) && pts[i].score == s {
+			if pts[i].member {
+				caught += wm
+			} else {
+				wrong += wn
+			}
+			i++
+		}
+		acc := 0.5 + caught - wrong
+		if acc > best {
+			best = acc
+			bestTau = s
+		}
+	}
+	return best, bestTau, nil
+}
+
+// TPRAtFPR returns the true-positive rate of the score-thresholded attack
+// at the largest threshold whose false-positive rate does not exceed
+// maxFPR (Equation 7 uses maxFPR = 0.01). Members are positives and are
+// predicted when score ≤ τ.
+func TPRAtFPR(member, nonMember []float64, maxFPR float64) (float64, error) {
+	if len(member) == 0 || len(nonMember) == 0 {
+		return 0, ErrNoScores
+	}
+	if maxFPR < 0 || maxFPR > 1 {
+		return 0, fmt.Errorf("mia: maxFPR %v out of [0,1]", maxFPR)
+	}
+	non := append([]float64(nil), nonMember...)
+	sort.Float64s(non)
+	mem := append([]float64(nil), member...)
+	sort.Float64s(mem)
+
+	// Candidate thresholds: each non-member score defines the largest τ
+	// with a given FPR. Find the largest τ with FPR ≤ maxFPR.
+	allowed := int(maxFPR * float64(len(non))) // false positives allowed
+	var tau float64
+	if allowed <= 0 {
+		// τ must be strictly below the smallest non-member score.
+		tau = math.Nextafter(non[0], math.Inf(-1))
+	} else if allowed >= len(non) {
+		tau = math.Inf(1)
+	} else {
+		// non[allowed-1] may tie with non[allowed]; walk back over ties
+		// so FPR stays ≤ maxFPR.
+		tau = non[allowed-1]
+		if tau == non[allowed] {
+			tau = math.Nextafter(tau, math.Inf(-1))
+		}
+	}
+	// TPR = fraction of members with score <= tau.
+	tp := sort.SearchFloat64s(mem, math.Nextafter(tau, math.Inf(1)))
+	return float64(tp) / float64(len(mem)), nil
+}
+
+// Result bundles the two vulnerability measures for one victim model.
+type Result struct {
+	Accuracy  float64 // Equation (6), optimal threshold
+	TPRAt1FPR float64 // Equation (7)
+}
+
+// AttackNode runs the omniscient MPE attack of the threat model against
+// one node: members are the node's training records, non-members its
+// local test records.
+func AttackNode(model *nn.MLP, nd data.NodeData) (Result, error) {
+	memberScores, err := Scores(model, nd.Train)
+	if err != nil {
+		return Result{}, fmt.Errorf("mia: member scores: %w", err)
+	}
+	nonScores, err := Scores(model, nd.Test)
+	if err != nil {
+		return Result{}, fmt.Errorf("mia: non-member scores: %w", err)
+	}
+	acc, _, err := BestThresholdAccuracy(memberScores, nonScores)
+	if err != nil {
+		return Result{}, err
+	}
+	tpr, err := TPRAtFPR(memberScores, nonScores, 0.01)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Accuracy: acc, TPRAt1FPR: tpr}, nil
+}

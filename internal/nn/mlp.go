@@ -1,0 +1,344 @@
+// Package nn implements the feed-forward neural-network training substrate
+// used by the gossip-learning simulator: multilayer perceptrons with ReLU
+// activations, softmax cross-entropy loss, Kaiming-normal initialization,
+// and SGD with momentum and weight decay.
+//
+// Models store all parameters in a single flat tensor.Vector. This mirrors
+// the paper's treatment of models as elements of R^d and makes the two
+// gossip aggregation rules (pairwise average in Base Gossip, |Θ|-way
+// average in SAMO) a one-line vector operation.
+//
+// A model instance is not safe for concurrent use: forward/backward passes
+// reuse internal scratch buffers. The simulator is single-threaded per
+// node, and experiment arms clone models per goroutine.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gossipmia/internal/tensor"
+)
+
+// ErrArchitecture is returned when a layer specification is invalid.
+var ErrArchitecture = errors.New("nn: invalid architecture")
+
+// MLP is a fully-connected network with ReLU hidden activations and a
+// linear output layer (softmax is applied by the loss / Probs).
+type MLP struct {
+	sizes  []int         // layer widths, len >= 2: [in, h..., out]
+	params tensor.Vector // flat parameters: per layer W (out*in) then b (out)
+
+	// Per-layer offsets into params.
+	wOff, bOff []int
+
+	// Scratch buffers reused across calls.
+	acts   []tensor.Vector // acts[0] = input copy, acts[l] = activation of layer l
+	deltas []tensor.Vector // back-propagated errors per layer
+	probs  tensor.Vector   // softmax output scratch
+}
+
+// NewMLP builds an MLP with the given layer sizes (input, hidden...,
+// output) and Kaiming-normal weight initialization; biases start at zero.
+// All nodes in the paper start from a common θ0, so callers typically
+// build one MLP and Clone it per node.
+func NewMLP(sizes []int, rng *tensor.RNG) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("need at least input and output sizes, got %v: %w", sizes, ErrArchitecture)
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("non-positive layer size in %v: %w", sizes, ErrArchitecture)
+		}
+	}
+	m := &MLP{sizes: append([]int(nil), sizes...)}
+	layers := len(sizes) - 1
+	m.wOff = make([]int, layers)
+	m.bOff = make([]int, layers)
+	total := 0
+	for l := 0; l < layers; l++ {
+		in, out := sizes[l], sizes[l+1]
+		m.wOff[l] = total
+		total += in * out
+		m.bOff[l] = total
+		total += out
+	}
+	m.params = tensor.NewVector(total)
+	for l := 0; l < layers; l++ {
+		in := sizes[l]
+		w := m.weight(l)
+		rng.KaimingNormal(w, in)
+	}
+	m.allocScratch()
+	return m, nil
+}
+
+func (m *MLP) allocScratch() {
+	layers := len(m.sizes) - 1
+	m.acts = make([]tensor.Vector, layers+1)
+	m.deltas = make([]tensor.Vector, layers)
+	for i, s := range m.sizes {
+		m.acts[i] = tensor.NewVector(s)
+		if i > 0 {
+			m.deltas[i-1] = tensor.NewVector(s)
+		}
+	}
+	m.probs = tensor.NewVector(m.sizes[len(m.sizes)-1])
+}
+
+// weight returns the live slice holding layer l's weight matrix
+// (row-major, out x in).
+func (m *MLP) weight(l int) tensor.Vector {
+	in, out := m.sizes[l], m.sizes[l+1]
+	return m.params[m.wOff[l] : m.wOff[l]+in*out]
+}
+
+// bias returns the live slice holding layer l's bias vector.
+func (m *MLP) bias(l int) tensor.Vector {
+	out := m.sizes[l+1]
+	return m.params[m.bOff[l] : m.bOff[l]+out]
+}
+
+// Sizes returns a copy of the layer widths.
+func (m *MLP) Sizes() []int { return append([]int(nil), m.sizes...) }
+
+// NumParams returns the total number of trainable parameters.
+func (m *MLP) NumParams() int { return len(m.params) }
+
+// Classes returns the output dimensionality (number of labels).
+func (m *MLP) Classes() int { return m.sizes[len(m.sizes)-1] }
+
+// InputDim returns the expected input dimensionality.
+func (m *MLP) InputDim() int { return m.sizes[0] }
+
+// Params returns the live flat parameter vector. Mutating it mutates the
+// model; use ParamsCopy for a snapshot.
+func (m *MLP) Params() tensor.Vector { return m.params }
+
+// ParamsCopy returns a snapshot of the flat parameter vector.
+func (m *MLP) ParamsCopy() tensor.Vector { return m.params.Clone() }
+
+// SetParams overwrites the model parameters with a copy of v.
+func (m *MLP) SetParams(v tensor.Vector) error {
+	if len(v) != len(m.params) {
+		return fmt.Errorf("set params %d into model with %d: %w", len(v), len(m.params), tensor.ErrShape)
+	}
+	copy(m.params, v)
+	return nil
+}
+
+// Clone returns a model with the same architecture and a deep copy of the
+// parameters, with its own scratch buffers (safe to use from another
+// goroutine than the original).
+func (m *MLP) Clone() *MLP {
+	out := &MLP{
+		sizes:  append([]int(nil), m.sizes...),
+		params: m.params.Clone(),
+		wOff:   append([]int(nil), m.wOff...),
+		bOff:   append([]int(nil), m.bOff...),
+	}
+	out.allocScratch()
+	return out
+}
+
+// forward runs the network on x, filling m.acts. The final activation is
+// the logits (no softmax).
+func (m *MLP) forward(x tensor.Vector) error {
+	if len(x) != m.sizes[0] {
+		return fmt.Errorf("input dim %d, model expects %d: %w", len(x), m.sizes[0], tensor.ErrShape)
+	}
+	copy(m.acts[0], x)
+	layers := len(m.sizes) - 1
+	for l := 0; l < layers; l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		w, b := m.weight(l), m.bias(l)
+		src, dst := m.acts[l], m.acts[l+1]
+		for o := 0; o < out; o++ {
+			row := w[o*in : (o+1)*in]
+			s := b[o]
+			for j, wj := range row {
+				s += wj * src[j]
+			}
+			if l < layers-1 && s < 0 {
+				s = 0 // ReLU on hidden layers
+			}
+			dst[o] = s
+		}
+	}
+	return nil
+}
+
+// Logits computes the pre-softmax outputs for x into out (allocated when
+// nil).
+func (m *MLP) Logits(x, out tensor.Vector) (tensor.Vector, error) {
+	if err := m.forward(x); err != nil {
+		return nil, err
+	}
+	last := m.acts[len(m.acts)-1]
+	if out == nil {
+		out = tensor.NewVector(len(last))
+	} else if len(out) != len(last) {
+		return nil, fmt.Errorf("logits out %d != %d: %w", len(out), len(last), tensor.ErrShape)
+	}
+	copy(out, last)
+	return out, nil
+}
+
+// Probs returns the softmax class distribution for x. The returned slice
+// is freshly allocated and safe to retain.
+func (m *MLP) Probs(x tensor.Vector) (tensor.Vector, error) {
+	if err := m.forward(x); err != nil {
+		return nil, err
+	}
+	logits := m.acts[len(m.acts)-1]
+	out := tensor.NewVector(len(logits))
+	Softmax(logits, out)
+	return out, nil
+}
+
+// Predict returns the arg-max class for x.
+func (m *MLP) Predict(x tensor.Vector) (int, error) {
+	if err := m.forward(x); err != nil {
+		return 0, err
+	}
+	return m.acts[len(m.acts)-1].ArgMax(), nil
+}
+
+// Loss returns the cross-entropy loss of the model on (x, y).
+func (m *MLP) Loss(x tensor.Vector, y int) (float64, error) {
+	if err := m.checkLabel(y); err != nil {
+		return 0, err
+	}
+	if err := m.forward(x); err != nil {
+		return 0, err
+	}
+	logits := m.acts[len(m.acts)-1]
+	Softmax(logits, m.probs)
+	return crossEntropyFromProbs(m.probs, y), nil
+}
+
+func (m *MLP) checkLabel(y int) error {
+	if y < 0 || y >= m.Classes() {
+		return fmt.Errorf("label %d out of range [0,%d): %w", y, m.Classes(), ErrArchitecture)
+	}
+	return nil
+}
+
+// ExampleGrad computes the cross-entropy loss on a single example and
+// accumulates (adds) its parameter gradient into grad, which must have
+// length NumParams. It returns the example loss.
+//
+// Accumulation (rather than overwrite) lets minibatch and DP-SGD callers
+// choose their own normalization.
+func (m *MLP) ExampleGrad(x tensor.Vector, y int, grad tensor.Vector) (float64, error) {
+	if len(grad) != len(m.params) {
+		return 0, fmt.Errorf("grad len %d != %d: %w", len(grad), len(m.params), tensor.ErrShape)
+	}
+	if err := m.checkLabel(y); err != nil {
+		return 0, err
+	}
+	if err := m.forward(x); err != nil {
+		return 0, err
+	}
+	layers := len(m.sizes) - 1
+	logits := m.acts[layers]
+	Softmax(logits, m.probs)
+	loss := crossEntropyFromProbs(m.probs, y)
+
+	// Output delta: softmax-CE gradient p - onehot(y).
+	dOut := m.deltas[layers-1]
+	copy(dOut, m.probs)
+	dOut[y] -= 1
+
+	for l := layers - 1; l >= 0; l-- {
+		in, out := m.sizes[l], m.sizes[l+1]
+		w := m.weight(l)
+		gw := grad[m.wOff[l] : m.wOff[l]+in*out]
+		gb := grad[m.bOff[l] : m.bOff[l]+out]
+		delta := m.deltas[l]
+		src := m.acts[l]
+		for o := 0; o < out; o++ {
+			d := delta[o]
+			if d != 0 {
+				row := gw[o*in : (o+1)*in]
+				for j := range row {
+					row[j] += d * src[j]
+				}
+			}
+			gb[o] += d
+		}
+		if l == 0 {
+			break
+		}
+		// Back-propagate through W and the ReLU of layer l-1.
+		prev := m.deltas[l-1]
+		prev.Zero()
+		for o := 0; o < out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			row := w[o*in : (o+1)*in]
+			for j := range row {
+				prev[j] += d * row[j]
+			}
+		}
+		hidden := m.acts[l]
+		for j := range prev {
+			if hidden[j] <= 0 {
+				prev[j] = 0
+			}
+		}
+	}
+	return loss, nil
+}
+
+// BatchGrad computes the mean loss and mean gradient over the given
+// examples, writing the gradient into grad (zeroed first). xs and ys must
+// have equal non-zero length.
+func (m *MLP) BatchGrad(xs []tensor.Vector, ys []int, grad tensor.Vector) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, fmt.Errorf("batch of %d inputs, %d labels: %w", len(xs), len(ys), tensor.ErrShape)
+	}
+	grad.Zero()
+	var loss float64
+	for i, x := range xs {
+		l, err := m.ExampleGrad(x, ys[i], grad)
+		if err != nil {
+			return 0, err
+		}
+		loss += l
+	}
+	inv := 1 / float64(len(xs))
+	grad.Scale(inv)
+	return loss * inv, nil
+}
+
+// Softmax writes the softmax of logits into out (same length), using the
+// max-subtraction trick for numerical stability.
+func Softmax(logits, out tensor.Vector) {
+	maxv, _ := logits.Max()
+	var sum float64
+	for i, z := range logits {
+		e := math.Exp(z - maxv)
+		out[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		// All logits were -Inf; fall back to uniform.
+		out.Fill(1 / float64(len(out)))
+		return
+	}
+	out.Scale(1 / sum)
+}
+
+// crossEntropyFromProbs returns -log p[y], floored to avoid Inf.
+func crossEntropyFromProbs(p tensor.Vector, y int) float64 {
+	const floor = 1e-12
+	v := p[y]
+	if v < floor {
+		v = floor
+	}
+	return -math.Log(v)
+}

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+
+	"gossipmia/internal/tensor"
+)
+
+// SGDConfig holds the hyperparameters from the paper's Table 2: learning
+// rate, classical momentum, and decoupled L2 weight decay. LRDecay, when
+// in (0,1), multiplies the learning rate after every epoch — the
+// "dynamic learning rates" mitigation the paper's Section 5 recommends
+// against early overfitting.
+type SGDConfig struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	LRDecay     float64
+}
+
+// SGD is a stateful SGD optimizer with momentum and weight decay over a
+// flat parameter vector. The velocity buffer is lazily sized on first
+// Step, so an SGD value can be freely copied into each node before the
+// model dimensionality is known.
+type SGD struct {
+	cfg      SGDConfig
+	velocity tensor.Vector
+}
+
+// NewSGD returns an optimizer with the given configuration.
+func NewSGD(cfg SGDConfig) *SGD {
+	return &SGD{cfg: cfg}
+}
+
+// Config returns the optimizer hyperparameters.
+func (s *SGD) Config() SGDConfig { return s.cfg }
+
+// Reset clears the momentum buffer (used when a node replaces its model
+// with an aggregated one and optimizer state no longer matches).
+func (s *SGD) Reset() {
+	if s.velocity != nil {
+		s.velocity.Zero()
+	}
+}
+
+// LR returns the current learning rate.
+func (s *SGD) LR() float64 { return s.cfg.LR }
+
+// DecayLR applies one LRDecay step when configured; a zero or >=1 decay
+// leaves the rate unchanged.
+func (s *SGD) DecayLR() {
+	if s.cfg.LRDecay > 0 && s.cfg.LRDecay < 1 {
+		s.cfg.LR *= s.cfg.LRDecay
+	}
+}
+
+// Step applies one update: v <- momentum*v + (grad + wd*params);
+// params <- params - lr*v. With zero momentum this reduces to plain SGD
+// with L2 regularization.
+func (s *SGD) Step(params, grad tensor.Vector) error {
+	if len(params) != len(grad) {
+		return fmt.Errorf("sgd step params %d, grad %d: %w", len(params), len(grad), tensor.ErrShape)
+	}
+	if s.velocity == nil {
+		s.velocity = tensor.NewVector(len(params))
+	} else if len(s.velocity) != len(params) {
+		return fmt.Errorf("sgd velocity %d, params %d: %w", len(s.velocity), len(params), tensor.ErrShape)
+	}
+	mom, wd, lr := s.cfg.Momentum, s.cfg.WeightDecay, s.cfg.LR
+	for i := range params {
+		g := grad[i] + wd*params[i]
+		v := mom*s.velocity[i] + g
+		s.velocity[i] = v
+		params[i] -= lr * v
+	}
+	return nil
+}
+
+// Trainer couples a model, optimizer, and minibatch settings into the
+// "local update" operation of Eq. (2): a configurable number of local
+// epochs of minibatch SGD over the node's local dataset.
+type Trainer struct {
+	Model     *MLP
+	Opt       *SGD
+	BatchSize int
+	Epochs    int
+
+	grad tensor.Vector
+}
+
+// NewTrainer returns a trainer over model with the given optimizer. A
+// non-positive batch size means full-batch; a non-positive epoch count
+// defaults to 1.
+func NewTrainer(model *MLP, opt *SGD, batchSize, epochs int) *Trainer {
+	if epochs <= 0 {
+		epochs = 1
+	}
+	return &Trainer{
+		Model:     model,
+		Opt:       opt,
+		BatchSize: batchSize,
+		Epochs:    epochs,
+		grad:      tensor.NewVector(model.NumParams()),
+	}
+}
+
+// RunEpochs performs Epochs passes of shuffled minibatch SGD over
+// (xs, ys) and returns the mean training loss of the final epoch.
+func (t *Trainer) RunEpochs(xs []tensor.Vector, ys []int, rng *tensor.RNG) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, fmt.Errorf("train set of %d inputs, %d labels: %w", len(xs), len(ys), tensor.ErrShape)
+	}
+	n := len(xs)
+	bs := t.BatchSize
+	if bs <= 0 || bs > n {
+		bs = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	var lastLoss float64
+	for e := 0; e < t.Epochs; e++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		var batches int
+		for start := 0; start < n; start += bs {
+			end := start + bs
+			if end > n {
+				end = n
+			}
+			t.grad.Zero()
+			var batchLoss float64
+			for _, idx := range order[start:end] {
+				l, err := t.Model.ExampleGrad(xs[idx], ys[idx], t.grad)
+				if err != nil {
+					return 0, err
+				}
+				batchLoss += l
+			}
+			inv := 1 / float64(end-start)
+			t.grad.Scale(inv)
+			if err := t.Opt.Step(t.Model.Params(), t.grad); err != nil {
+				return 0, err
+			}
+			epochLoss += batchLoss * inv
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		t.Opt.DecayLR()
+	}
+	return lastLoss, nil
+}

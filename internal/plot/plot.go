@@ -1,0 +1,140 @@
+// Package plot renders terminal scatter plots of experiment series — the
+// textual counterpart of the paper's tradeoff figures (MIA vulnerability
+// vs test accuracy, MIA vs generalization error). It is deliberately
+// dependency-free: a fixed-size character grid with auto-scaled axes.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrEmpty is returned when there is nothing to plot.
+var ErrEmpty = errors.New("plot: no points")
+
+// Point is one (x, y) mark.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a labelled point cloud drawn with a single glyph.
+type Series struct {
+	Label  string
+	Glyph  rune
+	Points []Point
+}
+
+// Config controls the canvas.
+type Config struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot-area columns (default 60)
+	Height int // plot-area rows (default 18)
+}
+
+// Scatter renders the series onto one canvas and returns it as a string.
+// Later series overwrite earlier ones on collisions. Non-finite points
+// are skipped.
+func Scatter(cfg Config, series []Series) (string, error) {
+	if cfg.Width <= 0 {
+		cfg.Width = 60
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 18
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !finite(p.X) || !finite(p.Y) {
+				continue
+			}
+			total++
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if total == 0 {
+		return "", ErrEmpty
+	}
+	// Degenerate ranges get a symmetric pad so points land mid-canvas.
+	if maxX == minX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if maxY == minY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	grid := make([][]rune, cfg.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", cfg.Width))
+	}
+	for _, s := range series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = '*'
+		}
+		for _, p := range s.Points {
+			if !finite(p.X) || !finite(p.Y) {
+				continue
+			}
+			col := int((p.X - minX) / (maxX - minX) * float64(cfg.Width-1))
+			row := int((p.Y - minY) / (maxY - minY) * float64(cfg.Height-1))
+			grid[cfg.Height-1-row][col] = glyph
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", glyph, s.Label))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, "  "))
+	}
+	yHi := fmt.Sprintf("%.3g", maxY)
+	yLo := fmt.Sprintf("%.3g", minY)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yHi)
+		case cfg.Height - 1:
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", pad), strings.Repeat("-", cfg.Width))
+	xLo := fmt.Sprintf("%.3g", minX)
+	xHi := fmt.Sprintf("%.3g", maxX)
+	gap := cfg.Width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", pad), xLo, strings.Repeat(" ", gap), xHi)
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s, y: %s\n", cfg.XLabel, cfg.YLabel)
+	}
+	return b.String(), nil
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

@@ -1,0 +1,117 @@
+package plot
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScatterBasics(t *testing.T) {
+	out, err := Scatter(Config{
+		Title:  "tradeoff",
+		XLabel: "test acc",
+		YLabel: "mia acc",
+		Width:  20,
+		Height: 5,
+	}, []Series{
+		{Label: "static", Glyph: 's', Points: []Point{{0, 0}, {1, 1}}},
+		{Label: "dynamic", Glyph: 'd', Points: []Point{{0.5, 0.5}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tradeoff", "s=static", "d=dynamic", "x: test acc, y: mia acc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Corner points: bottom-left 's', top-right 's', middle 'd'.
+	lines := strings.Split(out, "\n")
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 5 {
+		t.Fatalf("grid has %d rows, want 5:\n%s", len(gridLines), out)
+	}
+	top := gridLines[0]
+	bottom := gridLines[len(gridLines)-1]
+	if !strings.Contains(top, "s") {
+		t.Fatalf("top row missing max point:\n%s", out)
+	}
+	if !strings.Contains(bottom, "s") {
+		t.Fatalf("bottom row missing min point:\n%s", out)
+	}
+	if !strings.Contains(gridLines[2], "d") {
+		t.Fatalf("middle row missing mid point:\n%s", out)
+	}
+}
+
+func TestScatterEmptyAndNonFinite(t *testing.T) {
+	if _, err := Scatter(Config{}, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty error = %v", err)
+	}
+	if _, err := Scatter(Config{}, []Series{{Points: []Point{{math.NaN(), 1}, {math.Inf(1), 2}}}}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("non-finite-only error = %v", err)
+	}
+	// Mixed: non-finite points are skipped, finite ones plotted.
+	out, err := Scatter(Config{Width: 10, Height: 3}, []Series{
+		{Label: "a", Points: []Point{{math.NaN(), 1}, {1, 1}, {2, 2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plotted := 0
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "|") {
+			plotted += strings.Count(l, "*")
+		}
+	}
+	if plotted != 2 {
+		t.Fatalf("want 2 plotted points, got %d:\n%s", plotted, out)
+	}
+}
+
+func TestScatterDegenerateRange(t *testing.T) {
+	// A single repeated point must not divide by zero and should land in
+	// the middle of the canvas.
+	out, err := Scatter(Config{Width: 11, Height: 3}, []Series{
+		{Label: "p", Glyph: 'p', Points: []Point{{5, 5}, {5, 5}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	var grid []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			grid = append(grid, l)
+		}
+	}
+	if !strings.Contains(grid[1], "p") {
+		t.Fatalf("degenerate point not centered:\n%s", out)
+	}
+}
+
+func TestScatterDefaultsAndGlyph(t *testing.T) {
+	out, err := Scatter(Config{}, []Series{{Label: "x", Points: []Point{{0, 0}, {1, 2}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*=x") {
+		t.Fatalf("default glyph missing:\n%s", out)
+	}
+	// Default canvas is 60x18: 18 grid rows.
+	rows := 0
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "|") {
+			rows++
+		}
+	}
+	if rows != 18 {
+		t.Fatalf("default height = %d rows, want 18", rows)
+	}
+}

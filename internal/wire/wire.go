@@ -1,0 +1,88 @@
+// Package wire defines the model-exchange serialization format: a
+// little-endian framing of the flat parameter vector with a version tag
+// and CRC-32 integrity check. The simulator uses it to account for the
+// byte-level communication cost of each protocol (RQ4's "models sent"
+// measured in bytes), and the codec is what a networked deployment of
+// the library would put on the socket.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"gossipmia/internal/tensor"
+)
+
+// Frame layout: magic(4) version(2) reserved(2) count(8) payload(8·count) crc(4).
+const (
+	magic        = 0x474d4941 // "GMIA"
+	version      = 1
+	headerSize   = 4 + 2 + 2 + 8
+	trailerSize  = 4
+	maxParamsLen = 1 << 28 // 256M parameters: sanity bound against corrupt frames
+)
+
+var (
+	// ErrFormat is returned when a frame is structurally invalid.
+	ErrFormat = errors.New("wire: malformed frame")
+	// ErrChecksum is returned when the CRC does not match the payload.
+	ErrChecksum = errors.New("wire: checksum mismatch")
+)
+
+// ParamsWireSize returns the encoded size in bytes of a parameter vector
+// with n entries.
+func ParamsWireSize(n int) int {
+	return headerSize + 8*n + trailerSize
+}
+
+// EncodeParams serializes a parameter vector.
+func EncodeParams(v tensor.Vector) []byte {
+	buf := make([]byte, ParamsWireSize(len(v)))
+	binary.LittleEndian.PutUint32(buf[0:4], magic)
+	binary.LittleEndian.PutUint16(buf[4:6], version)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(v)))
+	off := headerSize
+	for _, x := range v {
+		binary.LittleEndian.PutUint64(buf[off:off+8], math.Float64bits(x))
+		off += 8
+	}
+	crc := crc32.ChecksumIEEE(buf[:off])
+	binary.LittleEndian.PutUint32(buf[off:off+4], crc)
+	return buf
+}
+
+// DecodeParams parses a frame produced by EncodeParams.
+func DecodeParams(b []byte) (tensor.Vector, error) {
+	if len(b) < headerSize+trailerSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFormat, len(b))
+	}
+	if binary.LittleEndian.Uint32(b[0:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, v)
+	}
+	count := binary.LittleEndian.Uint64(b[8:16])
+	if count > maxParamsLen {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrFormat, count)
+	}
+	want := ParamsWireSize(int(count))
+	if len(b) != want {
+		return nil, fmt.Errorf("%w: %d bytes for count %d (want %d)", ErrFormat, len(b), count, want)
+	}
+	payloadEnd := len(b) - trailerSize
+	crc := binary.LittleEndian.Uint32(b[payloadEnd:])
+	if crc32.ChecksumIEEE(b[:payloadEnd]) != crc {
+		return nil, ErrChecksum
+	}
+	out := tensor.NewVector(int(count))
+	off := headerSize
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off : off+8]))
+		off += 8
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"gossipmia/internal/tensor"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	v := tensor.NewVector(257)
+	rng.FillNormal(v, 0, 3)
+	b := EncodeParams(v)
+	if len(b) != ParamsWireSize(len(v)) {
+		t.Fatalf("frame size %d, want %d", len(b), ParamsWireSize(len(v)))
+	}
+	got, err := DecodeParams(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.EqualApprox(got, v, 0) {
+		t.Fatal("round trip changed values")
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	b := EncodeParams(nil)
+	got, err := DecodeParams(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty round trip length %d", len(got))
+	}
+}
+
+// Property: round trip is the identity for arbitrary finite values,
+// including NaN/Inf bit patterns (frames carry raw IEEE-754 bits).
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		v := tensor.Vector(raw)
+		got, err := DecodeParams(EncodeParams(v))
+		if err != nil || len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			// Compare bit patterns so NaN == NaN here.
+			a, b := v[i], got[i]
+			if a != b && !(a != a && b != b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	v := tensor.Vector{1, 2, 3}
+	good := EncodeParams(v)
+
+	// Truncated.
+	if _, err := DecodeParams(good[:8]); !errors.Is(err, ErrFormat) {
+		t.Fatalf("truncated error = %v", err)
+	}
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, err := DecodeParams(bad); !errors.Is(err, ErrFormat) {
+		t.Fatalf("magic error = %v", err)
+	}
+	// Bad version.
+	bad = append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := DecodeParams(bad); !errors.Is(err, ErrFormat) {
+		t.Fatalf("version error = %v", err)
+	}
+	// Corrupt payload -> checksum failure.
+	bad = append([]byte(nil), good...)
+	bad[headerSize] ^= 0x01
+	if _, err := DecodeParams(bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("checksum error = %v", err)
+	}
+	// Length/count mismatch.
+	bad = append([]byte(nil), good...)
+	bad[8] = 200
+	if _, err := DecodeParams(bad); !errors.Is(err, ErrFormat) {
+		t.Fatalf("count mismatch error = %v", err)
+	}
+	// Implausible count with matching huge length claim is rejected
+	// before allocation.
+	huge := append([]byte(nil), good...)
+	for i := 8; i < 16; i++ {
+		huge[i] = 0xff
+	}
+	if _, err := DecodeParams(huge); !errors.Is(err, ErrFormat) {
+		t.Fatalf("implausible count error = %v", err)
+	}
+}
+
+func TestWireSizeFormula(t *testing.T) {
+	for _, n := range []int{0, 1, 100} {
+		v := tensor.NewVector(n)
+		if got := len(EncodeParams(v)); got != ParamsWireSize(n) {
+			t.Fatalf("n=%d: size %d != %d", n, got, ParamsWireSize(n))
+		}
+	}
+}
