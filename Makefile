@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race ci bench bench-smoke
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 gate plus the race detector over the parallelized packages.
+ci: build vet race
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+# Quick hot-path perf snapshot; writes BENCH_smoke.json for the
+# perf trajectory (see BENCH_0001.json for the PR-1 before/after).
+bench-smoke:
+	./scripts/bench_smoke.sh

@@ -1,0 +1,142 @@
+// Hot-path benchmarks tracking the allocation and throughput trajectory
+// of the simulator's inner loops (see BENCH_0001.json): one full SAMO
+// study arm exercises the per-message send path and the per-batch
+// gradient path together; the trainer benchmark isolates local updates.
+package gossipmia
+
+import (
+	"testing"
+
+	"gossipmia/internal/core"
+	"gossipmia/internal/data"
+	"gossipmia/internal/gossip"
+	"gossipmia/internal/nn"
+	"gossipmia/internal/tensor"
+)
+
+// smallStudy is a fixed-size SAMO arm small enough to run per benchmark
+// iteration but large enough that send/merge/train dominate.
+func smallStudy(b *testing.B) *core.Study {
+	b.Helper()
+	train := core.TrainConfig{
+		Hidden:      []int{32},
+		LR:          0.05,
+		Momentum:    0.9,
+		BatchSize:   8,
+		LocalEpochs: 1,
+	}
+	study, err := core.NewStudy(core.StudyConfig{
+		Label:    "bench/samo/k=3",
+		Corpus:   data.CIFAR10,
+		Protocol: "samo",
+		Sim: gossip.Config{
+			Nodes: 8, ViewSize: 3, Rounds: 4, Seed: 42,
+		},
+		Train:          train,
+		Part:           core.PartitionConfig{TrainPerNode: 24, TestPerNode: 24},
+		GlobalTestSize: 64,
+		EvalEvery:      4,
+		EvalNodes:      4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return study
+}
+
+// BenchmarkStudyRunSAMO runs one small SAMO arm end to end; its B/op and
+// allocs/op track the combined send + gradient hot paths.
+func BenchmarkStudyRunSAMO(b *testing.B) {
+	study := smallStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSim builds a small simulator for send-path benchmarks.
+func benchSim(b *testing.B, protocol string) *gossip.Simulator {
+	b.Helper()
+	rng := tensor.NewRNG(17)
+	gen, err := data.NewGenerator(data.CIFAR10, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := 6
+	parts := make([]data.NodeData, nodes)
+	for i := range parts {
+		parts[i] = data.NodeData{Train: gen.Sample(8, rng), Test: gen.Sample(8, rng)}
+	}
+	model, err := nn.NewMLP([]int{gen.Dim(), 48, gen.Classes()}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := gossip.ProtocolByName(protocol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := gossip.New(gossip.Config{Nodes: nodes, ViewSize: 2, Rounds: 1, Seed: 17},
+		proto, model, parts, gossip.NewSGDUpdaterFactory(nn.SGDConfig{LR: 0.05}, 4, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim
+}
+
+// BenchmarkSimulatorSend isolates the per-message transmission path.
+// samo-nodelay exercises the synchronous fast path (receiver reads the
+// sender's live params, zero copies); samo exercises the pooled-inbox
+// path (arena-backed copy, recycled on merge). The seed implementation
+// cloned the full parameter vector on every send.
+func BenchmarkSimulatorSend(b *testing.B) {
+	b.Run("sync-merge", func(b *testing.B) {
+		sim := benchSim(b, "samo-nodelay")
+		params := sim.Nodes()[0].Model.ParamsCopy()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sim.Send(0, 1, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled-inbox", func(b *testing.B) {
+		sim := benchSim(b, "samo")
+		params := sim.Nodes()[0].Model.ParamsCopy()
+		receiver := sim.Nodes()[1]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sim.Send(0, 1, params); err != nil {
+				b.Fatal(err)
+			}
+			receiver.RecycleInbox()
+		}
+	})
+}
+
+// BenchmarkTrainerEpoch isolates the local-update gradient path: one
+// epoch of minibatch SGD on a single node's split.
+func BenchmarkTrainerEpoch(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	gen, err := data.NewGenerator(data.CIFAR10, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := gen.Sample(64, rng)
+	model, err := nn.NewMLP([]int{gen.Dim(), 48, gen.Classes()}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	updater := gossip.NewSGDUpdater(nn.SGDConfig{LR: 0.05, Momentum: 0.9}, 16, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := updater.Update(model, ds, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

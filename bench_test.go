@@ -3,8 +3,10 @@
 // index). Each BenchmarkTableN/BenchmarkFigureN target runs the
 // corresponding experiment at QuickScale and logs the same rows/series
 // the paper reports; Ablation benchmarks isolate the design choices
-// DESIGN.md calls out. Micro-benchmarks at the bottom track the hot
-// kernels of the substrates.
+// DESIGN.md §3 calls out, and BenchmarkParallelSpeedup tracks the
+// parallel experiment engine against the forced-serial path.
+// Micro-benchmarks at the bottom track the hot kernels of the
+// substrates.
 //
 // Run everything with:
 //
@@ -13,6 +15,7 @@ package gossipmia
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"gossipmia/internal/core"
@@ -472,6 +475,36 @@ func BenchmarkExtensionMessageLoss(b *testing.B) {
 				Arms:    arms,
 			}
 			b.Log("\n" + fig.Table())
+		}
+	}
+}
+
+// BenchmarkParallelSpeedup runs multi-arm figures with the experiment
+// engine forced serial (workers=1) and with one worker per CPU. The
+// speedup is the ratio of the two ns/op numbers; arms own their seeds,
+// so both configurations produce byte-identical figures (asserted by
+// TestFigureIdenticalAcrossWorkerCounts). On a multi-core machine
+// (GOMAXPROCS >= 4) the parallel variant should run >= 2x faster on
+// these 8-arm figures; on a single core the two coincide.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	figures := []struct {
+		name string
+		run  func(experiment.Scale) (*experiment.FigureResult, error)
+	}{
+		{"figure2", experiment.RunFigure2},
+		{"figure3", experiment.RunFigure3},
+	}
+	for _, fig := range figures {
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("%s/workers=%d", fig.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sc := benchScale()
+					sc.Workers = workers
+					if _, err := fig.run(sc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -6,6 +6,7 @@
 //	dlsim -figure 3 -scale quick
 //	dlsim -figure all -scale tiny
 //	dlsim -figure 9 -scale quick -seed 7 -csv
+//	dlsim -figure 2 -scale tiny -workers 4   # parallel arms, identical output
 package main
 
 import (
@@ -32,8 +33,12 @@ func run(args []string) error {
 	csv := fs.Bool("csv", false, "also print per-round CSV series for every arm")
 	plotFlag := fs.Bool("plot", false, "also render ASCII tradeoff scatter plots")
 	repeats := fs.Int("repeats", 0, "replicate a single figure over N seeds and report bootstrap CIs")
+	workers := fs.Int("workers", 0, "worker goroutines for arms and per-node evaluation (0 = one per CPU, 1 = serial); results are identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("workers must be >= 0, got %d", *workers)
 	}
 
 	sc, err := scaleByName(*scaleName)
@@ -43,6 +48,7 @@ func run(args []string) error {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	sc.Workers = *workers
 
 	runners := map[int]func(experiment.Scale) (*experiment.FigureResult, error){
 		2: experiment.RunFigure2,

@@ -1,0 +1,3 @@
+module gossipmia
+
+go 1.24

@@ -19,6 +19,7 @@ import (
 	"gossipmia/internal/metrics"
 	"gossipmia/internal/mia"
 	"gossipmia/internal/nn"
+	"gossipmia/internal/par"
 	"gossipmia/internal/tensor"
 )
 
@@ -92,6 +93,14 @@ type StudyConfig struct {
 	// in the Result, enabling post-hoc analyses (e.g. comparing attack
 	// score functions) without re-running the simulation.
 	KeepFinalModels bool
+
+	// Workers bounds the goroutines used to fan out the per-node
+	// evaluation (test accuracy, MIA attack, generalization error, and
+	// the canary audit) at each observed round: 0 means one worker per
+	// CPU, 1 forces the serial path. Every node is evaluated under its
+	// own model and results are reduced in a fixed node order, so the
+	// resulting Series is identical for every worker count.
+	Workers int
 }
 
 // NodeSnapshot is one node's state at the end of a run.
@@ -387,36 +396,45 @@ func (s *Study) pickEvalNodes(nodes int, rng *tensor.RNG) []int {
 }
 
 // evaluateRound measures the paper's four metrics averaged over the eval
-// nodes (canary TPR is a max, as in Figure 4).
+// nodes (canary TPR is a max, as in Figure 4). The per-node evaluations
+// are embarrassingly parallel — each goroutine works a distinct node's
+// model, whose forward-pass scratch no other goroutine touches — and
+// write into indexed slots reduced in evalIDs order, so the record is
+// byte-identical for any Workers setting.
 func (s *Study) evaluateRound(round int, sim *gossip.Simulator, evalIDs []int,
 	globalTest *data.Dataset, canaries *mia.CanarySet) (metrics.RoundRecord, error) {
 
 	nodes := sim.Nodes()
-	accs := make([]float64, 0, len(evalIDs))
-	miaAccs := make([]float64, 0, len(evalIDs))
-	tprs := make([]float64, 0, len(evalIDs))
-	genErrs := make([]float64, 0, len(evalIDs))
+	accs := make([]float64, len(evalIDs))
+	miaAccs := make([]float64, len(evalIDs))
+	tprs := make([]float64, len(evalIDs))
+	genErrs := make([]float64, len(evalIDs))
 
-	for _, id := range evalIDs {
+	err := par.ForEachErr(s.cfg.Workers, len(evalIDs), func(i int) error {
+		id := evalIDs[i]
 		node := nodes[id]
 		acc, err := metrics.Accuracy(node.Model, globalTest)
 		if err != nil {
-			return metrics.RoundRecord{}, fmt.Errorf("core: test accuracy node %d: %w", id, err)
+			return fmt.Errorf("core: test accuracy node %d: %w", id, err)
 		}
-		accs = append(accs, acc)
+		accs[i] = acc
 
 		res, err := mia.AttackNode(node.Model, node.Data)
 		if err != nil {
-			return metrics.RoundRecord{}, fmt.Errorf("core: attack node %d: %w", id, err)
+			return fmt.Errorf("core: attack node %d: %w", id, err)
 		}
-		miaAccs = append(miaAccs, res.Accuracy)
-		tprs = append(tprs, res.TPRAt1FPR)
+		miaAccs[i] = res.Accuracy
+		tprs[i] = res.TPRAt1FPR
 
 		ge, err := metrics.GenError(node.Model, node.Data)
 		if err != nil {
-			return metrics.RoundRecord{}, fmt.Errorf("core: gen error node %d: %w", id, err)
+			return fmt.Errorf("core: gen error node %d: %w", id, err)
 		}
-		genErrs = append(genErrs, ge)
+		genErrs[i] = ge
+		return nil
+	})
+	if err != nil {
+		return metrics.RoundRecord{}, err
 	}
 
 	rec := metrics.RoundRecord{
@@ -431,7 +449,7 @@ func (s *Study) evaluateRound(round int, sim *gossip.Simulator, evalIDs []int,
 		for i, n := range nodes {
 			models[i] = n.Model
 		}
-		maxTPR, err := canaries.MaxTPR(models)
+		maxTPR, err := canaries.MaxTPRWorkers(models, s.cfg.Workers)
 		if err != nil {
 			return metrics.RoundRecord{}, fmt.Errorf("core: canary audit: %w", err)
 		}

@@ -46,6 +46,7 @@ type Updater struct {
 
 	exGrad  tensor.Vector // per-example gradient scratch
 	sumGrad tensor.Vector // clipped-sum scratch
+	order   []int         // shuffle scratch
 }
 
 // NewUpdater returns a DP-SGD updater.
@@ -78,7 +79,10 @@ func (u *Updater) Update(model *nn.MLP, train *data.Dataset, rng *tensor.RNG) er
 	if bs > n {
 		bs = n
 	}
-	order := make([]int, n)
+	if cap(u.order) < n {
+		u.order = make([]int, n)
+	}
+	order := u.order[:n]
 	for i := range order {
 		order[i] = i
 	}

@@ -9,6 +9,7 @@ import (
 	"gossipmia/internal/gossip"
 	"gossipmia/internal/metrics"
 	"gossipmia/internal/mia"
+	"gossipmia/internal/par"
 )
 
 // AttackComparison reports, for one trained deployment, how each attack
@@ -64,7 +65,10 @@ func RunDynamicsComparison(sc Scale) (*FigureResult, error) {
 		{"cifar10/samo/k=2/peerswap", gossip.DynamicsPeerSwap},
 		{"cifar10/samo/k=2/cyclon", gossip.DynamicsCyclon},
 	}
-	for off, mode := range modes {
+	fig.Arms = make([]Arm, len(modes))
+	studyWorkers := innerWorkers(sc.Workers, len(modes))
+	err = par.ForEachErr(sc.Workers, len(modes), func(off int) error {
+		mode := modes[off]
 		study, err := core.NewStudy(core.StudyConfig{
 			Label:    mode.label,
 			Corpus:   data.CIFAR10,
@@ -78,18 +82,23 @@ func RunDynamicsComparison(sc Scale) (*FigureResult, error) {
 			GlobalTestSize: sc.GlobalTestSize,
 			EvalEvery:      sc.EvalEvery,
 			EvalNodes:      sc.EvalNodes,
+			Workers:        studyWorkers,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := study.Run()
 		if err != nil {
-			return nil, fmt.Errorf("experiment: dynamics arm %q: %w", mode.label, err)
+			return fmt.Errorf("experiment: dynamics arm %q: %w", mode.label, err)
 		}
-		fig.Arms = append(fig.Arms, Arm{
+		fig.Arms[off] = Arm{
 			Label: mode.label, Series: res.Series,
 			MessagesSent: res.MessagesSent, BytesSent: res.BytesSent,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -117,6 +126,7 @@ func RunAttackComparison(sc Scale) (*AttackComparison, error) {
 		EvalEvery:       sc.Rounds, // only the final round matters here
 		EvalNodes:       1,
 		KeepFinalModels: true,
+		Workers:         sc.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -128,16 +138,23 @@ func RunAttackComparison(sc Scale) (*AttackComparison, error) {
 	cmp := &AttackComparison{
 		Caption: fmt.Sprintf("CIFAR-10-like, SAMO, %d nodes, %d rounds", sc.Nodes, sc.Rounds),
 	}
+	// Each goroutine attacks a distinct node's snapshot model, so the
+	// per-node fan-out needs no cloning; results reduce in node order.
 	for _, m := range mia.AllMethods() {
-		accs := make([]float64, 0, len(res.Final))
-		tprs := make([]float64, 0, len(res.Final))
-		for _, snap := range res.Final {
+		accs := make([]float64, len(res.Final))
+		tprs := make([]float64, len(res.Final))
+		err := par.ForEachErr(sc.Workers, len(res.Final), func(i int) error {
+			snap := res.Final[i]
 			r, err := mia.AttackNodeWith(m, snap.Model, snap.Data)
 			if err != nil {
-				return nil, fmt.Errorf("experiment: %s on node %d: %w", m, snap.ID, err)
+				return fmt.Errorf("experiment: %s on node %d: %w", m, snap.ID, err)
 			}
-			accs = append(accs, r.Accuracy)
-			tprs = append(tprs, r.TPRAt1FPR)
+			accs[i] = r.Accuracy
+			tprs[i] = r.TPRAt1FPR
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		cmp.Rows = append(cmp.Rows, AttackComparisonRow{
 			Method:      m,

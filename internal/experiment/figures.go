@@ -8,6 +8,7 @@ import (
 	"gossipmia/internal/data"
 	"gossipmia/internal/gossip"
 	"gossipmia/internal/metrics"
+	"gossipmia/internal/par"
 	"gossipmia/internal/plot"
 	"gossipmia/internal/stats"
 )
@@ -135,18 +136,48 @@ type armSpec struct {
 	epochsOverride int
 }
 
-// runArms executes the specs sequentially and assembles the figure.
+// innerWorkers divides a worker budget across n concurrently running
+// outer tasks, so nested fan-outs (repeats > arms > per-node eval)
+// share one bound instead of multiplying it. Worker counts never affect
+// results, only scheduling.
+func innerWorkers(budget, n int) int {
+	w := par.Workers(budget)
+	if n < 1 {
+		n = 1
+	}
+	if n > w {
+		n = w
+	}
+	inner := w / n
+	if inner < 1 {
+		inner = 1
+	}
+	return inner
+}
+
+// runArms executes the specs on a worker pool (Scale.Workers wide) and
+// assembles the figure. Arms are fully independent — each derives its
+// own seed from the spec — and land in spec order, so the figure is
+// byte-identical to a serial run for any worker count. The per-study
+// evaluation fan-out receives the remaining share of the worker budget.
 func runArms(name, caption string, sc Scale, specs []armSpec) (*FigureResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	scArm := sc
+	scArm.Workers = innerWorkers(sc.Workers, len(specs))
 	fig := &FigureResult{Name: name, Caption: caption}
-	for _, spec := range specs {
-		arm, err := runArm(sc, spec)
+	fig.Arms = make([]Arm, len(specs))
+	err := par.ForEachErr(sc.Workers, len(specs), func(i int) error {
+		arm, err := runArm(scArm, specs[i])
 		if err != nil {
-			return nil, fmt.Errorf("experiment: %s arm %q: %w", name, spec.label, err)
+			return fmt.Errorf("experiment: %s arm %q: %w", name, specs[i].label, err)
 		}
-		fig.Arms = append(fig.Arms, arm)
+		fig.Arms[i] = arm
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -196,6 +227,7 @@ func runArm(sc Scale, spec armSpec) (Arm, error) {
 		GlobalTestSize: sc.GlobalTestSize,
 		EvalEvery:      sc.EvalEvery,
 		EvalNodes:      sc.EvalNodes,
+		Workers:        sc.Workers,
 	}
 	if spec.canaries {
 		cfg.Canaries = sc.Canaries

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestFigureIdenticalAcrossWorkerCounts proves the arm-level engine
+// yields the same figure — same arm order, same per-round records, same
+// aggregate counters — for 1, 2, and 8 workers at a fixed seed.
+func TestFigureIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *FigureResult {
+		sc := TinyScale()
+		sc.Workers = workers
+		fig, err := RunFigure3(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig
+	}
+	ref := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		if len(got.Arms) != len(ref.Arms) {
+			t.Fatalf("workers=%d: %d arms, want %d", w, len(got.Arms), len(ref.Arms))
+		}
+		for i, arm := range got.Arms {
+			want := ref.Arms[i]
+			if arm.Label != want.Label {
+				t.Fatalf("workers=%d: arm %d label %q, want %q", w, i, arm.Label, want.Label)
+			}
+			if arm.MessagesSent != want.MessagesSent || arm.BytesSent != want.BytesSent {
+				t.Fatalf("workers=%d arm %q: messages/bytes %d/%d, want %d/%d",
+					w, arm.Label, arm.MessagesSent, arm.BytesSent, want.MessagesSent, want.BytesSent)
+			}
+			if len(arm.Series.Records) != len(want.Series.Records) {
+				t.Fatalf("workers=%d arm %q: %d records, want %d",
+					w, arm.Label, len(arm.Series.Records), len(want.Series.Records))
+			}
+			for j, r := range arm.Series.Records {
+				if r != want.Series.Records[j] {
+					t.Fatalf("workers=%d arm %q record %d = %+v, want %+v",
+						w, arm.Label, j, r, want.Series.Records[j])
+				}
+			}
+		}
+	}
+}
+
+// TestReplicateIdenticalAcrossWorkerCounts checks that the replication
+// harness — repeats fanned out in parallel, bootstrap applied to the
+// in-order sample streams — reports identical intervals for any worker
+// count.
+func TestReplicateIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *ReplicatedResult {
+		sc := TinyScale()
+		sc.Workers = workers
+		rep, err := Replicate(RunFigure8, sc, 3, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	ref := run(1)
+	for _, w := range []int{4} {
+		got := run(w)
+		if len(got.Arms) != len(ref.Arms) {
+			t.Fatalf("workers=%d: %d arms, want %d", w, len(got.Arms), len(ref.Arms))
+		}
+		for i, arm := range got.Arms {
+			if arm != ref.Arms[i] {
+				t.Fatalf("workers=%d: arm %d = %+v, want %+v", w, i, arm, ref.Arms[i])
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"gossipmia/internal/par"
 	"gossipmia/internal/stats"
 	"gossipmia/internal/tensor"
 )
@@ -46,12 +47,34 @@ func (r *ReplicatedResult) Table() string {
 // and reports per-arm bootstrap confidence intervals of the headline
 // quantities. Arms are matched by label across repeats; a run whose arm
 // set differs from the first is an error.
+//
+// Repeats are independent (each derives its seed from the repeat index)
+// and run on the Scale.Workers pool; the per-arm sample streams are
+// assembled in repeat order afterwards, so the bootstrap consumes the
+// same values in the same order — and returns the same intervals — for
+// any worker count.
 func Replicate(runner func(Scale) (*FigureResult, error), sc Scale, repeats int, confidence float64) (*ReplicatedResult, error) {
 	if repeats < 2 {
 		return nil, fmt.Errorf("%w: need at least 2 repeats, got %d", ErrScale, repeats)
 	}
 	if confidence <= 0 || confidence >= 1 {
 		return nil, fmt.Errorf("%w: confidence %v out of (0,1)", ErrScale, confidence)
+	}
+	figs := make([]*FigureResult, repeats)
+	inner := innerWorkers(sc.Workers, repeats)
+	err := par.ForEachErr(sc.Workers, repeats, func(rep int) error {
+		repScale := sc
+		repScale.Workers = inner
+		repScale.Seed = sc.Seed + int64(rep)*104_729
+		fig, err := runner(repScale)
+		if err != nil {
+			return fmt.Errorf("experiment: replicate seed %d: %w", repScale.Seed, err)
+		}
+		figs[rep] = fig
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	type samples struct {
 		acc, miaAcc, tpr []float64
@@ -62,13 +85,7 @@ func Replicate(runner func(Scale) (*FigureResult, error), sc Scale, repeats int,
 		name  string
 		capt  string
 	)
-	for rep := 0; rep < repeats; rep++ {
-		repScale := sc
-		repScale.Seed = sc.Seed + int64(rep)*104_729
-		fig, err := runner(repScale)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: replicate seed %d: %w", repScale.Seed, err)
-		}
+	for rep, fig := range figs {
 		if rep == 0 {
 			name, capt = fig.Name, fig.Caption
 			for _, arm := range fig.Arms {

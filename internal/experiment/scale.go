@@ -35,6 +35,14 @@ type Scale struct {
 	SpectralN, SpectralIters, SpectralRuns int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the goroutines the experiment engine uses to run
+	// independent study arms (and, within each arm, the per-node
+	// evaluation fan-out): 0 means one worker per CPU, 1 forces the
+	// serial path. The budget is divided across nesting levels
+	// (replication repeats > arms > per-node evaluation) rather than
+	// multiplied. Each arm owns its seed and RNG streams, so results
+	// are byte-identical for every worker count.
+	Workers int
 }
 
 // Validate reports scale errors.

@@ -17,8 +17,11 @@ import (
 	"gossipmia/internal/tensor"
 )
 
-// Message is a model transmitted between peers. Params is a private copy
-// owned by the receiver.
+// Message is a model transmitted between peers. For protocols that
+// retain messages (an inbox), Params is a private arena-backed copy
+// owned by the receiver until RecycleInbox returns it; for synchronous
+// protocols (SyncReceiver) it aliases the sender's live parameters for
+// the duration of OnReceive and must not be stored.
 type Message struct {
 	From   int
 	Params tensor.Vector
@@ -48,9 +51,27 @@ type Node struct {
 	// neighbor selection, DP noise).
 	RNG *tensor.RNG
 
+	// pool is the simulator's shared buffer arena for message params;
+	// nil for nodes constructed outside a simulator.
+	pool *tensor.VecPool
+
 	// wake schedule (ticks).
 	interval int
 	nextWake int
+}
+
+// RecycleInbox returns the inbox messages' parameter buffers to the
+// simulator's arena and truncates the inbox. Protocols that merge
+// pending models must call it instead of truncating Inbox directly so
+// pooled buffers are reused by future transmissions.
+func (n *Node) RecycleInbox() {
+	for i := range n.Inbox {
+		if n.pool != nil {
+			n.pool.Put(n.Inbox[i].Params)
+		}
+		n.Inbox[i].Params = nil
+	}
+	n.Inbox = n.Inbox[:0]
 }
 
 // localUpdate runs the node's updater on its own training split.
@@ -62,11 +83,14 @@ func (n *Node) localUpdate() error {
 }
 
 // SGDUpdater is the standard local updater: Epochs passes of minibatch
-// SGD with the Table 2 hyperparameters.
+// SGD with the Table 2 hyperparameters. It keeps one Trainer alive
+// across wake-ups so the gradient and shuffle scratch are allocated once
+// per node rather than once per local update.
 type SGDUpdater struct {
 	opt       *nn.SGD
 	batchSize int
 	epochs    int
+	tr        *nn.Trainer
 }
 
 var _ LocalUpdater = (*SGDUpdater)(nil)
@@ -78,8 +102,10 @@ func NewSGDUpdater(cfg nn.SGDConfig, batchSize, epochs int) *SGDUpdater {
 
 // Update implements LocalUpdater.
 func (u *SGDUpdater) Update(model *nn.MLP, train *data.Dataset, rng *tensor.RNG) error {
-	tr := nn.NewTrainer(model, u.opt, u.batchSize, u.epochs)
-	_, err := tr.RunEpochs(train.X, train.Y, rng)
+	if u.tr == nil || u.tr.Model != model {
+		u.tr = nn.NewTrainer(model, u.opt, u.batchSize, u.epochs)
+	}
+	_, err := u.tr.RunEpochs(train.X, train.Y, rng)
 	return err
 }
 

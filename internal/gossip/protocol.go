@@ -37,15 +37,31 @@ type Protocol interface {
 	OnReceive(node *Node, msg Message) error
 }
 
+// SyncReceiver is optionally implemented by protocols whose OnReceive
+// fully consumes msg.Params before returning (merging synchronously,
+// never storing the buffer). The simulator then skips the defensive
+// per-message copy and hands the receiver the sender's live parameters
+// directly — the zero-allocation fast path of the send pipeline.
+type SyncReceiver interface {
+	// ReceivesSynchronously reports whether OnReceive never retains
+	// msg.Params beyond the call.
+	ReceivesSynchronously() bool
+}
+
 // BaseGossip is Algorithm 1: on wake, send the current model to one
 // uniformly chosen neighbor; on receive, average pairwise with the
 // incoming model and perform a local update.
 type BaseGossip struct{}
 
 var _ Protocol = BaseGossip{}
+var _ SyncReceiver = BaseGossip{}
 
 // Name implements Protocol.
 func (BaseGossip) Name() string { return "base" }
+
+// ReceivesSynchronously implements SyncReceiver: the pairwise average
+// consumes the incoming model inside OnReceive.
+func (BaseGossip) ReceivesSynchronously() bool { return true }
 
 // OnWake implements Protocol: select j ∈ N_i at random, send θi.
 func (BaseGossip) OnWake(node *Node, net Network) error {
@@ -83,6 +99,7 @@ type SAMO struct {
 }
 
 var _ Protocol = SAMO{}
+var _ SyncReceiver = SAMO{}
 
 // Name implements Protocol.
 func (p SAMO) Name() string {
@@ -91,6 +108,11 @@ func (p SAMO) Name() string {
 	}
 	return "samo"
 }
+
+// ReceivesSynchronously implements SyncReceiver: only the nodelay
+// ablation merges inside OnReceive; standard SAMO stores the buffer in
+// the inbox until the next wake-up.
+func (p SAMO) ReceivesSynchronously() bool { return p.MergeOnReceive }
 
 // OnWake implements Protocol.
 func (p SAMO) OnWake(node *Node, net Network) error {
@@ -107,24 +129,23 @@ func (p SAMO) OnWake(node *Node, net Network) error {
 
 // mergeAndTrain performs the merge-once step of Algorithm 2 (lines 3–7):
 // if any models are pending, average them with the node's own and run one
-// local update. Shared with the Epidemic extension protocol.
+// local update. Shared with the Epidemic extension protocol. The average
+// accumulates directly into the node's live parameter vector — same
+// summation order as tensor.Average (own model first, inbox order next)
+// but with zero allocation — and the consumed buffers are recycled into
+// the simulator's arena.
 func (p SAMO) mergeAndTrain(node *Node) error {
 	if len(node.Inbox) == 0 {
 		return nil
 	}
-	models := make([]tensor.Vector, 0, len(node.Inbox)+1)
-	models = append(models, node.Model.Params())
+	params := node.Model.Params()
 	for _, m := range node.Inbox {
-		models = append(models, m.Params)
+		if err := params.AddInPlace(m.Params); err != nil {
+			return fmt.Errorf("node %d merge: %w", node.ID, err)
+		}
 	}
-	avg, err := tensor.Average(models)
-	if err != nil {
-		return fmt.Errorf("node %d merge: %w", node.ID, err)
-	}
-	if err := node.Model.SetParams(avg); err != nil {
-		return fmt.Errorf("node %d merge: %w", node.ID, err)
-	}
-	node.Inbox = node.Inbox[:0]
+	params.Scale(1 / float64(len(node.Inbox)+1))
+	node.RecycleInbox()
 	return node.localUpdate()
 }
 

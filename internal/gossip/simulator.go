@@ -118,6 +118,12 @@ type Simulator struct {
 	protocol Protocol
 	rng      *tensor.RNG
 
+	// pool recycles per-message parameter buffers; syncRecv marks that
+	// the protocol consumes messages inside OnReceive, letting Send skip
+	// the per-message copy entirely.
+	pool     *tensor.VecPool
+	syncRecv bool
+
 	tick            int
 	messagesSent    int
 	messagesDropped int
@@ -151,6 +157,10 @@ func New(cfg Config, protocol Protocol, initial *nn.MLP, nodeData []data.NodeDat
 		nodes:    make([]*Node, cfg.Nodes),
 		protocol: protocol,
 		rng:      rng,
+		pool:     tensor.NewVecPool(initial.NumParams()),
+	}
+	if sr, ok := protocol.(SyncReceiver); ok {
+		s.syncRecv = sr.ReceivesSynchronously()
 	}
 	if cfg.Dynamics == DynamicsCyclon {
 		shuffleLen := cfg.ViewSize/2 + 1
@@ -170,6 +180,7 @@ func New(cfg Config, protocol Protocol, initial *nn.MLP, nodeData []data.NodeDat
 			Data:     nodeData[i],
 			Updater:  factory(i),
 			RNG:      rng.Split(),
+			pool:     s.pool,
 			interval: interval,
 			// Uniform phase offset so wake-ups interleave from the start.
 			nextWake: rng.Intn(interval),
@@ -204,9 +215,16 @@ func (s *Simulator) BytesSent() int { return s.bytesSent }
 // Tick returns the current simulation tick.
 func (s *Simulator) Tick() int { return s.tick }
 
-// Send implements Network: the receiver gets a private copy and reacts
-// immediately per the protocol. With DropProb set, the transmission may
-// be lost in transit (the sender still pays the communication cost).
+// Send implements Network: the receiver reacts immediately per the
+// protocol. With DropProb set, the transmission may be lost in transit
+// (the sender still pays the communication cost).
+//
+// Allocation discipline: when the protocol merges synchronously
+// (SyncReceiver), the receiver reads the sender's live parameters
+// directly and no copy is made. Otherwise the private copy the receiver
+// retains comes from a recycled arena buffer (returned to the pool by
+// Node.RecycleInbox after the merge), so steady-state sends allocate
+// nothing either way.
 func (s *Simulator) Send(from, to int, params tensor.Vector) error {
 	if to < 0 || to >= len(s.nodes) {
 		return fmt.Errorf("%w: send to unknown node %d", ErrProtocol, to)
@@ -217,7 +235,14 @@ func (s *Simulator) Send(from, to int, params tensor.Vector) error {
 		s.messagesDropped++
 		return nil
 	}
-	msg := Message{From: from, Params: params.Clone()}
+	msg := Message{From: from}
+	if s.syncRecv {
+		msg.Params = params
+	} else {
+		buf := s.pool.Get(len(params))
+		copy(buf, params)
+		msg.Params = buf
+	}
 	return s.protocol.OnReceive(s.nodes[to], msg)
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"gossipmia/internal/data"
 	"gossipmia/internal/nn"
+	"gossipmia/internal/par"
 	"gossipmia/internal/tensor"
 )
 
@@ -102,15 +103,31 @@ func (c *CanarySet) MeanTPR(models []*nn.MLP) (float64, error) {
 // the quantity Figure 4 tracks over communication rounds. models[i] must
 // be node i's current model.
 func (c *CanarySet) MaxTPR(models []*nn.MLP) (float64, error) {
+	return c.MaxTPRWorkers(models, 1)
+}
+
+// MaxTPRWorkers is MaxTPR with the per-node audits fanned out over the
+// given worker count (0 = one per CPU). Each goroutine scores under a
+// distinct node's model, so no cloning is needed, and the maximum is
+// taken in node order — the result is identical for every worker count.
+func (c *CanarySet) MaxTPRWorkers(models []*nn.MLP, workers int) (float64, error) {
 	if len(models) != len(c.PerNode) {
 		return 0, fmt.Errorf("%w: %d models for %d nodes", ErrCanary, len(models), len(c.PerNode))
 	}
-	best := 0.0
-	for i, m := range models {
-		tpr, err := c.NodeTPR(i, m)
+	tprs := make([]float64, len(models))
+	err := par.ForEachErr(workers, len(models), func(i int) error {
+		tpr, err := c.NodeTPR(i, models[i])
 		if err != nil {
-			return 0, err
+			return err
 		}
+		tprs[i] = tpr
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for _, tpr := range tprs {
 		if tpr > best {
 			best = tpr
 		}

@@ -88,15 +88,16 @@ func MethodScore(m Method, p tensor.Vector, y int) (float64, error) {
 	}
 }
 
-// ScoresWith returns the method-m score of every example in ds.
+// ScoresWith returns the method-m score of every example in ds, reusing
+// one probability buffer across the sweep.
 func ScoresWith(m Method, model *nn.MLP, ds *data.Dataset) ([]float64, error) {
 	if ds.Len() == 0 {
 		return nil, data.ErrEmpty
 	}
 	out := make([]float64, ds.Len())
+	p := tensor.NewVector(model.Classes())
 	for i, x := range ds.X {
-		p, err := model.Probs(x)
-		if err != nil {
+		if err := model.ProbsInto(x, p); err != nil {
 			return nil, fmt.Errorf("mia: %s score example %d: %w", m, i, err)
 		}
 		s, err := MethodScore(m, p, ds.Y[i])

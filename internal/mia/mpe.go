@@ -50,20 +50,11 @@ func MPEScore(p tensor.Vector, y int) float64 {
 	return s
 }
 
-// Scores returns the MPE score of every example in ds under model.
+// Scores returns the MPE score of every example in ds under model; it
+// is ScoresWith(MethodMPE, ...), kept as the named entry point for the
+// paper's attack.
 func Scores(model *nn.MLP, ds *data.Dataset) ([]float64, error) {
-	if ds.Len() == 0 {
-		return nil, data.ErrEmpty
-	}
-	out := make([]float64, ds.Len())
-	for i, x := range ds.X {
-		p, err := model.Probs(x)
-		if err != nil {
-			return nil, fmt.Errorf("mia: score example %d: %w", i, err)
-		}
-		out[i] = MPEScore(p, ds.Y[i])
-	}
-	return out, nil
+	return ScoresWith(MethodMPE, model, ds)
 }
 
 // BestThresholdAccuracy returns the maximum achievable accuracy of the

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"testing"
+
+	"gossipmia/internal/tensor"
+)
+
+// TestBatchGradBitIdenticalToExampleLoop pins the contract the parallel
+// engine and the determinism guarantees rest on: the blocked
+// matrix-matrix BatchGrad accumulates every gradient element in the same
+// per-example order as looping ExampleGrad, so the two paths agree to
+// the last bit for any batch size (including sizes that straddle the
+// 4-wide kernel blocking).
+func TestBatchGradBitIdenticalToExampleLoop(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	model, err := NewMLP([]int{13, 11, 6, 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16} {
+		xs := make([]tensor.Vector, batch)
+		ys := make([]int, batch)
+		for i := range xs {
+			xs[i] = tensor.NewVector(13)
+			rng.FillNormal(xs[i], 0, 1)
+			ys[i] = rng.Intn(4)
+		}
+		batchGrad := tensor.NewVector(model.NumParams())
+		batchLoss, err := model.BatchGrad(xs, ys, batchGrad)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		loopGrad := tensor.NewVector(model.NumParams())
+		var loopLoss float64
+		for i := range xs {
+			l, err := model.ExampleGrad(xs[i], ys[i], loopGrad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loopLoss += l
+		}
+		inv := 1 / float64(batch)
+		loopGrad.Scale(inv)
+		loopLoss *= inv
+
+		if !tensor.EqualApprox(batchGrad, loopGrad, 0) {
+			t.Fatalf("batch=%d: gradients differ from example loop", batch)
+		}
+		if batchLoss != loopLoss {
+			t.Fatalf("batch=%d: loss %v != %v", batch, batchLoss, loopLoss)
+		}
+	}
+}
+
+// TestProbsIntoMatchesProbs checks the allocation-free scoring kernel.
+func TestProbsIntoMatchesProbs(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	model, err := NewMLP([]int{8, 6, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewVector(8)
+	rng.FillNormal(x, 0, 1)
+	want, err := model.Probs(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.NewVector(3)
+	if err := model.ProbsInto(x, got); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.EqualApprox(got, want, 0) {
+		t.Fatal("ProbsInto differs from Probs")
+	}
+	if err := model.ProbsInto(x, tensor.NewVector(2)); err == nil {
+		t.Fatal("expected shape error for wrong out length")
+	}
+}

@@ -37,6 +37,13 @@ type MLP struct {
 	acts   []tensor.Vector // acts[0] = input copy, acts[l] = activation of layer l
 	deltas []tensor.Vector // back-propagated errors per layer
 	probs  tensor.Vector   // softmax output scratch
+
+	// Batched scratch for BatchGrad, lazily sized to the largest batch
+	// seen (Clone does not copy it). bActs[l] and bDeltas[l] hold
+	// row-major batchCap × width matrices.
+	batchCap int
+	bActs    []tensor.Vector
+	bDeltas  []tensor.Vector
 }
 
 // NewMLP builds an MLP with the given layer sizes (input, hidden...,
@@ -186,15 +193,29 @@ func (m *MLP) Logits(x, out tensor.Vector) (tensor.Vector, error) {
 }
 
 // Probs returns the softmax class distribution for x. The returned slice
-// is freshly allocated and safe to retain.
+// is freshly allocated and safe to retain; hot loops should prefer
+// ProbsInto with a reused buffer.
 func (m *MLP) Probs(x tensor.Vector) (tensor.Vector, error) {
-	if err := m.forward(x); err != nil {
+	out := tensor.NewVector(m.Classes())
+	if err := m.ProbsInto(x, out); err != nil {
 		return nil, err
 	}
-	logits := m.acts[len(m.acts)-1]
-	out := tensor.NewVector(len(logits))
-	Softmax(logits, out)
 	return out, nil
+}
+
+// ProbsInto writes the softmax class distribution for x into out, which
+// must have length Classes. It performs no allocation, making it the
+// kernel of choice for per-example scoring loops (MIA attacks, accuracy
+// sweeps).
+func (m *MLP) ProbsInto(x, out tensor.Vector) error {
+	if len(out) != m.Classes() {
+		return fmt.Errorf("probs out %d != %d: %w", len(out), m.Classes(), tensor.ErrShape)
+	}
+	if err := m.forward(x); err != nil {
+		return err
+	}
+	Softmax(m.acts[len(m.acts)-1], out)
+	return nil
 }
 
 // Predict returns the arg-max class for x.
@@ -297,22 +318,121 @@ func (m *MLP) ExampleGrad(x tensor.Vector, y int, grad tensor.Vector) (float64, 
 // BatchGrad computes the mean loss and mean gradient over the given
 // examples, writing the gradient into grad (zeroed first). xs and ys must
 // have equal non-zero length.
+//
+// The whole minibatch is processed as blocked matrix-matrix multiplies
+// (tensor.GemmNT/GemmTN/GemmNN) over batch-major activation and delta
+// matrices instead of len(xs) independent per-example passes. Each
+// gradient element still accumulates its per-example terms in increasing
+// example order, so the result is bit-identical to looping ExampleGrad —
+// only faster, because weight and gradient rows are walked once per
+// four examples instead of once per example.
 func (m *MLP) BatchGrad(xs []tensor.Vector, ys []int, grad tensor.Vector) (float64, error) {
 	if len(xs) == 0 || len(xs) != len(ys) {
 		return 0, fmt.Errorf("batch of %d inputs, %d labels: %w", len(xs), len(ys), tensor.ErrShape)
 	}
-	grad.Zero()
-	var loss float64
+	if len(grad) != len(m.params) {
+		return 0, fmt.Errorf("grad len %d != %d: %w", len(grad), len(m.params), tensor.ErrShape)
+	}
+	B := len(xs)
+	in0 := m.sizes[0]
 	for i, x := range xs {
-		l, err := m.ExampleGrad(x, ys[i], grad)
-		if err != nil {
+		if len(x) != in0 {
+			return 0, fmt.Errorf("input %d dim %d, model expects %d: %w", i, len(x), in0, tensor.ErrShape)
+		}
+	}
+	for _, y := range ys {
+		if err := m.checkLabel(y); err != nil {
 			return 0, err
 		}
-		loss += l
 	}
-	inv := 1 / float64(len(xs))
+	m.ensureBatchScratch(B)
+	grad.Zero()
+	layers := len(m.sizes) - 1
+
+	// Forward: A_{l+1} = relu(A_l·W_lᵀ + b_l), batch-major rows.
+	a0 := m.bActs[0][:B*in0]
+	for r, x := range xs {
+		copy(a0[r*in0:(r+1)*in0], x)
+	}
+	for l := 0; l < layers; l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		w, b := m.weight(l), m.bias(l)
+		src := m.bActs[l][:B*in]
+		dst := m.bActs[l+1][:B*out]
+		for r := 0; r < B; r++ {
+			copy(dst[r*out:(r+1)*out], b)
+		}
+		tensor.GemmNT(dst, src, w, B, out, in)
+		if l < layers-1 {
+			for i, v := range dst {
+				if v < 0 {
+					dst[i] = 0
+				}
+			}
+		}
+	}
+
+	// Loss and output deltas: softmax rows, p - onehot(y).
+	classes := m.sizes[layers]
+	logits := m.bActs[layers][:B*classes]
+	dOut := m.bDeltas[layers-1][:B*classes]
+	var loss float64
+	for r := 0; r < B; r++ {
+		row := dOut[r*classes : (r+1)*classes]
+		Softmax(logits[r*classes:(r+1)*classes], row)
+		loss += crossEntropyFromProbs(row, ys[r])
+		row[ys[r]] -= 1
+	}
+
+	// Backward: dW_l += Δ_lᵀ·A_l, db_l += Σ_b Δ_l, Δ_{l-1} = Δ_l·W_l
+	// masked by the ReLU of layer l-1.
+	for l := layers - 1; l >= 0; l-- {
+		in, out := m.sizes[l], m.sizes[l+1]
+		gw := grad[m.wOff[l] : m.wOff[l]+in*out]
+		gb := grad[m.bOff[l] : m.bOff[l]+out]
+		delta := m.bDeltas[l][:B*out]
+		src := m.bActs[l][:B*in]
+		tensor.GemmTN(gw, delta, src, out, in, B)
+		for r := 0; r < B; r++ {
+			drow := delta[r*out : (r+1)*out]
+			for o, d := range drow {
+				gb[o] += d
+			}
+		}
+		if l == 0 {
+			break
+		}
+		prev := m.bDeltas[l-1][:B*in]
+		prev.Zero()
+		tensor.GemmNN(prev, delta, m.weight(l), B, in, out)
+		hidden := m.bActs[l][:B*in]
+		for i, h := range hidden {
+			if h <= 0 {
+				prev[i] = 0
+			}
+		}
+	}
+	inv := 1 / float64(B)
 	grad.Scale(inv)
 	return loss * inv, nil
+}
+
+// ensureBatchScratch sizes the batch-major scratch matrices for batches
+// of up to n rows.
+func (m *MLP) ensureBatchScratch(n int) {
+	if n <= m.batchCap {
+		return
+	}
+	layers := len(m.sizes) - 1
+	m.bActs = make([]tensor.Vector, layers+1)
+	m.bDeltas = make([]tensor.Vector, layers)
+	for i, s := range m.sizes {
+		m.bActs[i] = tensor.NewVector(n * s)
+		if i > 0 {
+			m.bDeltas[i-1] = tensor.NewVector(n * s)
+		}
+	}
+	m.batchCap = n
 }
 
 // Softmax writes the softmax of logits into out (same length), using the

@@ -85,7 +85,12 @@ type Trainer struct {
 	BatchSize int
 	Epochs    int
 
-	grad tensor.Vector
+	// Scratch reused across RunEpochs calls so a long-lived trainer
+	// performs no steady-state allocation on the local-update hot path.
+	grad    tensor.Vector
+	order   []int
+	batchXs []tensor.Vector
+	batchYs []int
 }
 
 // NewTrainer returns a trainer over model with the given optimizer. A
@@ -105,17 +110,25 @@ func NewTrainer(model *MLP, opt *SGD, batchSize, epochs int) *Trainer {
 }
 
 // RunEpochs performs Epochs passes of shuffled minibatch SGD over
-// (xs, ys) and returns the mean training loss of the final epoch.
+// (xs, ys) and returns the mean training loss of the final epoch. Each
+// minibatch runs through the model's batched gradient kernel
+// (MLP.BatchGrad), which is bit-identical to per-example accumulation.
 func (t *Trainer) RunEpochs(xs []tensor.Vector, ys []int, rng *tensor.RNG) (float64, error) {
 	if len(xs) == 0 || len(xs) != len(ys) {
 		return 0, fmt.Errorf("train set of %d inputs, %d labels: %w", len(xs), len(ys), tensor.ErrShape)
+	}
+	if len(t.grad) != t.Model.NumParams() {
+		t.grad = tensor.NewVector(t.Model.NumParams())
 	}
 	n := len(xs)
 	bs := t.BatchSize
 	if bs <= 0 || bs > n {
 		bs = n
 	}
-	order := make([]int, n)
+	if cap(t.order) < n {
+		t.order = make([]int, n)
+	}
+	order := t.order[:n]
 	for i := range order {
 		order[i] = i
 	}
@@ -129,21 +142,20 @@ func (t *Trainer) RunEpochs(xs []tensor.Vector, ys []int, rng *tensor.RNG) (floa
 			if end > n {
 				end = n
 			}
-			t.grad.Zero()
-			var batchLoss float64
+			t.batchXs = t.batchXs[:0]
+			t.batchYs = t.batchYs[:0]
 			for _, idx := range order[start:end] {
-				l, err := t.Model.ExampleGrad(xs[idx], ys[idx], t.grad)
-				if err != nil {
-					return 0, err
-				}
-				batchLoss += l
+				t.batchXs = append(t.batchXs, xs[idx])
+				t.batchYs = append(t.batchYs, ys[idx])
 			}
-			inv := 1 / float64(end-start)
-			t.grad.Scale(inv)
+			batchLoss, err := t.Model.BatchGrad(t.batchXs, t.batchYs, t.grad)
+			if err != nil {
+				return 0, err
+			}
 			if err := t.Opt.Step(t.Model.Params(), t.grad); err != nil {
 				return 0, err
 			}
-			epochLoss += batchLoss * inv
+			epochLoss += batchLoss
 			batches++
 		}
 		lastLoss = epochLoss / float64(batches)

@@ -1,0 +1,69 @@
+// Package par provides the deterministic fork-join helpers behind the
+// parallel experiment engine. Work items are identified by index and
+// write their results into caller-owned indexed slots, so the observable
+// outcome is byte-identical for any worker count — parallelism changes
+// only the schedule, never the results.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values above zero are taken
+// as-is, anything else means "one worker per available CPU" (GOMAXPROCS).
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(i) exactly once for every i in [0, n), distributing
+// indices over min(Workers(workers), n) goroutines. When a single worker
+// results, fn runs inline on the calling goroutine in index order. fn
+// must confine its writes to per-index state.
+func ForEach(workers, n int, fn func(i int)) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr runs fn(i) for every i in [0, n) like ForEach and returns
+// the error of the lowest failing index (deterministic regardless of
+// which goroutine observed it first), or nil when every call succeeds.
+// All indices run even when some fail.
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		const n = 1000
+		counts := make([]atomic.Int64, n)
+		ForEach(w, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n=0")
+	}
+}
+
+func TestForEachErrReturnsLowestIndex(t *testing.T) {
+	errA := errors.New("a")
+	for _, w := range []int{1, 2, 8} {
+		err := ForEachErr(w, 100, func(i int) error {
+			switch i {
+			case 17:
+				return errA
+			case 60:
+				return fmt.Errorf("later failure")
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: got %v, want lowest-index error", w, err)
+		}
+	}
+	if err := ForEachErr(4, 50, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -40,11 +40,20 @@ func (v Vector) Fill(c float64) {
 func (v Vector) Zero() { v.Fill(0) }
 
 // AddInPlace sets v += w. It returns an error when lengths differ.
+// The loop is unrolled four-wide; element-wise updates are independent,
+// so results are identical to the scalar loop.
 func (v Vector) AddInPlace(w Vector) error {
 	if len(v) != len(w) {
 		return fmt.Errorf("add %d += %d: %w", len(v), len(w), ErrShape)
 	}
-	for i := range v {
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		v[i] += w[i]
+		v[i+1] += w[i+1]
+		v[i+2] += w[i+2]
+		v[i+3] += w[i+3]
+	}
+	for ; i < len(v); i++ {
 		v[i] += w[i]
 	}
 	return nil
@@ -61,33 +70,56 @@ func (v Vector) SubInPlace(w Vector) error {
 	return nil
 }
 
-// Scale sets v *= c.
+// Scale sets v *= c. Unrolled four-wide (element-wise, order-free).
 func (v Vector) Scale(c float64) {
-	for i := range v {
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		v[i] *= c
+		v[i+1] *= c
+		v[i+2] *= c
+		v[i+3] *= c
+	}
+	for ; i < len(v); i++ {
 		v[i] *= c
 	}
 }
 
 // Axpy sets v += a*w (the BLAS axpy kernel). It returns an error when
-// lengths differ.
+// lengths differ. Unrolled four-wide (element-wise, order-free).
 func (v Vector) Axpy(a float64, w Vector) error {
 	if len(v) != len(w) {
 		return fmt.Errorf("axpy %d += a*%d: %w", len(v), len(w), ErrShape)
 	}
-	for i := range v {
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		v[i] += a * w[i]
+		v[i+1] += a * w[i+1]
+		v[i+2] += a * w[i+2]
+		v[i+3] += a * w[i+3]
+	}
+	for ; i < len(v); i++ {
 		v[i] += a * w[i]
 	}
 	return nil
 }
 
 // Dot returns the inner product <v, w>. It returns an error when lengths
-// differ.
+// differ. The loop body is unrolled but keeps a single accumulator chain
+// (terms added in increasing index order), so the result is bit-identical
+// to the naive loop everywhere it is used.
 func Dot(v, w Vector) (float64, error) {
 	if len(v) != len(w) {
 		return 0, fmt.Errorf("dot %d . %d: %w", len(v), len(w), ErrShape)
 	}
 	var s float64
-	for i := range v {
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		s += v[i] * w[i]
+		s += v[i+1] * w[i+1]
+		s += v[i+2] * w[i+2]
+		s += v[i+3] * w[i+3]
+	}
+	for ; i < len(v); i++ {
 		s += v[i] * w[i]
 	}
 	return s, nil

@@ -1,0 +1,37 @@
+#!/bin/sh
+# bench_smoke.sh — run the hot-path benchmarks and emit a JSON snapshot
+# (BENCH_smoke.json) for the perf trajectory. Pure POSIX sh + awk; no
+# external deps.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_smoke.json}
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run=NONE \
+  -bench='BenchmarkStudyRunSAMO|BenchmarkTrainerEpoch|BenchmarkMPEAttack|BenchmarkMLPExampleGrad|BenchmarkParallelSpeedup' \
+  -benchmem -benchtime=2x . | tee "$RAW"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns != "") {
+        rows[n++] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                            name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs))
+    }
+}
+END {
+    printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": [\n", date
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
