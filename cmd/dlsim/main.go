@@ -1,22 +1,53 @@
-// Command dlsim runs the paper's experiments (Figures 2–9) at a chosen
-// scale and prints the resulting summary tables.
+// Command dlsim runs the paper's experiments (Figures 2–9) and the
+// extension scenarios at a chosen scale and prints the resulting
+// summary tables.
 //
 // Usage:
 //
+//	dlsim -list
 //	dlsim -figure 3 -scale quick
 //	dlsim -figure all -scale tiny
 //	dlsim -figure 9 -scale quick -seed 7 -csv
-//	dlsim -figure 2 -scale tiny -workers 4   # parallel arms, identical output
+//	dlsim -figure 2 -scale tiny -workers 4         # parallel arms, identical output
+//	dlsim -figure latency -scale quick             # staleness sweep, SAMO vs Base
+//	dlsim -figure churn -scale quick               # churn + partition recovery
+//	dlsim -figure 2 -transport latency -latency 50 # any figure under a latency net
+//	dlsim -figure 8 -churn 0.3 -repeats 5          # churned net, bootstrap CIs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"strings"
 
 	"gossipmia/internal/experiment"
 )
+
+// scenario is one runnable entry of the catalog: a paper figure or an
+// extension scenario, with the one-line description -list prints.
+type scenario struct {
+	name string
+	desc string
+	run  func(experiment.Scale) (*experiment.FigureResult, error)
+}
+
+// catalog returns the ordered figure/scenario registry.
+func catalog() []scenario {
+	return []scenario{
+		{"2", "RQ1: SAMO vs Base Gossip, 5-regular static graph, all corpora", experiment.RunFigure2},
+		{"3", "RQ2: static vs dynamic topology, 2-regular graph (SAMO)", experiment.RunFigure3},
+		{"4", "RQ3: canary worst-case audit (max TPR@1%FPR), static vs dynamic", experiment.RunFigure4},
+		{"5", "RQ4: view-size sweep and communication cost (CIFAR-10-like)", experiment.RunFigure5},
+		{"6", "RQ5: Dirichlet non-IID sweep (Purchase100-like)", experiment.RunFigure6},
+		{"7", "RQ6: MIA vulnerability vs generalization error, all corpora", experiment.RunFigure7},
+		{"8", "RQ6: per-round MIA accuracy and generalization error", experiment.RunFigure8},
+		{"9", "RQ7: DP-SGD privacy-budget sweep (epsilon)", experiment.RunFigure9},
+		{"latency", "network scenario: per-link latency / staleness sweep, SAMO vs Base", experiment.RunLatencySweep},
+		{"churn", "network scenario: node churn and healing partition recovery", experiment.RunChurnRecovery},
+		{"dynamics", "extension: static vs PeerSwap vs Cyclon peer sampling", experiment.RunDynamicsComparison},
+	}
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -27,18 +58,28 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dlsim", flag.ContinueOnError)
-	figure := fs.String("figure", "all", `figure to reproduce: 2..9, "tables", "attacks", or "all"`)
+	figure := fs.String("figure", "all", `figure or scenario to run (see -list): 2..9, "latency", "churn", "dynamics", "tables", "attacks", or "all"`)
+	list := fs.Bool("list", false, "print the available figures/scenarios and exit")
 	scaleName := fs.String("scale", "quick", "experiment scale: tiny, quick, or paper")
 	seed := fs.Int64("seed", 0, "override the scale's base seed (0 keeps the preset)")
 	csv := fs.Bool("csv", false, "also print per-round CSV series for every arm")
 	plotFlag := fs.Bool("plot", false, "also render ASCII tradeoff scatter plots")
 	repeats := fs.Int("repeats", 0, "replicate a single figure over N seeds and report bootstrap CIs")
 	workers := fs.Int("workers", 0, "worker goroutines for arms and per-node evaluation (0 = one per CPU, 1 = serial); results are identical for any value")
+	transport := fs.String("transport", "", `network transport overlay: "instant" (default), "latency", or "lossy"`)
+	latency := fs.Float64("latency", 0, "mean per-link delay in ticks (implies -transport latency; jitter is 30% of the mean)")
+	churn := fs.Float64("churn", 0, "fraction of nodes that leave at 1/3 of the run and rejoin at 2/3")
+	drop := fs.Float64("drop", 0, "probability that a transmission is lost (implies -transport lossy)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 0 {
 		return fmt.Errorf("workers must be >= 0, got %d", *workers)
+	}
+
+	if *list {
+		printCatalog(os.Stdout)
+		return nil
 	}
 
 	sc, err := scaleByName(*scaleName)
@@ -49,16 +90,9 @@ func run(args []string) error {
 		sc.Seed = *seed
 	}
 	sc.Workers = *workers
-
-	runners := map[int]func(experiment.Scale) (*experiment.FigureResult, error){
-		2: experiment.RunFigure2,
-		3: experiment.RunFigure3,
-		4: experiment.RunFigure4,
-		5: experiment.RunFigure5,
-		6: experiment.RunFigure6,
-		7: experiment.RunFigure7,
-		8: experiment.RunFigure8,
-		9: experiment.RunFigure9,
+	sc.Net, err = netOverlay(*transport, *latency, *churn, *drop)
+	if err != nil {
+		return err
 	}
 
 	printTables := func() {
@@ -68,6 +102,9 @@ func run(args []string) error {
 
 	switch *figure {
 	case "tables":
+		if sc.Net != (experiment.NetOverlay{}) {
+			return fmt.Errorf("network overlay flags have no effect on -figure tables")
+		}
 		printTables()
 		return nil
 	case "attacks":
@@ -78,10 +115,13 @@ func run(args []string) error {
 		fmt.Println(cmp.Table())
 		return nil
 	case "all":
+		if sc.Net != (experiment.NetOverlay{}) {
+			return fmt.Errorf("network overlay flags cannot be combined with -figure all: the latency and churn scenarios pin their own networks per arm")
+		}
 		printTables()
-		for n := 2; n <= 9; n++ {
-			if err := runFigure(runners[n], sc, *csv, *plotFlag); err != nil {
-				return fmt.Errorf("figure %d: %w", n, err)
+		for _, s := range catalog() {
+			if err := runFigure(s.run, sc, *csv, *plotFlag); err != nil {
+				return fmt.Errorf("figure %s: %w", s.name, err)
 			}
 		}
 		cmp, err := experiment.RunAttackComparison(sc)
@@ -91,20 +131,69 @@ func run(args []string) error {
 		fmt.Println(cmp.Table())
 		return nil
 	default:
-		n, err := strconv.Atoi(*figure)
-		if err != nil || runners[n] == nil {
-			return fmt.Errorf("unknown figure %q (want 2..9, tables, attacks, or all)", *figure)
+		var sel *scenario
+		for _, s := range catalog() {
+			if s.name == *figure {
+				sel = &s
+				break
+			}
+		}
+		if sel == nil {
+			return fmt.Errorf("unknown figure %q (run dlsim -list for the catalog)", *figure)
 		}
 		if *repeats > 1 {
-			rep, err := experiment.Replicate(runners[n], sc, *repeats, 0.95)
+			rep, err := experiment.Replicate(sel.run, sc, *repeats, 0.95)
 			if err != nil {
 				return err
 			}
 			fmt.Println(rep.Table())
 			return nil
 		}
-		return runFigure(runners[n], sc, *csv, *plotFlag)
+		return runFigure(sel.run, sc, *csv, *plotFlag)
 	}
+}
+
+// netOverlay folds the network flags into the experiment overlay,
+// inferring the transport kind from the strongest flag given.
+func netOverlay(transport string, latency, churn, drop float64) (experiment.NetOverlay, error) {
+	o := experiment.NetOverlay{
+		Transport:     transport,
+		LatencyTicks:  latency,
+		LatencyJitter: latency * 0.3,
+		DropProb:      drop,
+		ChurnFraction: churn,
+	}
+	// An explicit -transport instant with no latency knobs means the
+	// same as omitting the flag; normalize so the zero-overlay checks
+	// (tables, scenarios, all) treat them identically. With latency
+	// knobs it stays "instant" and Validate rejects the contradiction.
+	if o.Transport == "instant" && latency == 0 {
+		o.Transport = ""
+	}
+	if o.Transport == "" {
+		switch {
+		case drop > 0:
+			o.Transport = "lossy"
+		case latency > 0:
+			o.Transport = "latency"
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return experiment.NetOverlay{}, err
+	}
+	return o, nil
+}
+
+func printCatalog(w *os.File) {
+	fmt.Fprintln(w, "figures and scenarios (-figure NAME):")
+	for _, s := range catalog() {
+		fmt.Fprintf(w, "  %-9s %s\n", s.name, s.desc)
+	}
+	fmt.Fprintln(w, "  tables    Tables 1 and 2: dataset characteristics and training configuration")
+	fmt.Fprintln(w, "  attacks   extension: attack score-function comparison on final models")
+	fmt.Fprintln(w, "  all       every figure and scenario above, plus the tables")
+	fmt.Fprintln(w, strings.TrimSpace(`
+network overlay flags (apply to any figure): -transport, -latency, -churn, -drop`))
 }
 
 func runFigure(runner func(experiment.Scale) (*experiment.FigureResult, error), sc experiment.Scale, csv, renderPlot bool) error {

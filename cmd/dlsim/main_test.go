@@ -38,14 +38,101 @@ func TestRunSingleFigureTiny(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-figure", "99"}); err == nil || !strings.Contains(err.Error(), "unknown figure") {
-		t.Fatalf("unknown figure error = %v", err)
+	for _, figure := range []string{"99", "1", "10", "latency-sweep", ""} {
+		if err := run([]string{"-figure", figure}); err == nil || !strings.Contains(err.Error(), "unknown figure") {
+			t.Fatalf("figure %q error = %v", figure, err)
+		}
 	}
 	if err := run([]string{"-scale", "nope", "-figure", "tables"}); err == nil || !strings.Contains(err.Error(), "unknown scale") {
 		t.Fatalf("unknown scale error = %v", err)
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("bogus flag accepted")
+	}
+	if err := run([]string{"-figure", "2", "-transport", "pigeon"}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	if err := run([]string{"-figure", "2", "-churn", "1.5"}); err == nil {
+		t.Fatal("churn fraction >= 1 accepted")
+	}
+	if err := run([]string{"-figure", "2", "-drop", "-0.1"}); err == nil {
+		t.Fatal("negative drop accepted")
+	}
+	// An explicit instant transport with latency parameters would
+	// silently run the zero-delay network; it must error instead.
+	if err := run([]string{"-figure", "2", "-transport", "instant", "-latency", "50"}); err == nil {
+		t.Fatal("instant+latency accepted")
+	}
+	// Scenarios pin their own networks: overlay flags must not be
+	// silently ignored, neither per scenario nor under -figure all.
+	if err := run([]string{"-figure", "latency", "-scale", "tiny", "-latency", "200"}); err == nil {
+		t.Fatal("latency scenario accepted an overlay")
+	}
+	if err := run([]string{"-figure", "all", "-latency", "50"}); err == nil {
+		t.Fatal("-figure all accepted an overlay")
+	}
+	if err := run([]string{"-figure", "tables", "-latency", "50"}); err == nil {
+		t.Fatal("-figure tables accepted an overlay")
+	}
+	// But an explicit default transport is not an overlay.
+	if err := run([]string{"-figure", "tables", "-transport", "instant"}); err != nil {
+		t.Fatalf("-figure tables -transport instant rejected: %v", err)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	names := map[string]bool{}
+	for _, s := range catalog() {
+		if s.run == nil || s.desc == "" {
+			t.Fatalf("catalog entry %q incomplete", s.name)
+		}
+		if names[s.name] {
+			t.Fatalf("duplicate catalog entry %q", s.name)
+		}
+		names[s.name] = true
+	}
+	for _, want := range []string{"2", "9", "latency", "churn", "dynamics"} {
+		if !names[want] {
+			t.Fatalf("catalog missing %q", want)
+		}
+	}
+}
+
+func TestNetOverlayFlagInference(t *testing.T) {
+	o, err := netOverlay("", 40, 0, 0)
+	if err != nil || o.Transport != "latency" || o.LatencyTicks != 40 || o.LatencyJitter != 12 {
+		t.Fatalf("latency inference = %+v, %v", o, err)
+	}
+	o, err = netOverlay("", 0, 0, 0.2)
+	if err != nil || o.Transport != "lossy" {
+		t.Fatalf("lossy inference = %+v, %v", o, err)
+	}
+	o, err = netOverlay("", 0, 0.3, 0)
+	if err != nil || o.Transport != "" || o.ChurnFraction != 0.3 {
+		t.Fatalf("churn-only overlay = %+v, %v", o, err)
+	}
+	// Explicit -transport instant with no other knobs is the default.
+	o, err = netOverlay("instant", 0, 0, 0)
+	if err != nil || o != (experiment.NetOverlay{}) {
+		t.Fatalf("explicit instant not normalized: %+v, %v", o, err)
+	}
+	if _, err := netOverlay("latency", -1, 0, 0); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+func TestRunScenarioTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	if err := run([]string{"-figure", "churn", "-scale", "tiny"}); err != nil {
+		t.Fatalf("churn scenario: %v", err)
+	}
+	if err := run([]string{"-figure", "8", "-scale", "tiny", "-transport", "latency", "-latency", "20", "-churn", "0.3"}); err != nil {
+		t.Fatalf("figure 8 under network overlay: %v", err)
 	}
 }
 

@@ -70,10 +70,13 @@ type StudyConfig struct {
 	Label    string
 	Corpus   data.CorpusName
 	Protocol string // "base", "samo", "samo-nodelay"
-	Sim      gossip.Config
-	Train    TrainConfig
-	Part     PartitionConfig
-	DP       *DPConfig
+	// Sim carries the deployment and its network knobs: Sim.Net selects
+	// the transport model (instant/latency/lossy with partitions) and
+	// Sim.Churn schedules node departures and rejoins.
+	Sim   gossip.Config
+	Train TrainConfig
+	Part  PartitionConfig
+	DP    *DPConfig
 
 	// Canaries > 0 plants that many label-flipped canaries (RQ3); the
 	// series' TPRAt1FPR field then reports the max per-node canary TPR
@@ -145,9 +148,17 @@ type Result struct {
 	MessagesSent int
 	// BytesSent is the total wire-format traffic in bytes.
 	BytesSent int
-	// MessagesDropped counts transmissions lost to the injected failure
-	// model (Sim.DropProb).
+	// MessagesDropped counts transmissions lost in transit — to the
+	// probabilistic failure model (Sim.DropProb / Sim.Net.DropProb), an
+	// active network partition, or an offline (churned-out) receiver.
 	MessagesDropped int
+	// MessagesDelayed counts transmissions that went through the
+	// transport's delivery queue instead of arriving inline (zero on
+	// the Instant transport).
+	MessagesDelayed int
+	// MessagesUndelivered counts transmissions still in flight when the
+	// run ended (sent and paid for, never received).
+	MessagesUndelivered int
 	// RealizedEpsilon is the per-node (ε,δ)-DP guarantee actually spent,
 	// computed from the maximum realized step count across nodes; zero
 	// when DP is disabled.
@@ -243,11 +254,13 @@ func (s *Study) Run() (*Result, error) {
 	}
 
 	res := &Result{
-		Series:          series,
-		MessagesSent:    sim.MessagesSent(),
-		BytesSent:       sim.BytesSent(),
-		MessagesDropped: sim.MessagesDropped(),
-		NoiseMultiplier: sigma,
+		Series:              series,
+		MessagesSent:        sim.MessagesSent(),
+		BytesSent:           sim.BytesSent(),
+		MessagesDropped:     sim.MessagesDropped(),
+		MessagesDelayed:     sim.MessagesDelayed(),
+		MessagesUndelivered: sim.PendingDeliveries(),
+		NoiseMultiplier:     sigma,
 	}
 	if cfg.KeepFinalModels {
 		for _, node := range sim.Nodes() {

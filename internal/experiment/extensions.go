@@ -69,14 +69,18 @@ func RunDynamicsComparison(sc Scale) (*FigureResult, error) {
 	studyWorkers := innerWorkers(sc.Workers, len(modes))
 	err = par.ForEachErr(sc.Workers, len(modes), func(off int) error {
 		mode := modes[off]
+		simCfg := gossip.Config{
+			Nodes: sc.Nodes, ViewSize: 2, Dynamics: mode.dynamics,
+			Rounds: sc.Rounds, Seed: sc.Seed*29 + int64(off),
+		}
+		if err := sc.Net.applySim(&simCfg); err != nil {
+			return err
+		}
 		study, err := core.NewStudy(core.StudyConfig{
-			Label:    mode.label,
-			Corpus:   data.CIFAR10,
-			Protocol: "samo",
-			Sim: gossip.Config{
-				Nodes: sc.Nodes, ViewSize: 2, Dynamics: mode.dynamics,
-				Rounds: sc.Rounds, Seed: sc.Seed*29 + int64(off),
-			},
+			Label:          mode.label,
+			Corpus:         data.CIFAR10,
+			Protocol:       "samo",
+			Sim:            simCfg,
 			Train:          train,
 			Part:           core.PartitionConfig{TrainPerNode: sc.TrainPerNode, TestPerNode: sc.TestPerNode},
 			GlobalTestSize: sc.GlobalTestSize,
@@ -113,13 +117,17 @@ func RunAttackComparison(sc Scale) (*AttackComparison, error) {
 	if err != nil {
 		return nil, err
 	}
+	simCfg := gossip.Config{
+		Nodes: sc.Nodes, ViewSize: 5, Rounds: sc.Rounds, Seed: sc.Seed*17 + 3,
+	}
+	if err := sc.Net.applySim(&simCfg); err != nil {
+		return nil, err
+	}
 	study, err := core.NewStudy(core.StudyConfig{
-		Label:    "attack-comparison",
-		Corpus:   data.CIFAR10,
-		Protocol: "samo",
-		Sim: gossip.Config{
-			Nodes: sc.Nodes, ViewSize: 5, Rounds: sc.Rounds, Seed: sc.Seed*17 + 3,
-		},
+		Label:           "attack-comparison",
+		Corpus:          data.CIFAR10,
+		Protocol:        "samo",
+		Sim:             simCfg,
 		Train:           train,
 		Part:            core.PartitionConfig{TrainPerNode: sc.TrainPerNode, TestPerNode: sc.TestPerNode},
 		GlobalTestSize:  sc.GlobalTestSize,

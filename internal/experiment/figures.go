@@ -8,6 +8,7 @@ import (
 	"gossipmia/internal/data"
 	"gossipmia/internal/gossip"
 	"gossipmia/internal/metrics"
+	"gossipmia/internal/netmodel"
 	"gossipmia/internal/par"
 	"gossipmia/internal/plot"
 	"gossipmia/internal/stats"
@@ -128,6 +129,13 @@ type armSpec struct {
 	canaries bool
 	seedOff  int64
 
+	// Optional network model for the arm: an explicit transport config
+	// and/or churn schedule. When nil/empty the Scale's NetOverlay (if
+	// any) applies instead, so scenario arms can pin their own network
+	// while ordinary figures inherit the CLI overlay.
+	net   *netmodel.Config
+	churn []gossip.ChurnEvent
+
 	// Optional overrides for figures that need a different training
 	// regime than the corpus default (e.g. Figure 6 uses more data and
 	// fewer local epochs so the MIA signal is not saturated).
@@ -210,17 +218,29 @@ func runArm(sc Scale, spec armSpec) (Arm, error) {
 	if viewSize < 1 {
 		return Arm{}, fmt.Errorf("cannot fit view size %d in %d nodes: %w", spec.viewSize, nodes, ErrScale)
 	}
+	simCfg := gossip.Config{
+		Nodes:    nodes,
+		ViewSize: viewSize,
+		Dynamic:  spec.dynamic,
+		Rounds:   sc.Rounds,
+		Seed:     sc.Seed*1_000_003 + spec.seedOff,
+	}
+	// The arm's own network model wins; otherwise the Scale-level
+	// overlay (dlsim -transport/-latency/-churn) applies.
+	if err := sc.Net.applySim(&simCfg); err != nil {
+		return Arm{}, err
+	}
+	if spec.net != nil {
+		simCfg.Net = *spec.net
+	}
+	if spec.churn != nil {
+		simCfg.Churn = spec.churn
+	}
 	cfg := core.StudyConfig{
-		Label:    spec.label,
-		Corpus:   spec.corpus,
-		Protocol: spec.protocol,
-		Sim: gossip.Config{
-			Nodes:    nodes,
-			ViewSize: viewSize,
-			Dynamic:  spec.dynamic,
-			Rounds:   sc.Rounds,
-			Seed:     sc.Seed*1_000_003 + spec.seedOff,
-		},
+		Label:          spec.label,
+		Corpus:         spec.corpus,
+		Protocol:       spec.protocol,
+		Sim:            simCfg,
 		Train:          train,
 		Part:           core.PartitionConfig{TrainPerNode: trainPer, TestPerNode: sc.TestPerNode, DirichletBeta: spec.beta},
 		DP:             spec.dp,

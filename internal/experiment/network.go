@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"fmt"
+
+	"gossipmia/internal/data"
+	"gossipmia/internal/gossip"
+	"gossipmia/internal/netmodel"
+)
+
+// NetOverlay applies one network model uniformly to every arm a Scale
+// runs. The zero value keeps the Instant transport — the seed
+// semantics — so existing presets and goldens are unaffected. It is the
+// experiment-level face of the netmodel knobs: dlsim's -transport,
+// -latency, and -churn flags land here.
+type NetOverlay struct {
+	// Transport selects the model: "" or "instant", "latency", "lossy".
+	Transport string
+	// LatencyTicks/LatencyJitter parameterize the per-link delay
+	// distribution (ticks).
+	LatencyTicks, LatencyJitter float64
+	// BandwidthBytesPerTick > 0 adds the wire-size serialization term.
+	BandwidthBytesPerTick int
+	// DropProb is the i.i.d. transmission loss probability.
+	DropProb float64
+	// ChurnFraction in [0,1) makes that fraction of nodes leave at one
+	// third of the run and rejoin at two thirds.
+	ChurnFraction float64
+}
+
+// netConfig maps the overlay's transport fields onto a netmodel.Config;
+// the single mapping shared by Validate and applySim, so a knob cannot
+// validate one way and run another.
+func (o NetOverlay) netConfig() (netmodel.Config, error) {
+	kind, err := netmodel.KindByName(o.Transport)
+	if err != nil {
+		return netmodel.Config{}, fmt.Errorf("%w: %v", ErrScale, err)
+	}
+	return netmodel.Config{
+		Kind:        kind,
+		LatencyMean: o.LatencyTicks, LatencyJitter: o.LatencyJitter,
+		BandwidthBytesPerTick: o.BandwidthBytesPerTick,
+		DropProb:              o.DropProb,
+	}, nil
+}
+
+// Validate reports overlay errors, including parameter combinations the
+// selected transport would silently ignore (netmodel.Config.Validate
+// rejects latency knobs on the instant transport).
+func (o NetOverlay) Validate() error {
+	cfg, err := o.netConfig()
+	if err != nil {
+		return err
+	}
+	if o.ChurnFraction < 0 || o.ChurnFraction >= 1 {
+		return fmt.Errorf("%w: churn fraction %v out of [0,1)", ErrScale, o.ChurnFraction)
+	}
+	if err := cfg.Validate(2); err != nil {
+		return fmt.Errorf("%w: %v", ErrScale, err)
+	}
+	return nil
+}
+
+// applySim writes the overlay into a simulator configuration.
+func (o NetOverlay) applySim(sim *gossip.Config) error {
+	if o == (NetOverlay{}) {
+		return nil
+	}
+	cfg, err := o.netConfig()
+	if err != nil {
+		return err
+	}
+	sim.Net = cfg
+	if o.ChurnFraction > 0 {
+		sim.Churn = churnSchedule(sim.Nodes, totalTicks(*sim), o.ChurnFraction)
+	}
+	return nil
+}
+
+// totalTicks returns the run length of a simulator config in ticks.
+func totalTicks(sim gossip.Config) int {
+	return sim.Defaulted().TicksPerRound * sim.Rounds
+}
+
+// rejectOverlay errors when a scenario that pins its own per-arm
+// network is combined with a Scale-level overlay: silently ignoring the
+// overlay (or letting it degrade a scenario's control arm) would
+// misreport what was measured.
+func rejectOverlay(scenario string, sc Scale) error {
+	if sc.Net != (NetOverlay{}) {
+		return fmt.Errorf("%w: the %s scenario pins its own network per arm and cannot run under a network overlay (drop the -transport/-latency/-churn/-drop flags)",
+			ErrScale, scenario)
+	}
+	return nil
+}
+
+// churnSchedule makes the first round(frac·nodes) node IDs — capped so
+// at least one node stays up — leave at one third of the run and
+// rejoin at two thirds. It is a pure function of its arguments, so
+// every repeat and worker count sees the same schedule.
+func churnSchedule(nodes, ticks int, frac float64) []gossip.ChurnEvent {
+	m := int(frac*float64(nodes) + 0.5)
+	if m > nodes-1 {
+		m = nodes - 1
+	}
+	if m <= 0 {
+		return nil
+	}
+	events := make([]gossip.ChurnEvent, m)
+	for i := 0; i < m; i++ {
+		events[i] = gossip.ChurnEvent{Node: i, LeaveTick: ticks / 3, RejoinTick: 2 * ticks / 3}
+	}
+	return events
+}
+
+// halfPartition cuts the network in half for the middle third of the
+// run: the classic split-brain-then-heal scenario.
+func halfPartition(nodes, ticks int) []netmodel.Partition {
+	members := make([]int, nodes/2)
+	for i := range members {
+		members[i] = i
+	}
+	return []netmodel.Partition{{FromTick: ticks / 3, ToTick: 2 * ticks / 3, Members: members}}
+}
+
+// RunLatencySweep (network scenario "latency"): SAMO vs Base Gossip
+// under increasing per-link latency on the CIFAR-10-like corpus. With
+// the paper's wake interval of ~100 ticks, a 75-tick mean delay means
+// most merges consume models that are most of a round stale — the
+// sweep shows how each protocol's aggregation degrades with staleness,
+// a question the seed's zero-delay simulator could not pose.
+func RunLatencySweep(sc Scale) (*FigureResult, error) {
+	if err := rejectOverlay("latency", sc); err != nil {
+		return nil, err
+	}
+	var specs []armSpec
+	var off int64
+	for _, proto := range []string{"base", "samo"} {
+		for _, lat := range []float64{0, 25, 75} {
+			spec := armSpec{
+				label:    fmt.Sprintf("cifar10/%s/k=5/lat=%.0f", proto, lat),
+				corpus:   data.CIFAR10,
+				protocol: proto,
+				viewSize: 5,
+				seedOff:  800 + off,
+			}
+			if lat > 0 {
+				spec.net = &netmodel.Config{
+					Kind:        netmodel.KindLatency,
+					LatencyMean: lat,
+					// Heterogeneous links: ~30% spread around the mean.
+					LatencyJitter: lat * 0.3,
+				}
+			}
+			specs = append(specs, spec)
+			off++
+		}
+	}
+	return runArms("Scenario: latency sweep",
+		"MIA vulnerability vs test accuracy under per-link latency (staleness), Base vs SAMO (CIFAR-10-like)",
+		sc, specs)
+}
+
+// RunChurnRecovery (network scenario "churn"): SAMO on a sparse graph
+// through three failure regimes — a third of the nodes churning out and
+// rejoining, a half/half partition that heals, and both at once — each
+// against the undisturbed baseline. The per-round series show the
+// accuracy dip during the disturbance window (the middle third of the
+// run) and the recovery after it heals.
+func RunChurnRecovery(sc Scale) (*FigureResult, error) {
+	if err := rejectOverlay("churn", sc); err != nil {
+		return nil, err
+	}
+	sim := gossip.Config{Rounds: sc.Rounds}
+	ticks := totalTicks(sim)
+	nodes := sc.nodesFor(string(data.CIFAR10))
+	churn := churnSchedule(nodes, ticks, 1.0/3)
+	parts := halfPartition(nodes, ticks)
+	specs := []armSpec{
+		{label: "cifar10/samo/k=2/baseline", seedOff: 900},
+		{label: "cifar10/samo/k=2/churn=1/3", seedOff: 901, churn: churn},
+		{label: "cifar10/samo/k=2/partition", seedOff: 902,
+			net: &netmodel.Config{Kind: netmodel.KindLossy, Partitions: parts}},
+		{label: "cifar10/samo/k=2/churn+partition", seedOff: 903, churn: churn,
+			net: &netmodel.Config{Kind: netmodel.KindLossy, Partitions: parts}},
+	}
+	for i := range specs {
+		specs[i].corpus = data.CIFAR10
+		specs[i].protocol = "samo"
+		specs[i].viewSize = 2
+	}
+	return runArms("Scenario: churn and partition recovery",
+		"Accuracy dip and recovery under node churn and a healing half/half partition (CIFAR-10-like, SAMO)",
+		sc, specs)
+}

@@ -3,9 +3,11 @@ package gossip
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"gossipmia/internal/data"
 	"gossipmia/internal/graph"
+	"gossipmia/internal/netmodel"
 	"gossipmia/internal/nn"
 	"gossipmia/internal/rps"
 	"gossipmia/internal/tensor"
@@ -53,10 +55,34 @@ type Config struct {
 	WakeMean, WakeStd float64
 	// DropProb is the probability that any model transmission is lost in
 	// transit (failure injection; 0 disables). Gossip protocols tolerate
-	// loss by design — dropped models are simply never merged.
+	// loss by design — dropped models are simply never merged. It is
+	// absorbed by the transport layer (netmodel.Lossy); Net.DropProb
+	// takes precedence when both are set.
 	DropProb float64
+	// Net selects and parameterizes the transport model for message
+	// delivery. The zero value is the Instant transport — the paper's
+	// zero-transmission-delay semantics, byte-identical to the seed
+	// implementation.
+	Net netmodel.Config
+	// Churn schedules node departures and rejoins, in ticks. While a
+	// node is down it neither wakes nor receives: transmissions
+	// addressed to it, and queued deliveries coming due during the
+	// outage, are lost (the sender still pays the cost; a delivery due
+	// after the rejoin still arrives). On rejoin the node keeps its
+	// model but has lost its unmerged inbox, and it resumes waking
+	// immediately, at the rejoin tick itself. Outage windows for one
+	// node must not overlap.
+	Churn []ChurnEvent
 	// Seed drives all randomness of the run.
 	Seed int64
+}
+
+// ChurnEvent schedules one departure (and optional rejoin) of a node.
+type ChurnEvent struct {
+	Node      int
+	LeaveTick int
+	// RejoinTick <= LeaveTick means the node never comes back.
+	RejoinTick int
 }
 
 // Defaulted returns a copy of c with unset timing fields replaced by the
@@ -102,6 +128,35 @@ func (c Config) Validate() error {
 	if c.Dynamics < DynamicsDefault || c.Dynamics > DynamicsCyclon {
 		return fmt.Errorf("%w: dynamics=%d", ErrConfig, c.Dynamics)
 	}
+	if err := c.Net.Validate(c.Nodes); err != nil {
+		return fmt.Errorf("%w: net: %w", ErrConfig, err)
+	}
+	for i, ev := range c.Churn {
+		if ev.Node < 0 || ev.Node >= c.Nodes {
+			return fmt.Errorf("%w: churn event %d: node %d out of [0,%d)", ErrConfig, i, ev.Node, c.Nodes)
+		}
+		if ev.LeaveTick < 0 {
+			return fmt.Errorf("%w: churn event %d: leaveTick=%d", ErrConfig, i, ev.LeaveTick)
+		}
+		// Overlapping outages for one node have no sensible semantics
+		// (the duplicate-transition skip would end the union of outages
+		// at the earliest rejoin), so they are rejected. An event with
+		// no rejoin occupies [LeaveTick, infinity).
+		for j, prev := range c.Churn[:i] {
+			if prev.Node != ev.Node {
+				continue
+			}
+			overlaps := func(a, b ChurnEvent) bool {
+				if a.RejoinTick <= a.LeaveTick { // a never rejoins
+					return b.LeaveTick >= a.LeaveTick
+				}
+				return b.LeaveTick >= a.LeaveTick && b.LeaveTick < a.RejoinTick
+			}
+			if overlaps(prev, ev) || overlaps(ev, prev) {
+				return fmt.Errorf("%w: churn events %d and %d overlap for node %d", ErrConfig, j, i, ev.Node)
+			}
+		}
+	}
 	return nil
 }
 
@@ -118,6 +173,18 @@ type Simulator struct {
 	protocol Protocol
 	rng      *tensor.RNG
 
+	// transport decides, per message, between loss, inline delivery,
+	// and queued delivery at a later tick (drained at tick start).
+	transport netmodel.Transport
+	// drainBuf is the reusable scratch for draining due deliveries.
+	drainBuf []netmodel.Delivery
+
+	// churn state: transitions sorted by tick, the index of the next
+	// one to apply, and the per-node offline flags.
+	churn     []churnTransition
+	churnNext int
+	down      []bool
+
 	// pool recycles per-message parameter buffers; syncRecv marks that
 	// the protocol consumes messages inside OnReceive, letting Send skip
 	// the per-message copy entirely.
@@ -127,7 +194,15 @@ type Simulator struct {
 	tick            int
 	messagesSent    int
 	messagesDropped int
+	messagesDelayed int
 	bytesSent       int
+}
+
+// churnTransition is one expanded churn edge: at tick, node goes up or
+// down.
+type churnTransition struct {
+	tick, node int
+	up         bool
 }
 
 var _ Network = (*Simulator)(nil)
@@ -186,6 +261,36 @@ func New(cfg Config, protocol Protocol, initial *nn.MLP, nodeData []data.NodeDat
 			nextWake: rng.Intn(interval),
 		}
 	}
+	// The transport shares s.rng: built after node init, it consumes
+	// construction randomness (per-link delays) only for non-instant
+	// kinds, and its drop coin interleaves with the run exactly as the
+	// seed implementation's DropProb check did — the Instant path stays
+	// byte-identical.
+	netCfg := cfg.Net
+	if netCfg.DropProb == 0 {
+		netCfg.DropProb = cfg.DropProb
+	}
+	s.transport, err = netmodel.New(netCfg, cfg.Nodes, rng)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: build transport: %w", err)
+	}
+	s.down = make([]bool, cfg.Nodes)
+	for _, ev := range cfg.Churn {
+		s.churn = append(s.churn, churnTransition{tick: ev.LeaveTick, node: ev.Node, up: false})
+		if ev.RejoinTick > ev.LeaveTick {
+			s.churn = append(s.churn, churnTransition{tick: ev.RejoinTick, node: ev.Node, up: true})
+		}
+	}
+	// Order by tick, with rejoins before leaves at the same tick: for
+	// back-to-back windows ([10,20) then [20,30)) the tick-20 rejoin
+	// must apply before the tick-20 leave regardless of how the events
+	// were listed, or the later outage would be silently cancelled.
+	sort.SliceStable(s.churn, func(i, j int) bool {
+		if s.churn[i].tick != s.churn[j].tick {
+			return s.churn[i].tick < s.churn[j].tick
+		}
+		return s.churn[i].up && !s.churn[j].up
+	})
 	return s, nil
 }
 
@@ -204,9 +309,26 @@ func (s *Simulator) Topology() *graph.Regular { return s.topo }
 // sender paid the cost).
 func (s *Simulator) MessagesSent() int { return s.messagesSent }
 
-// MessagesDropped returns how many transmissions were lost to the
-// injected failure model.
+// MessagesDropped returns how many transmissions were lost in transit —
+// to the probabilistic failure model, an active partition, or an
+// offline (churned-out) receiver.
 func (s *Simulator) MessagesDropped() int { return s.messagesDropped }
+
+// MessagesDelayed returns how many transmissions went through the
+// transport's delivery queue instead of arriving inline (always zero on
+// the Instant transport).
+func (s *Simulator) MessagesDelayed() int { return s.messagesDelayed }
+
+// PendingDeliveries returns how many messages are still in flight
+// inside the transport queue (at the end of a run: sent but never
+// delivered).
+func (s *Simulator) PendingDeliveries() int { return s.transport.Pending() }
+
+// TransportName identifies the active transport model.
+func (s *Simulator) TransportName() string { return s.transport.Name() }
+
+// NodeDown reports whether node id is currently churned out.
+func (s *Simulator) NodeDown(id int) bool { return s.down[id] }
 
 // BytesSent returns the total wire-format bytes transmitted, using the
 // wire package's frame size for each model.
@@ -215,35 +337,56 @@ func (s *Simulator) BytesSent() int { return s.bytesSent }
 // Tick returns the current simulation tick.
 func (s *Simulator) Tick() int { return s.tick }
 
-// Send implements Network: the receiver reacts immediately per the
-// protocol. With DropProb set, the transmission may be lost in transit
-// (the sender still pays the communication cost).
+// Send implements Network: the transport plans the transmission's fate —
+// lost (failure model, partition, or offline receiver), delivered
+// inline on this call stack (the Instant transport, the paper's
+// zero-delay semantics), or queued for a later tick. The sender pays
+// the communication cost in every case.
 //
-// Allocation discipline: when the protocol merges synchronously
-// (SyncReceiver), the receiver reads the sender's live parameters
-// directly and no copy is made. Otherwise the private copy the receiver
-// retains comes from a recycled arena buffer (returned to the pool by
-// Node.RecycleInbox after the merge), so steady-state sends allocate
-// nothing either way.
+// Allocation discipline on the inline path: when the protocol merges
+// synchronously (SyncReceiver), the receiver reads the sender's live
+// parameters directly and no copy is made. Otherwise — and for every
+// queued delivery, whose payload must survive the sender's future
+// updates — the private copy comes from a recycled arena buffer
+// (returned to the pool after the merge), so steady-state sends
+// allocate nothing on any path.
 func (s *Simulator) Send(from, to int, params tensor.Vector) error {
 	if to < 0 || to >= len(s.nodes) {
 		return fmt.Errorf("%w: send to unknown node %d", ErrProtocol, to)
 	}
+	wireBytes := wire.ParamsWireSize(len(params))
 	s.messagesSent++
-	s.bytesSent += wire.ParamsWireSize(len(params))
-	if s.cfg.DropProb > 0 && s.rng.Float64() < s.cfg.DropProb {
+	s.bytesSent += wireBytes
+	// An offline receiver loses the message at send time, before the
+	// transport consumes any randomness; without churn this branch is
+	// dead and the seed RNG stream is untouched.
+	if s.down[to] {
 		s.messagesDropped++
 		return nil
 	}
-	msg := Message{From: from}
-	if s.syncRecv {
-		msg.Params = params
-	} else {
-		buf := s.pool.Get(len(params))
-		copy(buf, params)
-		msg.Params = buf
+	deliverAt, dropped := s.transport.Plan(s.tick, from, to, wireBytes)
+	if dropped {
+		s.messagesDropped++
+		return nil
 	}
-	return s.protocol.OnReceive(s.nodes[to], msg)
+	if deliverAt <= s.tick {
+		msg := Message{From: from}
+		if s.syncRecv {
+			msg.Params = params
+		} else {
+			buf := s.pool.Get(len(params))
+			copy(buf, params)
+			msg.Params = buf
+		}
+		return s.protocol.OnReceive(s.nodes[to], msg)
+	}
+	buf := s.pool.Get(len(params))
+	copy(buf, params)
+	s.messagesDelayed++
+	s.transport.Schedule(netmodel.Delivery{
+		From: from, To: to, SentTick: s.tick, DeliverAt: deliverAt, Params: buf,
+	})
+	return nil
 }
 
 // View implements Network: the k-regular neighborhood, or the RPS view
@@ -259,12 +402,18 @@ func (s *Simulator) View(node int) []int {
 func (s *Simulator) Size() int { return len(s.nodes) }
 
 // Run simulates cfg.Rounds rounds, invoking observer (when non-nil) at
-// every round boundary.
+// every round boundary. Each tick proceeds in a fixed order: churn
+// transitions, then queued deliveries due this tick, then node wake-ups
+// in ID order — so runs are deterministic for every transport.
 func (s *Simulator) Run(observer Observer) error {
 	totalTicks := s.cfg.Rounds * s.cfg.TicksPerRound
 	for ; s.tick < totalTicks; s.tick++ {
+		s.applyChurn()
+		if err := s.deliverDue(); err != nil {
+			return err
+		}
 		for _, node := range s.nodes {
-			if node.nextWake > s.tick {
+			if node.nextWake > s.tick || s.down[node.ID] {
 				continue
 			}
 			if err := s.wake(node); err != nil {
@@ -277,6 +426,55 @@ func (s *Simulator) Run(observer Observer) error {
 			if err := observer(round-1, s); err != nil {
 				return fmt.Errorf("gossip: observer at round %d: %w", round-1, err)
 			}
+		}
+	}
+	return nil
+}
+
+// applyChurn processes the churn transitions scheduled for the current
+// tick. A departing node loses its unmerged inbox (volatile state —
+// the buffers go back to the arena); its model persists across the
+// outage.
+func (s *Simulator) applyChurn() {
+	for s.churnNext < len(s.churn) && s.churn[s.churnNext].tick <= s.tick {
+		tr := s.churn[s.churnNext]
+		s.churnNext++
+		if s.down[tr.node] == !tr.up {
+			continue
+		}
+		s.down[tr.node] = !tr.up
+		if !tr.up {
+			s.nodes[tr.node].RecycleInbox()
+		}
+	}
+}
+
+// deliverDue drains the transport's queue for the current tick and
+// hands each message to the protocol. Queued payloads are arena
+// buffers: a synchronously merging protocol consumes them here and the
+// buffer is recycled immediately; a retaining protocol keeps the buffer
+// in the node's inbox until RecycleInbox. Deliveries to a node that
+// went offline after the send are lost.
+func (s *Simulator) deliverDue() error {
+	if s.transport.Pending() == 0 {
+		return nil
+	}
+	s.drainBuf = s.transport.Drain(s.drainBuf[:0], s.tick)
+	for i := range s.drainBuf {
+		d := &s.drainBuf[i]
+		params := d.Params
+		d.Params = nil
+		if s.down[d.To] {
+			s.messagesDropped++
+			s.pool.Put(params)
+			continue
+		}
+		err := s.protocol.OnReceive(s.nodes[d.To], Message{From: d.From, Params: params})
+		if s.syncRecv {
+			s.pool.Put(params)
+		}
+		if err != nil {
+			return fmt.Errorf("gossip: deliver %d->%d at tick %d: %w", d.From, d.To, s.tick, err)
 		}
 	}
 	return nil

@@ -1,0 +1,29 @@
+package netmodel
+
+// Instant is the seed semantics: every message is delivered inline at
+// the tick it was sent, on the sender's call stack. It never queues, so
+// the simulator's zero-allocation send discipline is preserved intact.
+type Instant struct{}
+
+var _ Transport = Instant{}
+
+// NewInstant returns the zero-delay transport.
+func NewInstant() Instant { return Instant{} }
+
+// Name implements Transport.
+func (Instant) Name() string { return "instant" }
+
+// Plan implements Transport: deliver now, never drop.
+func (Instant) Plan(now, from, to, bytes int) (int, bool) { return now, false }
+
+// Schedule implements Transport. Instant never plans a future delivery,
+// so a call here is a simulator bug, not a runtime condition.
+func (Instant) Schedule(Delivery) {
+	panic("netmodel: Schedule on the instant transport")
+}
+
+// Drain implements Transport: the queue is always empty.
+func (Instant) Drain(dst []Delivery, now int) []Delivery { return dst }
+
+// Pending implements Transport.
+func (Instant) Pending() int { return 0 }

@@ -1,0 +1,61 @@
+package netmodel
+
+import "gossipmia/internal/tensor"
+
+// Latency models heterogeneous link delays: each directed link (i,j)
+// gets a propagation delay sampled once at construction from
+// N(LatencyMean, LatencyJitter²) ticks, clamped to at least one tick,
+// plus an optional per-message serialization term of
+// ceil(wireBytes/BandwidthBytesPerTick) ticks. Messages are queued and
+// delivered in (due tick, send order) via the shared delivery queue; a
+// Latency transport never delivers inline.
+type Latency struct {
+	n           int
+	delays      []int // n*n directed link delays, row-major
+	bytesPerTik int
+	q           deliveryQueue
+}
+
+var _ Transport = (*Latency)(nil)
+
+// NewLatency samples the per-link delay matrix from rng. The sampling
+// order (row-major over directed links) is fixed, so a fixed seed gives
+// a fixed network.
+func NewLatency(cfg Config, nodes int, rng *tensor.RNG) *Latency {
+	t := &Latency{
+		n:           nodes,
+		delays:      make([]int, nodes*nodes),
+		bytesPerTik: cfg.BandwidthBytesPerTick,
+	}
+	for i := 0; i < nodes; i++ {
+		for j := 0; j < nodes; j++ {
+			if i == j {
+				continue
+			}
+			t.delays[i*nodes+j] = roundDelay(rng.Normal(cfg.LatencyMean, cfg.LatencyJitter))
+		}
+	}
+	return t
+}
+
+// Name implements Transport.
+func (*Latency) Name() string { return "latency" }
+
+// LinkDelay returns the sampled propagation delay of the directed link
+// from→to (ticks), exposed for tests and analysis.
+func (t *Latency) LinkDelay(from, to int) int { return t.delays[from*t.n+to] }
+
+// Plan implements Transport: propagation plus serialization delay,
+// never dropped, never inline.
+func (t *Latency) Plan(now, from, to, bytes int) (int, bool) {
+	return now + t.delays[from*t.n+to] + bwTicks(bytes, t.bytesPerTik), false
+}
+
+// Schedule implements Transport.
+func (t *Latency) Schedule(d Delivery) { t.q.push(d) }
+
+// Drain implements Transport.
+func (t *Latency) Drain(dst []Delivery, now int) []Delivery { return t.q.drainDue(dst, now) }
+
+// Pending implements Transport.
+func (t *Latency) Pending() int { return t.q.pending() }

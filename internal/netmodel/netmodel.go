@@ -1,0 +1,240 @@
+// Package netmodel is the simulator's pluggable network layer. It
+// replaces the seed's synchronous Send→OnReceive call chain with an
+// event-driven model: a Transport decides, per message, whether the
+// transmission is lost, delivered inline on the sender's call stack
+// (the paper's zero-delay semantics), or queued for a later tick; the
+// simulator drains the queue at every tick boundary.
+//
+// Three transports are provided:
+//
+//   - Instant reproduces the seed semantics exactly: every message is
+//     delivered inline at the send tick, and the optional drop
+//     probability consumes randomness in the same order as the seed
+//     implementation, so fixed-seed runs are byte-identical.
+//   - Latency delivers through the tick-ordered queue: each directed
+//     link gets a propagation delay sampled once from a seeded normal
+//     distribution, plus a per-message serialization term derived from
+//     the wire-format frame size and a configured bandwidth.
+//   - Lossy wraps another transport with loss: an i.i.d. drop
+//     probability (absorbing the simulator's historical DropProb) and
+//     scheduled network partitions that heal — messages crossing the
+//     cut while a partition is active are lost.
+//
+// All randomness flows through the RNG handed to New, so every
+// transport is deterministic for a fixed seed; none of them allocates
+// on the per-message Plan path.
+package netmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gossipmia/internal/tensor"
+)
+
+// ErrConfig is returned for invalid network-model configurations.
+var ErrConfig = errors.New("netmodel: invalid config")
+
+// Kind selects a transport implementation.
+type Kind int
+
+// The supported transports. KindInstant is the zero value so existing
+// configurations keep the seed semantics.
+const (
+	KindInstant Kind = iota
+	KindLatency
+	KindLossy
+)
+
+// String returns the CLI name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInstant:
+		return "instant"
+	case KindLatency:
+		return "latency"
+	case KindLossy:
+		return "lossy"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// KindByName resolves a CLI transport name.
+func KindByName(name string) (Kind, error) {
+	switch name {
+	case "", "instant":
+		return KindInstant, nil
+	case "latency":
+		return KindLatency, nil
+	case "lossy":
+		return KindLossy, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown transport %q (want instant, latency, or lossy)", ErrConfig, name)
+	}
+}
+
+// Partition is one scheduled network partition: while the tick clock is
+// in [FromTick, ToTick), messages with exactly one endpoint in Members
+// are lost. The partition heals at ToTick.
+type Partition struct {
+	FromTick, ToTick int
+	// Members is one side of the cut; the complement is the other side.
+	Members []int
+}
+
+// Config describes a transport. The zero value selects Instant with no
+// loss — the seed semantics.
+type Config struct {
+	Kind Kind
+
+	// LatencyMean/LatencyJitter parameterize the per-link propagation
+	// delay (ticks): each directed link samples its delay once from
+	// N(LatencyMean, LatencyJitter²), clamped to at least one tick.
+	// Used by KindLatency (and by KindLossy when LatencyMean,
+	// LatencyJitter, or BandwidthBytesPerTick is set, which makes loss
+	// wrap latency).
+	LatencyMean, LatencyJitter float64
+
+	// BandwidthBytesPerTick > 0 adds a serialization term of
+	// ceil(wireBytes / BandwidthBytesPerTick) ticks per message, with
+	// wireBytes the wire-format frame size of the payload.
+	BandwidthBytesPerTick int
+
+	// DropProb is the i.i.d. probability that a message is lost
+	// (KindLossy, or KindInstant for seed compatibility).
+	DropProb float64
+
+	// Partitions schedules network partitions (KindLossy).
+	Partitions []Partition
+}
+
+// Validate reports configuration errors; nodes is the network size the
+// transport will serve.
+func (c Config) Validate(nodes int) error {
+	if c.Kind < KindInstant || c.Kind > KindLossy {
+		return fmt.Errorf("%w: kind=%d", ErrConfig, int(c.Kind))
+	}
+	if c.LatencyMean < 0 || c.LatencyJitter < 0 {
+		return fmt.Errorf("%w: latency mean=%v jitter=%v", ErrConfig, c.LatencyMean, c.LatencyJitter)
+	}
+	// Parameters the selected transport would silently ignore are
+	// rejected: a zero-delay transport with latency knobs set is a
+	// misconfiguration, not a request for zero delay.
+	if c.Kind == KindInstant && (c.LatencyMean > 0 || c.LatencyJitter > 0 || c.BandwidthBytesPerTick > 0) {
+		return fmt.Errorf("%w: the instant transport cannot model latency or bandwidth (use kind %q or %q)",
+			ErrConfig, KindLatency, KindLossy)
+	}
+	if c.BandwidthBytesPerTick < 0 {
+		return fmt.Errorf("%w: bandwidth=%d bytes/tick", ErrConfig, c.BandwidthBytesPerTick)
+	}
+	if c.DropProb < 0 || c.DropProb >= 1 {
+		return fmt.Errorf("%w: dropProb=%v out of [0,1)", ErrConfig, c.DropProb)
+	}
+	for i, p := range c.Partitions {
+		if p.FromTick < 0 || p.ToTick <= p.FromTick {
+			return fmt.Errorf("%w: partition %d ticks [%d,%d)", ErrConfig, i, p.FromTick, p.ToTick)
+		}
+		if len(p.Members) == 0 {
+			return fmt.Errorf("%w: partition %d has no members", ErrConfig, i)
+		}
+		for _, m := range p.Members {
+			if m < 0 || m >= nodes {
+				return fmt.Errorf("%w: partition %d member %d out of [0,%d)", ErrConfig, i, m, nodes)
+			}
+		}
+	}
+	return nil
+}
+
+// Delivery is one queued message: an opaque payload (the caller owns
+// the buffer lifecycle) plus its routing and timing.
+type Delivery struct {
+	From, To  int
+	SentTick  int
+	DeliverAt int
+	Params    tensor.Vector
+
+	// seq is the transport-assigned send order, the stable FIFO
+	// tie-break for deliveries due at the same tick.
+	seq uint64
+}
+
+// Transport models the network between simulator nodes.
+//
+// The per-message protocol is two-phase so the caller controls buffer
+// lifecycle: Plan decides the fate of a transmission before any copy is
+// made; if the message is queued (deliverAt > now) the caller copies
+// the payload into a stable buffer and hands it over with Schedule.
+// Implementations must be deterministic for a fixed RNG seed.
+type Transport interface {
+	// Name identifies the transport ("instant", "latency", ...).
+	Name() string
+	// Plan decides the fate of a message of wire size bytes sent from
+	// `from` to `to` at tick now: lost (dropped), delivered inline on
+	// the caller's stack (deliverAt == now), or queued (deliverAt > now).
+	Plan(now, from, to, bytes int) (deliverAt int, dropped bool)
+	// Schedule enqueues a payload whose Plan returned deliverAt > now.
+	// The transport owns d.Params until Drain hands it back.
+	Schedule(d Delivery)
+	// Drain appends to dst every queued delivery due at or before now —
+	// ordered by (DeliverAt, send order) — and removes them from the
+	// queue.
+	Drain(dst []Delivery, now int) []Delivery
+	// Pending reports how many deliveries remain queued.
+	Pending() int
+}
+
+// New builds the transport described by cfg for a network of `nodes`
+// nodes. The rng is used both at construction (sampling per-link
+// delays) and at run time (drop decisions); for KindInstant with a
+// drop probability it is consumed in exactly the seed implementation's
+// order, keeping fixed-seed runs byte-identical.
+func New(cfg Config, nodes int, rng *tensor.RNG) (Transport, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("%w: %d nodes", ErrConfig, nodes)
+	}
+	if err := cfg.Validate(nodes); err != nil {
+		return nil, err
+	}
+	switch cfg.Kind {
+	case KindInstant:
+		if cfg.DropProb > 0 {
+			return NewLossy(cfg.DropProb, nil, nodes, NewInstant(), rng)
+		}
+		return NewInstant(), nil
+	case KindLatency:
+		lat := NewLatency(cfg, nodes, rng)
+		if cfg.DropProb > 0 {
+			return NewLossy(cfg.DropProb, nil, nodes, lat, rng)
+		}
+		return lat, nil
+	case KindLossy:
+		var inner Transport = NewInstant()
+		if cfg.LatencyMean > 0 || cfg.LatencyJitter > 0 || cfg.BandwidthBytesPerTick > 0 {
+			inner = NewLatency(cfg, nodes, rng)
+		}
+		return NewLossy(cfg.DropProb, cfg.Partitions, nodes, inner, rng)
+	default:
+		return nil, fmt.Errorf("%w: kind=%d", ErrConfig, int(cfg.Kind))
+	}
+}
+
+// bwTicks returns the serialization delay for a frame of `bytes` wire
+// bytes at the configured bandwidth (0 when unlimited).
+func bwTicks(bytes, bytesPerTick int) int {
+	if bytesPerTick <= 0 || bytes <= 0 {
+		return 0
+	}
+	return (bytes + bytesPerTick - 1) / bytesPerTick
+}
+
+// roundDelay converts a sampled float delay to whole ticks, at least 1.
+func roundDelay(d float64) int {
+	t := int(math.Round(d))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}

@@ -1,0 +1,77 @@
+package netmodel
+
+// deliveryQueue is a binary min-heap of Deliveries ordered by
+// (DeliverAt, seq): earliest due first, send order breaking ties, so
+// same-tick deliveries drain in stable FIFO order. It is hand-rolled on
+// a plain slice (rather than container/heap) so pushes and pops move
+// Delivery values without interface boxing; the backing array is
+// reused across the run, so steady-state scheduling does not allocate.
+type deliveryQueue struct {
+	heap []Delivery
+	seq  uint64
+}
+
+func (q *deliveryQueue) less(a, b Delivery) bool {
+	if a.DeliverAt != b.DeliverAt {
+		return a.DeliverAt < b.DeliverAt
+	}
+	return a.seq < b.seq
+}
+
+// push enqueues d, stamping its send order.
+func (q *deliveryQueue) push(d Delivery) {
+	d.seq = q.seq
+	q.seq++
+	q.heap = append(q.heap, d)
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest delivery; callers must check
+// len first.
+func (q *deliveryQueue) pop() Delivery {
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[last] = Delivery{} // release the payload reference
+	q.heap = q.heap[:last]
+	q.siftDown(0)
+	return top
+}
+
+func (q *deliveryQueue) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && q.less(q.heap[left], q.heap[smallest]) {
+			smallest = left
+		}
+		if right < n && q.less(q.heap[right], q.heap[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}
+
+// drainDue appends to dst every delivery due at or before now, in
+// (DeliverAt, seq) order.
+func (q *deliveryQueue) drainDue(dst []Delivery, now int) []Delivery {
+	for len(q.heap) > 0 && q.heap[0].DeliverAt <= now {
+		dst = append(dst, q.pop())
+	}
+	return dst
+}
+
+func (q *deliveryQueue) pending() int { return len(q.heap) }

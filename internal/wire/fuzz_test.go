@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"gossipmia/internal/tensor"
+)
+
+// FuzzDecodeParams throws arbitrary byte strings at the frame decoder:
+// truncated frames, corrupted CRCs, flipped header fields, and
+// absurd length claims must all return an error without panicking or
+// allocating absurd amounts, and every accepted frame must re-encode
+// to a frame that decodes to the same values.
+func FuzzDecodeParams(f *testing.F) {
+	// Canonical frames of a few sizes.
+	for _, n := range []int{0, 1, 3, 64} {
+		v := tensor.NewVector(n)
+		for i := range v {
+			v[i] = float64(i) * 0.5
+		}
+		f.Add(EncodeParams(v))
+	}
+	good := EncodeParams(tensor.Vector{1.5, -2.25, math.Inf(1), math.NaN()})
+	f.Add(good)
+	// Truncations.
+	f.Add([]byte{})
+	f.Add(good[:headerSize-1])
+	f.Add(good[:len(good)-1])
+	// Corrupted CRC.
+	crcFlip := append([]byte(nil), good...)
+	crcFlip[len(crcFlip)-1] ^= 0xff
+	f.Add(crcFlip)
+	// Corrupted payload.
+	payloadFlip := append([]byte(nil), good...)
+	payloadFlip[headerSize] ^= 0x01
+	f.Add(payloadFlip)
+	// Absurd count with a matching-length claim.
+	huge := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(huge[8:16], 1<<40)
+	f.Add(huge)
+	// Wrong magic / version.
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] ^= 0xff
+	f.Add(badMagic)
+	badVersion := append([]byte(nil), good...)
+	badVersion[4] = 0x7f
+	f.Add(badVersion)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, err := DecodeParams(b)
+		if err != nil {
+			if v != nil {
+				t.Fatalf("error %v returned a non-nil vector", err)
+			}
+			return
+		}
+		if ParamsWireSize(len(v)) != len(b) {
+			t.Fatalf("accepted %d bytes but decoded %d params", len(b), len(v))
+		}
+		// Accepted frames round-trip by value: re-encoding and decoding
+		// again must reproduce the same bit patterns. (Byte equality
+		// with the input is not required — the decoder ignores the
+		// reserved header bytes, which re-encoding canonicalizes.)
+		again, err := DecodeParams(EncodeParams(v))
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if len(again) != len(v) {
+			t.Fatalf("re-decode length %d != %d", len(again), len(v))
+		}
+		for i := range v {
+			if math.Float64bits(v[i]) != math.Float64bits(again[i]) {
+				t.Fatalf("value %d changed across round trip: %x -> %x",
+					i, math.Float64bits(v[i]), math.Float64bits(again[i]))
+			}
+		}
+	})
+}

@@ -38,11 +38,25 @@ func ParamsWireSize(n int) int {
 	return headerSize + 8*n + trailerSize
 }
 
-// EncodeParams serializes a parameter vector.
-func EncodeParams(v tensor.Vector) []byte {
-	buf := make([]byte, ParamsWireSize(len(v)))
+// AppendParams appends the wire frame for v to dst and returns the
+// extended slice. It allocates only when dst lacks capacity, so a
+// transport serializing a stream of same-sized models into a reused
+// buffer pays nothing per message.
+func AppendParams(dst []byte, v tensor.Vector) []byte {
+	start := len(dst)
+	need := ParamsWireSize(len(v))
+	if cap(dst)-start < need {
+		// At least double so repeated appends into one stream buffer
+		// amortize instead of copying the prefix per frame.
+		grown := make([]byte, start, max(2*cap(dst), start+need))
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:start+need]
+	buf := dst[start:]
 	binary.LittleEndian.PutUint32(buf[0:4], magic)
 	binary.LittleEndian.PutUint16(buf[4:6], version)
+	binary.LittleEndian.PutUint16(buf[6:8], 0) // reserved: dst may be dirty
 	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(v)))
 	off := headerSize
 	for _, x := range v {
@@ -51,11 +65,20 @@ func EncodeParams(v tensor.Vector) []byte {
 	}
 	crc := crc32.ChecksumIEEE(buf[:off])
 	binary.LittleEndian.PutUint32(buf[off:off+4], crc)
-	return buf
+	return dst
 }
 
-// DecodeParams parses a frame produced by EncodeParams.
-func DecodeParams(b []byte) (tensor.Vector, error) {
+// EncodeParams serializes a parameter vector into a fresh buffer.
+func EncodeParams(v tensor.Vector) []byte {
+	return AppendParams(make([]byte, 0, ParamsWireSize(len(v))), v)
+}
+
+// DecodeParamsInto parses a frame produced by EncodeParams/AppendParams
+// into dst, reusing dst's storage when its capacity suffices (the
+// zero-allocation receive path for transports decoding same-sized
+// models). It returns the decoded vector, which aliases dst only in the
+// reuse case; on error dst's contents are unspecified.
+func DecodeParamsInto(dst tensor.Vector, b []byte) (tensor.Vector, error) {
 	if len(b) < headerSize+trailerSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFormat, len(b))
 	}
@@ -78,11 +101,22 @@ func DecodeParams(b []byte) (tensor.Vector, error) {
 	if crc32.ChecksumIEEE(b[:payloadEnd]) != crc {
 		return nil, ErrChecksum
 	}
-	out := tensor.NewVector(int(count))
+	var out tensor.Vector
+	if cap(dst) >= int(count) {
+		out = dst[:count]
+	} else {
+		out = tensor.NewVector(int(count))
+	}
 	off := headerSize
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[off : off+8]))
 		off += 8
 	}
 	return out, nil
+}
+
+// DecodeParams parses a frame produced by EncodeParams into a fresh
+// vector.
+func DecodeParams(b []byte) (tensor.Vector, error) {
+	return DecodeParamsInto(nil, b)
 }

@@ -102,6 +102,100 @@ func TestDecodeErrors(t *testing.T) {
 	}
 }
 
+func TestAppendParamsMatchesEncode(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	v := tensor.NewVector(64)
+	rng.FillNormal(v, 0, 1)
+
+	// Appending to nil equals the fresh encoding.
+	if got, want := AppendParams(nil, v), EncodeParams(v); string(got) != string(want) {
+		t.Fatal("AppendParams(nil, v) != EncodeParams(v)")
+	}
+	// Appending preserves the prefix and frames after it.
+	prefix := []byte("hdr:")
+	framed := AppendParams(append([]byte(nil), prefix...), v)
+	if string(framed[:len(prefix)]) != string(prefix) {
+		t.Fatal("prefix clobbered")
+	}
+	got, err := DecodeParams(framed[len(prefix):])
+	if err != nil || !tensor.EqualApprox(got, v, 0) {
+		t.Fatalf("appended frame does not decode: %v", err)
+	}
+	// A dirty reused buffer must still produce a canonical frame (the
+	// reserved bytes are written, not inherited).
+	dirty := make([]byte, 0, ParamsWireSize(len(v)))
+	dirty = dirty[:cap(dirty)]
+	for i := range dirty {
+		dirty[i] = 0xff
+	}
+	dirty = dirty[:0]
+	if got := AppendParams(dirty, v); string(got) != string(EncodeParams(v)) {
+		t.Fatal("dirty buffer leaked into the frame")
+	}
+}
+
+func TestAppendParamsReusedBufferDoesNotAllocate(t *testing.T) {
+	v := tensor.NewVector(128)
+	buf := make([]byte, 0, ParamsWireSize(len(v)))
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendParams(buf[:0], v)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendParams into reused buffer allocates %.1f/op", allocs)
+	}
+}
+
+func TestDecodeParamsInto(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	v := tensor.NewVector(32)
+	rng.FillNormal(v, 0, 1)
+	frame := EncodeParams(v)
+
+	// Sufficient capacity: storage is reused.
+	dst := tensor.NewVector(32)
+	got, err := DecodeParamsInto(dst, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &dst[0] {
+		t.Fatal("decode-into did not reuse dst storage")
+	}
+	if !tensor.EqualApprox(got, v, 0) {
+		t.Fatal("decode-into changed values")
+	}
+	// Larger capacity than needed still reuses and truncates.
+	big := tensor.NewVector(100)
+	got, err = DecodeParamsInto(big, frame)
+	if err != nil || len(got) != 32 || &got[0] != &big[0] {
+		t.Fatalf("decode-into big dst: len=%d err=%v", len(got), err)
+	}
+	// Insufficient capacity: falls back to a fresh vector.
+	small := tensor.NewVector(4)
+	got, err = DecodeParamsInto(small, frame)
+	if err != nil || len(got) != 32 {
+		t.Fatalf("decode-into small dst: len=%d err=%v", len(got), err)
+	}
+	if !tensor.EqualApprox(got, v, 0) {
+		t.Fatal("fallback decode changed values")
+	}
+}
+
+func TestDecodeParamsIntoReusedDoesNotAllocate(t *testing.T) {
+	v := tensor.NewVector(128)
+	frame := EncodeParams(v)
+	dst := tensor.NewVector(128)
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		dst, err = DecodeParamsInto(dst, frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeParamsInto with reused dst allocates %.1f/op", allocs)
+	}
+}
+
 func TestWireSizeFormula(t *testing.T) {
 	for _, n := range []int{0, 1, 100} {
 		v := tensor.NewVector(n)

@@ -9,9 +9,16 @@ OUT=${1:-BENCH_smoke.json}
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
+# Heavy end-to-end benchmarks: two iterations are enough for a smoke
+# signal. The cheap hot-path benchmarks run at steady state instead, so
+# their allocs/op reflect the per-message discipline (0 on the Instant
+# send path), not one-time pool warm-up.
 go test -run=NONE \
-  -bench='BenchmarkStudyRunSAMO|BenchmarkTrainerEpoch|BenchmarkMPEAttack|BenchmarkMLPExampleGrad|BenchmarkParallelSpeedup' \
+  -bench='BenchmarkStudyRunSAMO|BenchmarkParallelSpeedup' \
   -benchmem -benchtime=2x . | tee "$RAW"
+go test -run=NONE \
+  -bench='BenchmarkSimulatorSend|BenchmarkTrainerEpoch|BenchmarkMPEAttack|BenchmarkMLPExampleGrad' \
+  -benchmem -benchtime=500x . | tee -a "$RAW"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { n = 0 }

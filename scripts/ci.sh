@@ -1,9 +1,11 @@
 #!/bin/sh
-# ci.sh — the tier-1 gate plus vet and the race detector over the
-# parallelized packages (equivalent to `make ci`).
+# ci.sh — the tier-1 gate plus vet, the race detector over the
+# parallelized packages, and the fuzz-corpus smoke (fuzz targets run
+# once over their seed corpus, no fuzzing time).
 set -eu
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
 go test -race ./...
+go test -run='^Fuzz' ./internal/wire
