@@ -1,6 +1,7 @@
-// Command dlsim runs the paper's experiments (Figures 2–9) and the
-// extension scenarios at a chosen scale and prints the resulting
-// summary tables.
+// Command dlsim runs the paper's experiments (Figures 2–9), the
+// extension scenarios, and arbitrary declarative scenario specs at a
+// chosen scale, printing the resulting summary tables and optionally
+// streaming every run into a result directory.
 //
 // Usage:
 //
@@ -13,6 +14,9 @@
 //	dlsim -figure churn -scale quick               # churn + partition recovery
 //	dlsim -figure 2 -transport latency -latency 50 # any figure under a latency net
 //	dlsim -figure 8 -churn 0.3 -repeats 5          # churned net, bootstrap CIs
+//	dlsim -spec examples/specs/latency_churn_dp.json -scale tiny
+//	dlsim -spec sweep.json -out runs/sweep         # manifest + JSONL streams
+//	dlsim -spec sweep.json -out runs/sweep -resume # skip completed arms
 package main
 
 import (
@@ -22,30 +26,53 @@ import (
 	"strings"
 
 	"gossipmia/internal/experiment"
+	"gossipmia/internal/spec"
 )
 
-// scenario is one runnable entry of the catalog: a paper figure or an
-// extension scenario, with the one-line description -list prints.
+// scenario is one runnable entry of the catalog: a paper figure, an
+// extension scenario, or a pseudo-figure (tables, attacks), with the
+// one-line description -list prints. The catalog is the single source
+// of truth: exactly the names it lists are the names -figure accepts
+// (plus "all", which runs the whole catalog in order).
 type scenario struct {
 	name string
 	desc string
-	run  func(experiment.Scale) (*experiment.FigureResult, error)
+	// fig runs a figure/scenario and prints its table (nil for text
+	// entries).
+	fig func(experiment.Scale) (*experiment.FigureResult, error)
+	// text renders a pseudo-figure (tables, attacks) directly.
+	text func(experiment.Scale) (string, error)
+	// rejectsOverlay marks entries a network overlay cannot apply to.
+	rejectsOverlay bool
 }
 
-// catalog returns the ordered figure/scenario registry.
+// catalog returns the ordered figure/scenario registry, in the order
+// -figure all runs them.
 func catalog() []scenario {
 	return []scenario{
-		{"2", "RQ1: SAMO vs Base Gossip, 5-regular static graph, all corpora", experiment.RunFigure2},
-		{"3", "RQ2: static vs dynamic topology, 2-regular graph (SAMO)", experiment.RunFigure3},
-		{"4", "RQ3: canary worst-case audit (max TPR@1%FPR), static vs dynamic", experiment.RunFigure4},
-		{"5", "RQ4: view-size sweep and communication cost (CIFAR-10-like)", experiment.RunFigure5},
-		{"6", "RQ5: Dirichlet non-IID sweep (Purchase100-like)", experiment.RunFigure6},
-		{"7", "RQ6: MIA vulnerability vs generalization error, all corpora", experiment.RunFigure7},
-		{"8", "RQ6: per-round MIA accuracy and generalization error", experiment.RunFigure8},
-		{"9", "RQ7: DP-SGD privacy-budget sweep (epsilon)", experiment.RunFigure9},
-		{"latency", "network scenario: per-link latency / staleness sweep, SAMO vs Base", experiment.RunLatencySweep},
-		{"churn", "network scenario: node churn and healing partition recovery", experiment.RunChurnRecovery},
-		{"dynamics", "extension: static vs PeerSwap vs Cyclon peer sampling", experiment.RunDynamicsComparison},
+		{name: "tables", desc: "Tables 1 and 2: dataset characteristics and training configuration",
+			text: func(experiment.Scale) (string, error) {
+				return experiment.DatasetCatalogTable() + "\n" + experiment.TrainingCatalogTable(), nil
+			}, rejectsOverlay: true},
+		{name: "2", desc: "RQ1: SAMO vs Base Gossip, 5-regular static graph, all corpora", fig: experiment.RunFigure2},
+		{name: "3", desc: "RQ2: static vs dynamic topology, 2-regular graph (SAMO)", fig: experiment.RunFigure3},
+		{name: "4", desc: "RQ3: canary worst-case audit (max TPR@1%FPR), static vs dynamic", fig: experiment.RunFigure4},
+		{name: "5", desc: "RQ4: view-size sweep and communication cost (CIFAR-10-like)", fig: experiment.RunFigure5},
+		{name: "6", desc: "RQ5: Dirichlet non-IID sweep (Purchase100-like)", fig: experiment.RunFigure6},
+		{name: "7", desc: "RQ6: MIA vulnerability vs generalization error, all corpora", fig: experiment.RunFigure7},
+		{name: "8", desc: "RQ6: per-round MIA accuracy and generalization error", fig: experiment.RunFigure8},
+		{name: "9", desc: "RQ7: DP-SGD privacy-budget sweep (epsilon)", fig: experiment.RunFigure9},
+		{name: "latency", desc: "network scenario: per-link latency / staleness sweep, SAMO vs Base", fig: experiment.RunLatencySweep},
+		{name: "churn", desc: "network scenario: node churn and healing partition recovery", fig: experiment.RunChurnRecovery},
+		{name: "dynamics", desc: "extension: static vs PeerSwap vs Cyclon peer sampling", fig: experiment.RunDynamicsComparison},
+		{name: "attacks", desc: "extension: attack score-function comparison on final models",
+			text: func(sc experiment.Scale) (string, error) {
+				cmp, err := experiment.RunAttackComparison(sc)
+				if err != nil {
+					return "", err
+				}
+				return cmp.Table(), nil
+			}},
 	}
 }
 
@@ -59,6 +86,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dlsim", flag.ContinueOnError)
 	figure := fs.String("figure", "all", `figure or scenario to run (see -list): 2..9, "latency", "churn", "dynamics", "tables", "attacks", or "all"`)
+	specPath := fs.String("spec", "", "run a declarative scenario spec (JSON file) instead of a catalog figure")
+	outDir := fs.String("out", "", "result directory for -spec runs: manifest, per-arm caches, streamed events, results.csv")
+	resume := fs.Bool("resume", false, "with -spec and -out: skip arms whose cached results already exist in the out directory")
 	list := fs.Bool("list", false, "print the available figures/scenarios and exit")
 	scaleName := fs.String("scale", "quick", "experiment scale: tiny, quick, or paper")
 	seed := fs.Int64("seed", 0, "override the scale's base seed (0 keeps the preset)")
@@ -95,40 +125,36 @@ func run(args []string) error {
 		return err
 	}
 
-	printTables := func() {
-		fmt.Println(experiment.DatasetCatalogTable())
-		fmt.Println(experiment.TrainingCatalogTable())
+	if *specPath != "" {
+		if *figure != "all" {
+			return fmt.Errorf("-spec and -figure are mutually exclusive (got -figure %s)", *figure)
+		}
+		if *repeats > 1 {
+			return fmt.Errorf("-repeats does not apply to -spec runs")
+		}
+		// Specs declare their networks per arm; letting the overlay
+		// reach a spec's control arms (e.g. the latency=0 baselines of
+		// a sweep) would silently degrade them, so the combination is
+		// rejected — same policy as the built-in latency/churn scenarios.
+		if sc.Net != (experiment.NetOverlay{}) {
+			return fmt.Errorf("network overlay flags cannot be combined with -spec: declare the network per arm in the spec file")
+		}
+		return runSpecFile(*specPath, sc, *outDir, *resume, *csv, *plotFlag)
+	}
+	if *outDir != "" || *resume {
+		return fmt.Errorf("-out and -resume require -spec")
 	}
 
 	switch *figure {
-	case "tables":
-		if sc.Net != (experiment.NetOverlay{}) {
-			return fmt.Errorf("network overlay flags have no effect on -figure tables")
-		}
-		printTables()
-		return nil
-	case "attacks":
-		cmp, err := experiment.RunAttackComparison(sc)
-		if err != nil {
-			return err
-		}
-		fmt.Println(cmp.Table())
-		return nil
 	case "all":
 		if sc.Net != (experiment.NetOverlay{}) {
 			return fmt.Errorf("network overlay flags cannot be combined with -figure all: the latency and churn scenarios pin their own networks per arm")
 		}
-		printTables()
 		for _, s := range catalog() {
-			if err := runFigure(s.run, sc, *csv, *plotFlag); err != nil {
+			if err := runEntry(s, sc, *csv, *plotFlag); err != nil {
 				return fmt.Errorf("figure %s: %w", s.name, err)
 			}
 		}
-		cmp, err := experiment.RunAttackComparison(sc)
-		if err != nil {
-			return fmt.Errorf("attack comparison: %w", err)
-		}
-		fmt.Println(cmp.Table())
 		return nil
 	default:
 		var sel *scenario
@@ -141,16 +167,52 @@ func run(args []string) error {
 		if sel == nil {
 			return fmt.Errorf("unknown figure %q (run dlsim -list for the catalog)", *figure)
 		}
-		if *repeats > 1 {
-			rep, err := experiment.Replicate(sel.run, sc, *repeats, 0.95)
+		if sel.rejectsOverlay && sc.Net != (experiment.NetOverlay{}) {
+			return fmt.Errorf("network overlay flags have no effect on -figure %s", sel.name)
+		}
+		if *repeats > 1 && sel.fig != nil {
+			rep, err := experiment.Replicate(sel.fig, sc, *repeats, 0.95)
 			if err != nil {
 				return err
 			}
 			fmt.Println(rep.Table())
 			return nil
 		}
-		return runFigure(sel.run, sc, *csv, *plotFlag)
+		return runEntry(*sel, sc, *csv, *plotFlag)
 	}
+}
+
+// runSpecFile loads and runs a declarative spec, optionally persisting
+// the run (manifest, caches, event streams) to a result directory.
+func runSpecFile(path string, sc experiment.Scale, outDir string, resume, csv, renderPlot bool) error {
+	if resume && outDir == "" {
+		return fmt.Errorf("-resume requires -out")
+	}
+	sp, err := spec.Load(path)
+	if err != nil {
+		return err
+	}
+	var fig *experiment.FigureResult
+	if outDir == "" {
+		fig, err = experiment.RunSpec(sp, sc)
+	} else {
+		var man *experiment.SpecManifest
+		fig, man, err = experiment.RunSpecDir(sp, sc, experiment.SpecRunOptions{OutDir: outDir, Resume: resume})
+		if err == nil {
+			cached := 0
+			for _, a := range man.Arms {
+				if a.Cached {
+					cached++
+				}
+			}
+			fmt.Printf("spec %s (hash %s): %d arms (%d from cache) -> %s\n",
+				sp.Name, man.SpecHash[:12], len(man.Arms), cached, outDir)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return printFigure(fig, csv, renderPlot)
 }
 
 // netOverlay folds the network flags into the experiment overlay,
@@ -189,18 +251,30 @@ func printCatalog(w *os.File) {
 	for _, s := range catalog() {
 		fmt.Fprintf(w, "  %-9s %s\n", s.name, s.desc)
 	}
-	fmt.Fprintln(w, "  tables    Tables 1 and 2: dataset characteristics and training configuration")
-	fmt.Fprintln(w, "  attacks   extension: attack score-function comparison on final models")
-	fmt.Fprintln(w, "  all       every figure and scenario above, plus the tables")
+	fmt.Fprintln(w, "  all       every figure and scenario above, in catalog order")
 	fmt.Fprintln(w, strings.TrimSpace(`
-network overlay flags (apply to any figure): -transport, -latency, -churn, -drop`))
+network overlay flags (apply to any figure): -transport, -latency, -churn, -drop
+declarative specs: -spec file.json [-out dir [-resume]] (see examples/specs/)`))
 }
 
-func runFigure(runner func(experiment.Scale) (*experiment.FigureResult, error), sc experiment.Scale, csv, renderPlot bool) error {
-	fig, err := runner(sc)
+// runEntry runs one catalog entry and prints its output.
+func runEntry(s scenario, sc experiment.Scale, csv, renderPlot bool) error {
+	if s.text != nil {
+		out, err := s.text(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+	fig, err := s.fig(sc)
 	if err != nil {
 		return err
 	}
+	return printFigure(fig, csv, renderPlot)
+}
+
+func printFigure(fig *experiment.FigureResult, csv, renderPlot bool) error {
 	fmt.Println(fig.Table())
 	if renderPlot {
 		p, err := fig.TradeoffPlot()

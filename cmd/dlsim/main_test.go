@@ -1,10 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"gossipmia/internal/experiment"
+	"gossipmia/internal/spec"
 )
 
 func TestScaleByName(t *testing.T) {
@@ -86,7 +89,7 @@ func TestListFlag(t *testing.T) {
 	}
 	names := map[string]bool{}
 	for _, s := range catalog() {
-		if s.run == nil || s.desc == "" {
+		if (s.fig == nil) == (s.text == nil) || s.desc == "" {
 			t.Fatalf("catalog entry %q incomplete", s.name)
 		}
 		if names[s.name] {
@@ -94,9 +97,31 @@ func TestListFlag(t *testing.T) {
 		}
 		names[s.name] = true
 	}
-	for _, want := range []string{"2", "9", "latency", "churn", "dynamics"} {
+	// The catalog is the single source of truth for -list AND -figure:
+	// every name -figure accepts (other than "all") must be listed,
+	// including the tables/attacks pseudo-figures the old listing omitted.
+	for _, want := range []string{"2", "9", "latency", "churn", "dynamics", "tables", "attacks"} {
 		if !names[want] {
 			t.Fatalf("catalog missing %q", want)
+		}
+	}
+}
+
+// TestCatalogNamesAllRunnable proves listed and accepted names match:
+// every catalog name dispatches (the unknown-figure error is reserved
+// for names outside the catalog). The cheap pseudo-figure actually
+// runs; simulation entries are resolved but not executed.
+func TestCatalogNamesAllRunnable(t *testing.T) {
+	if err := run([]string{"-figure", "tables"}); err != nil {
+		t.Fatalf("tables: %v", err)
+	}
+	for _, s := range catalog() {
+		// Dispatch with a bad scale: a listed name must get past name
+		// resolution (and fail, if at all, on the scale), never report
+		// "unknown figure".
+		err := run([]string{"-figure", s.name, "-scale", "nope"})
+		if err == nil || strings.Contains(err.Error(), "unknown figure") {
+			t.Fatalf("catalog name %q not accepted by -figure: %v", s.name, err)
 		}
 	}
 }
@@ -133,6 +158,98 @@ func TestRunScenarioTiny(t *testing.T) {
 	}
 	if err := run([]string{"-figure", "8", "-scale", "tiny", "-transport", "latency", "-latency", "20", "-churn", "0.3"}); err != nil {
 		t.Fatalf("figure 8 under network overlay: %v", err)
+	}
+}
+
+// writeTestSpec writes a minimal one-arm spec file and returns its path.
+func writeTestSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	raw := `{
+		"name": "cli smoke",
+		"arms": [
+			{"label": "cifar10/samo/k=2", "corpus": "cifar10", "protocol": "samo", "viewSize": 2}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSpecFlagValidation(t *testing.T) {
+	if err := run([]string{"-out", "somewhere"}); err == nil {
+		t.Fatal("-out without -spec accepted")
+	}
+	if err := run([]string{"-resume"}); err == nil {
+		t.Fatal("-resume without -spec accepted")
+	}
+	if err := run([]string{"-spec", "x.json", "-resume"}); err == nil {
+		t.Fatal("-resume without -out accepted")
+	}
+	if err := run([]string{"-spec", "x.json", "-figure", "2"}); err == nil {
+		t.Fatal("-spec with -figure accepted")
+	}
+	if err := run([]string{"-spec", "x.json", "-repeats", "3"}); err == nil {
+		t.Fatal("-spec with -repeats accepted")
+	}
+	// Specs declare networks per arm; an overlay would silently degrade
+	// a sweep's control arms.
+	if err := run([]string{"-spec", "x.json", "-latency", "50"}); err == nil ||
+		!strings.Contains(err.Error(), "overlay") {
+		t.Fatalf("-spec with a network overlay accepted: %v", err)
+	}
+	if err := run([]string{"-spec", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}
+
+func TestRunSpecFileTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	path := writeTestSpec(t)
+	if err := run([]string{"-spec", path, "-scale", "tiny"}); err != nil {
+		t.Fatalf("spec run: %v", err)
+	}
+	out := filepath.Join(t.TempDir(), "run")
+	if err := run([]string{"-spec", path, "-scale", "tiny", "-out", out}); err != nil {
+		t.Fatalf("spec run with -out: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "manifest.json")); err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "results.csv")); err != nil {
+		t.Fatalf("results.csv missing: %v", err)
+	}
+	// A second invocation with -resume serves everything from cache.
+	if err := run([]string{"-spec", path, "-scale", "tiny", "-out", out, "-resume"}); err != nil {
+		t.Fatalf("resumed spec run: %v", err)
+	}
+}
+
+// TestExampleSpecsParse keeps the committed example specs loadable: a
+// spec that no longer parses or validates is a broken example.
+func TestExampleSpecsParse(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "specs", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example specs found under examples/specs/")
+	}
+	for _, path := range paths {
+		sp, err := spec.Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		arms, err := sp.ExpandArms()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(arms) == 0 {
+			t.Fatalf("%s expands to no arms", path)
+		}
 	}
 }
 

@@ -97,6 +97,18 @@ type StudyConfig struct {
 	// score functions) without re-running the simulation.
 	KeepFinalModels bool
 
+	// OnRecord, when non-nil, receives every evaluated RoundRecord in
+	// round order as soon as it is measured — the streaming hook result
+	// sinks attach to. An error aborts the run.
+	OnRecord func(metrics.RoundRecord) error
+
+	// DiscardSeries stops the study from retaining per-round records:
+	// Result.Series then carries only the label. Combined with an
+	// OnRecord sink this bounds an arbitrarily long run at O(1) retained
+	// round records instead of O(rounds). Requires OnRecord, otherwise
+	// the measurements would be silently lost.
+	DiscardSeries bool
+
 	// Workers bounds the goroutines used to fan out the per-node
 	// evaluation (test accuracy, MIA attack, generalization error, and
 	// the canary audit) at each observed round: 0 means one worker per
@@ -136,6 +148,9 @@ func (c StudyConfig) Validate() error {
 		if c.DP.Epsilon <= 0 || c.DP.Delta <= 0 || c.DP.Delta >= 1 || c.DP.Clip <= 0 {
 			return fmt.Errorf("%w: dp eps=%v delta=%v clip=%v", ErrStudy, c.DP.Epsilon, c.DP.Delta, c.DP.Clip)
 		}
+	}
+	if c.DiscardSeries && c.OnRecord == nil {
+		return fmt.Errorf("%w: DiscardSeries without an OnRecord sink would lose every measurement", ErrStudy)
 	}
 	return nil
 }
@@ -246,7 +261,14 @@ func (s *Study) Run() (*Result, error) {
 		if err != nil {
 			return err
 		}
-		series.Append(rec)
+		if cfg.OnRecord != nil {
+			if err := cfg.OnRecord(rec); err != nil {
+				return fmt.Errorf("core: record sink at round %d: %w", round, err)
+			}
+		}
+		if !cfg.DiscardSeries {
+			series.Append(rec)
+		}
 		return nil
 	}
 	if err := sim.Run(observer); err != nil {

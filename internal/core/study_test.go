@@ -6,6 +6,7 @@ import (
 
 	"gossipmia/internal/data"
 	"gossipmia/internal/gossip"
+	"gossipmia/internal/metrics"
 )
 
 // quickConfig returns a fast arm used across the integration tests.
@@ -255,5 +256,85 @@ func TestStudyUnknownProtocolAndCorpus(t *testing.T) {
 	}
 	if _, err := st.Run(); err == nil {
 		t.Fatal("unknown corpus accepted")
+	}
+}
+
+// TestStudyOnRecordStreamsRounds proves the observer hook: every
+// evaluated record reaches OnRecord in round order, identical to what
+// the retained series collects.
+func TestStudyOnRecordStreamsRounds(t *testing.T) {
+	var streamed []metrics.RoundRecord
+	cfg := quickConfig()
+	cfg.OnRecord = func(r metrics.RoundRecord) error {
+		streamed = append(streamed, r)
+		return nil
+	}
+	st, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(res.Series.Records) {
+		t.Fatalf("streamed %d records, series has %d", len(streamed), len(res.Series.Records))
+	}
+	for i, r := range streamed {
+		if r != res.Series.Records[i] {
+			t.Fatalf("streamed record %d = %+v, series has %+v", i, r, res.Series.Records[i])
+		}
+		if i > 0 && r.Round <= streamed[i-1].Round {
+			t.Fatalf("records out of round order: %+v", streamed)
+		}
+	}
+}
+
+// TestStudyDiscardSeries proves the O(1) streaming mode: with a sink
+// attached and DiscardSeries set, the result retains no round records
+// while the sink receives them all.
+func TestStudyDiscardSeries(t *testing.T) {
+	count := 0
+	cfg := quickConfig()
+	cfg.OnRecord = func(metrics.RoundRecord) error { count++; return nil }
+	cfg.DiscardSeries = true
+	st, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series.Records) != 0 {
+		t.Fatalf("discarded series still holds %d records", len(res.Series.Records))
+	}
+	if count != 3 { // EvalEvery=2 over 6 rounds: rounds 1, 3, 5
+		t.Fatalf("sink saw %d records, want 3", count)
+	}
+	if res.Series.Label != cfg.Label {
+		t.Fatalf("series label = %q", res.Series.Label)
+	}
+
+	// DiscardSeries without a sink would silently lose the run.
+	bad := quickConfig()
+	bad.DiscardSeries = true
+	if _, err := NewStudy(bad); !errors.Is(err, ErrStudy) {
+		t.Fatalf("DiscardSeries without OnRecord accepted: %v", err)
+	}
+}
+
+// TestStudyOnRecordErrorAborts proves a failing sink aborts the run
+// with its error.
+func TestStudyOnRecordErrorAborts(t *testing.T) {
+	boom := errors.New("sink full")
+	cfg := quickConfig()
+	cfg.OnRecord = func(metrics.RoundRecord) error { return boom }
+	st, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(); !errors.Is(err, boom) {
+		t.Fatalf("run error = %v, want the sink error", err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"gossipmia/internal/metrics"
 	"gossipmia/internal/mia"
 	"gossipmia/internal/par"
+	"gossipmia/internal/spec"
 )
 
 // AttackComparison reports, for one trained deployment, how each attack
@@ -40,71 +41,33 @@ func (a *AttackComparison) Table() string {
 	return b.String()
 }
 
-// RunDynamicsComparison compares the three topology-dynamics modes —
+// DynamicsComparisonSpec compares the three topology-dynamics modes —
 // static k-regular, PeerSwap, and a full Cyclon random peer sampling
 // service — on the same corpus and protocol. It extends Figure 3 with
 // the Section 5 recommendation that dynamics "be paired with robust
 // peer-sampling protocols".
-func RunDynamicsComparison(sc Scale) (*FigureResult, error) {
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	train, err := TrainingFor(data.CIFAR10)
-	if err != nil {
-		return nil, err
-	}
-	fig := &FigureResult{
+func DynamicsComparisonSpec() *spec.Spec {
+	return &spec.Spec{
 		Name:    "Extension: dynamics modes",
 		Caption: "static vs PeerSwap vs Cyclon RPS (CIFAR-10-like, SAMO, k=2)",
+		Sweep: &spec.Sweep{
+			Base: spec.Arm{
+				Label:      "cifar10/samo/k=2",
+				Corpus:     string(data.CIFAR10),
+				Protocol:   "samo",
+				ViewSize:   2,
+				SeedOffset: 1000,
+			},
+			Axes: []spec.Axis{
+				{Field: "dynamics", Values: []any{"static", "peerswap", "cyclon"}},
+			},
+		},
 	}
-	modes := []struct {
-		label    string
-		dynamics gossip.DynamicsKind
-	}{
-		{"cifar10/samo/k=2/static", gossip.DynamicsStatic},
-		{"cifar10/samo/k=2/peerswap", gossip.DynamicsPeerSwap},
-		{"cifar10/samo/k=2/cyclon", gossip.DynamicsCyclon},
-	}
-	fig.Arms = make([]Arm, len(modes))
-	studyWorkers := innerWorkers(sc.Workers, len(modes))
-	err = par.ForEachErr(sc.Workers, len(modes), func(off int) error {
-		mode := modes[off]
-		simCfg := gossip.Config{
-			Nodes: sc.Nodes, ViewSize: 2, Dynamics: mode.dynamics,
-			Rounds: sc.Rounds, Seed: sc.Seed*29 + int64(off),
-		}
-		if err := sc.Net.applySim(&simCfg); err != nil {
-			return err
-		}
-		study, err := core.NewStudy(core.StudyConfig{
-			Label:          mode.label,
-			Corpus:         data.CIFAR10,
-			Protocol:       "samo",
-			Sim:            simCfg,
-			Train:          train,
-			Part:           core.PartitionConfig{TrainPerNode: sc.TrainPerNode, TestPerNode: sc.TestPerNode},
-			GlobalTestSize: sc.GlobalTestSize,
-			EvalEvery:      sc.EvalEvery,
-			EvalNodes:      sc.EvalNodes,
-			Workers:        studyWorkers,
-		})
-		if err != nil {
-			return err
-		}
-		res, err := study.Run()
-		if err != nil {
-			return fmt.Errorf("experiment: dynamics arm %q: %w", mode.label, err)
-		}
-		fig.Arms[off] = Arm{
-			Label: mode.label, Series: res.Series,
-			MessagesSent: res.MessagesSent, BytesSent: res.BytesSent,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return fig, nil
+}
+
+// RunDynamicsComparison runs the dynamics-comparison spec.
+func RunDynamicsComparison(sc Scale) (*FigureResult, error) {
+	return RunSpec(DynamicsComparisonSpec(), sc)
 }
 
 // RunAttackComparison trains one SAMO deployment on the CIFAR-10-like

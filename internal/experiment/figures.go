@@ -4,13 +4,11 @@ import (
 	"fmt"
 	"strings"
 
-	"gossipmia/internal/core"
 	"gossipmia/internal/data"
-	"gossipmia/internal/gossip"
 	"gossipmia/internal/metrics"
-	"gossipmia/internal/netmodel"
 	"gossipmia/internal/par"
 	"gossipmia/internal/plot"
+	"gossipmia/internal/spec"
 	"gossipmia/internal/stats"
 )
 
@@ -117,33 +115,6 @@ func (f *FigureResult) GenErrorPlot() (string, error) {
 		"generalization error", "MIA accuracy")
 }
 
-// armSpec describes one study arm to build from a Scale.
-type armSpec struct {
-	label    string
-	corpus   data.CorpusName
-	protocol string
-	viewSize int
-	dynamic  bool
-	beta     float64 // 0 = IID
-	dp       *core.DPConfig
-	canaries bool
-	seedOff  int64
-
-	// Optional network model for the arm: an explicit transport config
-	// and/or churn schedule. When nil/empty the Scale's NetOverlay (if
-	// any) applies instead, so scenario arms can pin their own network
-	// while ordinary figures inherit the CLI overlay.
-	net   *netmodel.Config
-	churn []gossip.ChurnEvent
-
-	// Optional overrides for figures that need a different training
-	// regime than the corpus default (e.g. Figure 6 uses more data and
-	// fewer local epochs so the MIA signal is not saturated).
-	trainOverride  *core.TrainConfig
-	trainPerFactor float64
-	epochsOverride int
-}
-
 // innerWorkers divides a worker budget across n concurrently running
 // outer tasks, so nested fan-outs (repeats > arms > per-node eval)
 // share one bound instead of multiplying it. Worker counts never affect
@@ -163,212 +134,134 @@ func innerWorkers(budget, n int) int {
 	return inner
 }
 
-// runArms executes the specs on a worker pool (Scale.Workers wide) and
-// assembles the figure. Arms are fully independent — each derives its
-// own seed from the spec — and land in spec order, so the figure is
-// byte-identical to a serial run for any worker count. The per-study
-// evaluation fan-out receives the remaining share of the worker budget.
-func runArms(name, caption string, sc Scale, specs []armSpec) (*FigureResult, error) {
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	scArm := sc
-	scArm.Workers = innerWorkers(sc.Workers, len(specs))
-	fig := &FigureResult{Name: name, Caption: caption}
-	fig.Arms = make([]Arm, len(specs))
-	err := par.ForEachErr(sc.Workers, len(specs), func(i int) error {
-		arm, err := runArm(scArm, specs[i])
-		if err != nil {
-			return fmt.Errorf("experiment: %s arm %q: %w", name, specs[i].label, err)
-		}
-		fig.Arms[i] = arm
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return fig, nil
-}
-
-// runArm builds and runs one core.Study from a spec.
-func runArm(sc Scale, spec armSpec) (Arm, error) {
-	train, err := TrainingFor(spec.corpus)
-	if err != nil {
-		return Arm{}, err
-	}
-	if spec.trainOverride != nil {
-		train = *spec.trainOverride
-	}
-	if spec.epochsOverride > 0 {
-		train.LocalEpochs = spec.epochsOverride
-	}
-	trainPer := sc.TrainPerNode
-	if spec.trainPerFactor > 0 {
-		trainPer = int(float64(trainPer) * spec.trainPerFactor)
-	}
-	nodes := sc.nodesFor(string(spec.corpus))
-	viewSize := spec.viewSize
-	if viewSize >= nodes {
-		viewSize = nodes - 1
-	}
-	// k-regular feasibility: n*k must be even.
-	if nodes*viewSize%2 != 0 {
-		viewSize--
-	}
-	if viewSize < 1 {
-		return Arm{}, fmt.Errorf("cannot fit view size %d in %d nodes: %w", spec.viewSize, nodes, ErrScale)
-	}
-	simCfg := gossip.Config{
-		Nodes:    nodes,
-		ViewSize: viewSize,
-		Dynamic:  spec.dynamic,
-		Rounds:   sc.Rounds,
-		Seed:     sc.Seed*1_000_003 + spec.seedOff,
-	}
-	// The arm's own network model wins; otherwise the Scale-level
-	// overlay (dlsim -transport/-latency/-churn) applies.
-	if err := sc.Net.applySim(&simCfg); err != nil {
-		return Arm{}, err
-	}
-	if spec.net != nil {
-		simCfg.Net = *spec.net
-	}
-	if spec.churn != nil {
-		simCfg.Churn = spec.churn
-	}
-	cfg := core.StudyConfig{
-		Label:          spec.label,
-		Corpus:         spec.corpus,
-		Protocol:       spec.protocol,
-		Sim:            simCfg,
-		Train:          train,
-		Part:           core.PartitionConfig{TrainPerNode: trainPer, TestPerNode: sc.TestPerNode, DirichletBeta: spec.beta},
-		DP:             spec.dp,
-		GlobalTestSize: sc.GlobalTestSize,
-		EvalEvery:      sc.EvalEvery,
-		EvalNodes:      sc.EvalNodes,
-		Workers:        sc.Workers,
-	}
-	if spec.canaries {
-		cfg.Canaries = sc.Canaries
-	}
-	study, err := core.NewStudy(cfg)
-	if err != nil {
-		return Arm{}, err
-	}
-	res, err := study.Run()
-	if err != nil {
-		return Arm{}, err
-	}
-	return Arm{
-		Label:           spec.label,
-		Series:          res.Series,
-		MessagesSent:    res.MessagesSent,
-		BytesSent:       res.BytesSent,
-		RealizedEpsilon: res.RealizedEpsilon,
-		NoiseMultiplier: res.NoiseMultiplier,
-	}, nil
-}
-
-// RunFigure2 (RQ1): SAMO vs Base Gossip on a static 5-regular graph,
+// Figure2Spec (RQ1): SAMO vs Base Gossip on a static 5-regular graph,
 // across the four corpora.
-func RunFigure2(sc Scale) (*FigureResult, error) {
-	var specs []armSpec
+func Figure2Spec() *spec.Spec {
+	var arms []spec.Arm
 	var off int64
 	for _, corpus := range data.AllCorpora() {
 		for _, proto := range []string{"base", "samo"} {
-			specs = append(specs, armSpec{
-				label:    fmt.Sprintf("%s/%s/k=5/static", corpus, proto),
-				corpus:   corpus,
-				protocol: proto,
-				viewSize: 5,
-				seedOff:  off,
+			arms = append(arms, spec.Arm{
+				Label:      fmt.Sprintf("%s/%s/k=5/static", corpus, proto),
+				Corpus:     string(corpus),
+				Protocol:   proto,
+				ViewSize:   5,
+				SeedOffset: off,
 			})
 			off++
 		}
 	}
-	return runArms("Figure 2",
-		"MIA vulnerability vs global test accuracy, Base Gossip vs SAMO, 5-regular static graph",
-		sc, specs)
+	return &spec.Spec{
+		Name:    "Figure 2",
+		Caption: "MIA vulnerability vs global test accuracy, Base Gossip vs SAMO, 5-regular static graph",
+		Arms:    arms,
+	}
 }
 
-// RunFigure3 (RQ2): static vs dynamic topology on a sparse 2-regular
+// RunFigure2 runs the Figure 2 spec.
+func RunFigure2(sc Scale) (*FigureResult, error) {
+	return RunSpec(Figure2Spec(), sc)
+}
+
+// Figure3Spec (RQ2): static vs dynamic topology on a sparse 2-regular
 // graph with SAMO, across the four corpora.
+func Figure3Spec() *spec.Spec {
+	var arms []spec.Arm
+	var off int64
+	for _, corpus := range data.AllCorpora() {
+		for _, dynamic := range []bool{false, true} {
+			arms = append(arms, spec.Arm{
+				Label:      fmt.Sprintf("%s/samo/k=2/%s", corpus, dynLabel(dynamic)),
+				Corpus:     string(corpus),
+				Protocol:   "samo",
+				ViewSize:   2,
+				Dynamics:   dynName(dynamic),
+				SeedOffset: 100 + off,
+			})
+			off++
+		}
+	}
+	return &spec.Spec{
+		Name:    "Figure 3",
+		Caption: "MIA vulnerability vs global test accuracy, static vs dynamic, 2-regular graph (SAMO)",
+		Arms:    arms,
+	}
+}
+
+// RunFigure3 runs the Figure 3 spec.
 func RunFigure3(sc Scale) (*FigureResult, error) {
-	var specs []armSpec
-	var off int64
-	for _, corpus := range data.AllCorpora() {
-		for _, dynamic := range []bool{false, true} {
-			specs = append(specs, armSpec{
-				label:    fmt.Sprintf("%s/samo/k=2/%s", corpus, dynLabel(dynamic)),
-				corpus:   corpus,
-				protocol: "samo",
-				viewSize: 2,
-				dynamic:  dynamic,
-				seedOff:  100 + off,
-			})
-			off++
-		}
-	}
-	return runArms("Figure 3",
-		"MIA vulnerability vs global test accuracy, static vs dynamic, 2-regular graph (SAMO)",
-		sc, specs)
+	return RunSpec(Figure3Spec(), sc)
 }
 
-// RunFigure4 (RQ3): canary-based worst-case audit — maximum per-node
+// Figure4Spec (RQ3): canary-based worst-case audit — maximum per-node
 // TPR@1%FPR on planted canaries over rounds, static vs dynamic.
-func RunFigure4(sc Scale) (*FigureResult, error) {
-	var specs []armSpec
+func Figure4Spec() *spec.Spec {
+	var arms []spec.Arm
 	var off int64
 	for _, corpus := range data.AllCorpora() {
 		for _, dynamic := range []bool{false, true} {
-			specs = append(specs, armSpec{
-				label:    fmt.Sprintf("%s/canary/k=2/%s", corpus, dynLabel(dynamic)),
-				corpus:   corpus,
-				protocol: "samo",
-				viewSize: 2,
-				dynamic:  dynamic,
-				canaries: true,
-				seedOff:  200 + off,
+			arms = append(arms, spec.Arm{
+				Label:      fmt.Sprintf("%s/canary/k=2/%s", corpus, dynLabel(dynamic)),
+				Corpus:     string(corpus),
+				Protocol:   "samo",
+				ViewSize:   2,
+				Dynamics:   dynName(dynamic),
+				Canaries:   true,
+				SeedOffset: 200 + off,
 			})
 			off++
 		}
 	}
-	return runArms("Figure 4",
-		"Max canary TPR@1%FPR over communication rounds, static vs dynamic, 2-regular graph",
-		sc, specs)
+	return &spec.Spec{
+		Name:    "Figure 4",
+		Caption: "Max canary TPR@1%FPR over communication rounds, static vs dynamic, 2-regular graph",
+		Arms:    arms,
+	}
 }
 
-// RunFigure5 (RQ4): view-size sweep on the CIFAR-10-like corpus with
-// SAMO, static vs dynamic; message counts expose the communication cost.
-func RunFigure5(sc Scale) (*FigureResult, error) {
-	var specs []armSpec
+// RunFigure4 runs the Figure 4 spec.
+func RunFigure4(sc Scale) (*FigureResult, error) {
+	return RunSpec(Figure4Spec(), sc)
+}
+
+// Figure5Spec (RQ4): view-size sweep on the CIFAR-10-like corpus with
+// SAMO, static vs dynamic; message counts expose the communication
+// cost. The scale bounds which view sizes fit.
+func Figure5Spec(sc Scale) *spec.Spec {
+	var arms []spec.Arm
 	var off int64
 	for _, k := range []int{2, 5, 10, 25} {
 		if k >= sc.Nodes {
 			continue
 		}
 		for _, dynamic := range []bool{false, true} {
-			specs = append(specs, armSpec{
-				label:    fmt.Sprintf("cifar10/samo/k=%d/%s", k, dynLabel(dynamic)),
-				corpus:   data.CIFAR10,
-				protocol: "samo",
-				viewSize: k,
-				dynamic:  dynamic,
-				seedOff:  300 + off,
+			arms = append(arms, spec.Arm{
+				Label:      fmt.Sprintf("cifar10/samo/k=%d/%s", k, dynLabel(dynamic)),
+				Corpus:     string(data.CIFAR10),
+				Protocol:   "samo",
+				ViewSize:   k,
+				Dynamics:   dynName(dynamic),
+				SeedOffset: 300 + off,
 			})
 			off++
 		}
 	}
-	return runArms("Figure 5",
-		"Max MIA accuracy and TPR@1%FPR vs view size, static vs dynamic (CIFAR-10-like, SAMO)",
-		sc, specs)
+	return &spec.Spec{
+		Name:    "Figure 5",
+		Caption: "Max MIA accuracy and TPR@1%FPR vs view size, static vs dynamic (CIFAR-10-like, SAMO)",
+		Arms:    arms,
+	}
 }
 
-// RunFigure6 (RQ5): Dirichlet non-IID sweep on the Purchase100-like
+// RunFigure5 runs the Figure 5 spec.
+func RunFigure5(sc Scale) (*FigureResult, error) {
+	return RunSpec(Figure5Spec(sc), sc)
+}
+
+// Figure6Spec (RQ5): Dirichlet non-IID sweep on the Purchase100-like
 // corpus, static vs dynamic on a 2-regular graph.
-func RunFigure6(sc Scale) (*FigureResult, error) {
-	var specs []armSpec
+func Figure6Spec() *spec.Spec {
+	var arms []spec.Arm
 	var off int64
 	for _, beta := range []float64{0, 0.5, 0.1} { // 0 = IID
 		for _, dynamic := range []bool{false, true} {
@@ -376,49 +269,64 @@ func RunFigure6(sc Scale) (*FigureResult, error) {
 			if beta > 0 {
 				label = fmt.Sprintf("beta=%.1f", beta)
 			}
-			specs = append(specs, armSpec{
-				label:    fmt.Sprintf("purchase100/%s/%s", label, dynLabel(dynamic)),
-				corpus:   data.Purchase100,
-				protocol: "samo",
-				viewSize: 2,
-				dynamic:  dynamic,
-				beta:     beta,
-				seedOff:  400 + off,
+			arms = append(arms, spec.Arm{
+				Label:      fmt.Sprintf("purchase100/%s/%s", label, dynLabel(dynamic)),
+				Corpus:     string(data.Purchase100),
+				Protocol:   "samo",
+				ViewSize:   2,
+				Dynamics:   dynName(dynamic),
+				Beta:       beta,
+				SeedOffset: 400 + off,
 				// Desaturate the membership signal so the heterogeneity
 				// effect (not raw memorization) drives the comparison.
-				trainPerFactor: 3,
-				epochsOverride: 1,
+				TrainPerFactor: 3,
+				LocalEpochs:    1,
 			})
 			off++
 		}
 	}
-	return runArms("Figure 6",
-		"MIA vulnerability vs test accuracy under label heterogeneity (Dirichlet beta), 2-regular graph",
-		sc, specs)
+	return &spec.Spec{
+		Name:    "Figure 6",
+		Caption: "MIA vulnerability vs test accuracy under label heterogeneity (Dirichlet beta), 2-regular graph",
+		Arms:    arms,
+	}
 }
 
-// RunFigure7 (RQ6): MIA vulnerability against generalization error across
-// the four corpora (static vs dynamic, 2-regular, SAMO). The series carry
-// both quantities per round.
-func RunFigure7(sc Scale) (*FigureResult, error) {
-	var specs []armSpec
+// RunFigure6 runs the Figure 6 spec.
+func RunFigure6(sc Scale) (*FigureResult, error) {
+	return RunSpec(Figure6Spec(), sc)
+}
+
+// Figure7Spec (RQ6): MIA vulnerability against generalization error
+// across the four corpora (static vs dynamic, 2-regular, SAMO). The
+// series carry both quantities per round.
+func Figure7Spec() *spec.Spec {
+	var arms []spec.Arm
 	var off int64
 	for _, corpus := range data.AllCorpora() {
 		for _, dynamic := range []bool{false, true} {
-			specs = append(specs, armSpec{
-				label:    fmt.Sprintf("%s/generr/k=2/%s", corpus, dynLabel(dynamic)),
-				corpus:   corpus,
-				protocol: "samo",
-				viewSize: 2,
-				dynamic:  dynamic,
-				seedOff:  500 + off,
+			arms = append(arms, spec.Arm{
+				Label:      fmt.Sprintf("%s/generr/k=2/%s", corpus, dynLabel(dynamic)),
+				Corpus:     string(corpus),
+				Protocol:   "samo",
+				ViewSize:   2,
+				Dynamics:   dynName(dynamic),
+				SeedOffset: 500 + off,
 			})
 			off++
 		}
 	}
-	fig, err := runArms("Figure 7",
-		"MIA vulnerability vs generalization error across corpora (static vs dynamic)",
-		sc, specs)
+	return &spec.Spec{
+		Name:    "Figure 7",
+		Caption: "MIA vulnerability vs generalization error across corpora (static vs dynamic)",
+		Arms:    arms,
+	}
+}
+
+// RunFigure7 runs the Figure 7 spec and appends the RQ6 rank
+// correlations.
+func RunFigure7(sc Scale) (*FigureResult, error) {
+	fig, err := RunSpec(Figure7Spec(), sc)
 	if err != nil {
 		return nil, err
 	}
@@ -441,54 +349,68 @@ func RunFigure7(sc Scale) (*FigureResult, error) {
 	return fig, nil
 }
 
-// RunFigure8 (RQ6): per-round MIA accuracy and generalization error on
+// Figure8Spec (RQ6): per-round MIA accuracy and generalization error on
 // the Purchase100-like corpus, 2-regular graph, static vs dynamic.
-func RunFigure8(sc Scale) (*FigureResult, error) {
-	var specs []armSpec
+func Figure8Spec() *spec.Spec {
+	var arms []spec.Arm
 	for i, dynamic := range []bool{false, true} {
-		specs = append(specs, armSpec{
-			label:    fmt.Sprintf("purchase100/rounds/k=2/%s", dynLabel(dynamic)),
-			corpus:   data.Purchase100,
-			protocol: "samo",
-			viewSize: 2,
-			dynamic:  dynamic,
-			seedOff:  600 + int64(i),
+		arms = append(arms, spec.Arm{
+			Label:      fmt.Sprintf("purchase100/rounds/k=2/%s", dynLabel(dynamic)),
+			Corpus:     string(data.Purchase100),
+			Protocol:   "samo",
+			ViewSize:   2,
+			Dynamics:   dynName(dynamic),
+			SeedOffset: 600 + int64(i),
 		})
 	}
-	return runArms("Figure 8",
-		"MIA accuracy and generalization error over communication rounds (Purchase100-like, SAMO)",
-		sc, specs)
+	return &spec.Spec{
+		Name:    "Figure 8",
+		Caption: "MIA accuracy and generalization error over communication rounds (Purchase100-like, SAMO)",
+		Arms:    arms,
+	}
 }
 
-// RunFigure9 (RQ7): DP-SGD privacy-budget sweep (plus a non-DP baseline)
-// on the Purchase100-like corpus, static vs dynamic.
-func RunFigure9(sc Scale) (*FigureResult, error) {
-	var specs []armSpec
+// RunFigure8 runs the Figure 8 spec.
+func RunFigure8(sc Scale) (*FigureResult, error) {
+	return RunSpec(Figure8Spec(), sc)
+}
+
+// Figure9Spec (RQ7): DP-SGD privacy-budget sweep (plus a non-DP
+// baseline) on the Purchase100-like corpus, static vs dynamic.
+func Figure9Spec() *spec.Spec {
+	var arms []spec.Arm
 	var off int64
 	budgets := []float64{0, 50, 25, 15, 10} // 0 = non-DP baseline
 	for _, eps := range budgets {
 		for _, dynamic := range []bool{false, true} {
 			label := "nodp"
-			var dpCfg *core.DPConfig
+			var dp *spec.DP
 			if eps > 0 {
 				label = fmt.Sprintf("eps=%g", eps)
-				dpCfg = &core.DPConfig{Epsilon: eps, Delta: 1e-5, Clip: 1}
+				dp = &spec.DP{Epsilon: eps, Delta: 1e-5, Clip: 1}
 			}
-			specs = append(specs, armSpec{
-				label:    fmt.Sprintf("purchase100/%s/%s", label, dynLabel(dynamic)),
-				corpus:   data.Purchase100,
-				protocol: "samo",
-				viewSize: 5,
-				dynamic:  dynamic,
-				dp:       dpCfg,
-				seedOff:  700 + off,
+			arms = append(arms, spec.Arm{
+				Label:      fmt.Sprintf("purchase100/%s/%s", label, dynLabel(dynamic)),
+				Corpus:     string(data.Purchase100),
+				Protocol:   "samo",
+				ViewSize:   5,
+				Dynamics:   dynName(dynamic),
+				DP:         dp,
+				SeedOffset: 700 + off,
 			})
 			off++
 		}
 	}
-	return runArms("Figure 9",
-		"MIA vulnerability and test accuracy vs DP-SGD budget epsilon (delta=1e-5), static vs dynamic",
-		sc, specs)
+	return &spec.Spec{
+		Name:    "Figure 9",
+		Caption: "MIA vulnerability and test accuracy vs DP-SGD budget epsilon (delta=1e-5), static vs dynamic",
+		Arms:    arms,
+	}
+}
+
+// RunFigure9 runs the Figure 9 spec.
+func RunFigure9(sc Scale) (*FigureResult, error) {
+	return RunSpec(Figure9Spec(), sc)
 }
 
 func dynLabel(dynamic bool) string {
@@ -496,4 +418,13 @@ func dynLabel(dynamic bool) string {
 		return "dynamic"
 	}
 	return "static"
+}
+
+// dynName maps the static/dynamic shorthand onto the spec's dynamics
+// names ("" is static; "peerswap" is the paper's dynamic mode).
+func dynName(dynamic bool) string {
+	if dynamic {
+		return "peerswap"
+	}
+	return ""
 }

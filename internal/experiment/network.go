@@ -6,6 +6,7 @@ import (
 	"gossipmia/internal/data"
 	"gossipmia/internal/gossip"
 	"gossipmia/internal/netmodel"
+	"gossipmia/internal/spec"
 )
 
 // NetOverlay applies one network model uniformly to every arm a Scale
@@ -123,73 +124,107 @@ func halfPartition(nodes, ticks int) []netmodel.Partition {
 	return []netmodel.Partition{{FromTick: ticks / 3, ToTick: 2 * ticks / 3, Members: members}}
 }
 
-// RunLatencySweep (network scenario "latency"): SAMO vs Base Gossip
+// LatencySweepSpec (network scenario "latency"): SAMO vs Base Gossip
 // under increasing per-link latency on the CIFAR-10-like corpus. With
 // the paper's wake interval of ~100 ticks, a 75-tick mean delay means
 // most merges consume models that are most of a round stale — the
 // sweep shows how each protocol's aggregation degrades with staleness,
 // a question the seed's zero-delay simulator could not pose.
-func RunLatencySweep(sc Scale) (*FigureResult, error) {
-	if err := rejectOverlay("latency", sc); err != nil {
-		return nil, err
-	}
-	var specs []armSpec
+func LatencySweepSpec() *spec.Spec {
+	var arms []spec.Arm
 	var off int64
 	for _, proto := range []string{"base", "samo"} {
 		for _, lat := range []float64{0, 25, 75} {
-			spec := armSpec{
-				label:    fmt.Sprintf("cifar10/%s/k=5/lat=%.0f", proto, lat),
-				corpus:   data.CIFAR10,
-				protocol: proto,
-				viewSize: 5,
-				seedOff:  800 + off,
+			arm := spec.Arm{
+				Label:      fmt.Sprintf("cifar10/%s/k=5/lat=%.0f", proto, lat),
+				Corpus:     string(data.CIFAR10),
+				Protocol:   proto,
+				ViewSize:   5,
+				SeedOffset: 800 + off,
 			}
 			if lat > 0 {
-				spec.net = &netmodel.Config{
-					Kind:        netmodel.KindLatency,
+				arm.Net = &spec.Net{
+					Transport:   "latency",
 					LatencyMean: lat,
 					// Heterogeneous links: ~30% spread around the mean.
 					LatencyJitter: lat * 0.3,
 				}
 			}
-			specs = append(specs, spec)
+			arms = append(arms, arm)
 			off++
 		}
 	}
-	return runArms("Scenario: latency sweep",
-		"MIA vulnerability vs test accuracy under per-link latency (staleness), Base vs SAMO (CIFAR-10-like)",
-		sc, specs)
+	return &spec.Spec{
+		Name:    "Scenario: latency sweep",
+		Caption: "MIA vulnerability vs test accuracy under per-link latency (staleness), Base vs SAMO (CIFAR-10-like)",
+		Arms:    arms,
+	}
 }
 
-// RunChurnRecovery (network scenario "churn"): SAMO on a sparse graph
+// RunLatencySweep runs the latency-sweep spec.
+func RunLatencySweep(sc Scale) (*FigureResult, error) {
+	if err := rejectOverlay("latency", sc); err != nil {
+		return nil, err
+	}
+	return RunSpec(LatencySweepSpec(), sc)
+}
+
+// ChurnRecoverySpec (network scenario "churn"): SAMO on a sparse graph
 // through three failure regimes — a third of the nodes churning out and
 // rejoining, a half/half partition that heals, and both at once — each
 // against the undisturbed baseline. The per-round series show the
 // accuracy dip during the disturbance window (the middle third of the
-// run) and the recovery after it heals.
+// run) and the recovery after it heals. The partition member set
+// depends on the deployment size, so the builder takes the scale.
+func ChurnRecoverySpec(sc Scale) *spec.Spec {
+	ticks := totalTicks(gossip.Config{Rounds: sc.Rounds})
+	nodes := sc.nodesFor(string(data.CIFAR10))
+	churn := churnSpecSchedule(nodes, ticks, 1.0/3)
+	parts := halfPartitionSpec(nodes, ticks)
+	arms := []spec.Arm{
+		{Label: "cifar10/samo/k=2/baseline", SeedOffset: 900},
+		{Label: "cifar10/samo/k=2/churn=1/3", SeedOffset: 901, Churn: churn},
+		{Label: "cifar10/samo/k=2/partition", SeedOffset: 902,
+			Net: &spec.Net{Transport: "lossy", Partitions: parts}},
+		{Label: "cifar10/samo/k=2/churn+partition", SeedOffset: 903, Churn: churn,
+			Net: &spec.Net{Transport: "lossy", Partitions: parts}},
+	}
+	for i := range arms {
+		arms[i].Corpus = string(data.CIFAR10)
+		arms[i].Protocol = "samo"
+		arms[i].ViewSize = 2
+	}
+	return &spec.Spec{
+		Name:    "Scenario: churn and partition recovery",
+		Caption: "Accuracy dip and recovery under node churn and a healing half/half partition (CIFAR-10-like, SAMO)",
+		Arms:    arms,
+	}
+}
+
+// RunChurnRecovery runs the churn-recovery spec.
 func RunChurnRecovery(sc Scale) (*FigureResult, error) {
 	if err := rejectOverlay("churn", sc); err != nil {
 		return nil, err
 	}
-	sim := gossip.Config{Rounds: sc.Rounds}
-	ticks := totalTicks(sim)
-	nodes := sc.nodesFor(string(data.CIFAR10))
-	churn := churnSchedule(nodes, ticks, 1.0/3)
+	return RunSpec(ChurnRecoverySpec(sc), sc)
+}
+
+// churnSpecSchedule is churnSchedule in the declarative vocabulary.
+func churnSpecSchedule(nodes, ticks int, frac float64) []spec.Churn {
+	events := churnSchedule(nodes, ticks, frac)
+	out := make([]spec.Churn, len(events))
+	for i, ev := range events {
+		out[i] = spec.Churn{Node: ev.Node, LeaveTick: ev.LeaveTick, RejoinTick: ev.RejoinTick}
+	}
+	return out
+}
+
+// halfPartitionSpec is halfPartition in the declarative vocabulary.
+func halfPartitionSpec(nodes, ticks int) []spec.Partition {
 	parts := halfPartition(nodes, ticks)
-	specs := []armSpec{
-		{label: "cifar10/samo/k=2/baseline", seedOff: 900},
-		{label: "cifar10/samo/k=2/churn=1/3", seedOff: 901, churn: churn},
-		{label: "cifar10/samo/k=2/partition", seedOff: 902,
-			net: &netmodel.Config{Kind: netmodel.KindLossy, Partitions: parts}},
-		{label: "cifar10/samo/k=2/churn+partition", seedOff: 903, churn: churn,
-			net: &netmodel.Config{Kind: netmodel.KindLossy, Partitions: parts}},
+	out := make([]spec.Partition, len(parts))
+	for i, p := range parts {
+		out[i] = spec.Partition{FromTick: p.FromTick, ToTick: p.ToTick, Members: p.Members}
 	}
-	for i := range specs {
-		specs[i].corpus = data.CIFAR10
-		specs[i].protocol = "samo"
-		specs[i].viewSize = 2
-	}
-	return runArms("Scenario: churn and partition recovery",
-		"Accuracy dip and recovery under node churn and a healing half/half partition (CIFAR-10-like, SAMO)",
-		sc, specs)
+	return out
 }

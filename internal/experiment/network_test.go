@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -9,6 +10,10 @@ import (
 	"gossipmia/internal/gossip"
 	"gossipmia/internal/netmodel"
 )
+
+// -update-golden regenerates the committed figure goldens from the
+// current implementation instead of comparing against them.
+var updateGolden = flag.Bool("update-golden", false, "regenerate the committed figure goldens")
 
 // figureDump renders a figure the way the golden file was generated:
 // the summary table followed by every arm's per-round CSV series.
@@ -41,6 +46,39 @@ func TestInstantFigureMatchesSeedGolden(t *testing.T) {
 	}
 	if got := figureDump(fig); got != string(want) {
 		t.Fatalf("Figure 2 output diverged from the pre-refactor golden\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestLatencyFigureMatchesGolden pins the Latency transport path the
+// same way the Instant golden pins the zero-delay path: Figure 2 at
+// tiny scale under a latency overlay (mean 20 ticks, 30% jitter) must
+// stay byte-identical across refactors — summary table and every
+// per-round series value.
+func TestLatencyFigureMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 8 simulations")
+	}
+	sc := TinyScale()
+	sc.Net = NetOverlay{Transport: "latency", LatencyTicks: 20, LatencyJitter: 6}
+	fig, err := RunFigure2(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := figureDump(fig)
+	const path = "testdata/figure2_tiny_latency.golden"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("latency Figure 2 output diverged from the golden\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
 

@@ -1,0 +1,514 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gossipmia/internal/core"
+	"gossipmia/internal/data"
+	"gossipmia/internal/gossip"
+	"gossipmia/internal/metrics"
+	"gossipmia/internal/netmodel"
+	"gossipmia/internal/par"
+	"gossipmia/internal/sink"
+	"gossipmia/internal/spec"
+)
+
+// RunSpec is the one generic executor every figure and scenario routes
+// through: it expands and validates the spec's arms, runs each as a
+// core.Study at the given scale on the worker pool, and assembles the
+// figure. Arms are fully independent — each derives its seed from the
+// scale and its own seed offset — and land in spec order, so the figure
+// is byte-identical to a serial run for any worker count.
+func RunSpec(sp *spec.Spec, sc Scale) (*FigureResult, error) {
+	return runSpecHooked(sp, sc, specHooks{})
+}
+
+// specHooks customize the executor per arm: a cache lookup that can
+// skip execution, a sink factory for streaming records, and a
+// completion callback. All three may be nil. Hooks are invoked from the
+// worker goroutines; the engine guarantees distinct arms per call, so
+// hooks only need to be safe across distinct arm indices.
+type specHooks struct {
+	lookup func(i int, a spec.Arm) (Arm, bool)
+	sinks  func(i int, a spec.Arm) (sink.Sink, error)
+	done   func(i int, a spec.Arm, arm Arm, elapsed time.Duration) error
+}
+
+func runSpecHooked(sp *spec.Spec, sc Scale, h specHooks) (*FigureResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	arms, err := sp.ExpandArms()
+	if err != nil {
+		return nil, err
+	}
+	scArm := sc
+	scArm.Workers = innerWorkers(sc.Workers, len(arms))
+	fig := &FigureResult{Name: sp.Name, Caption: sp.Caption}
+	fig.Arms = make([]Arm, len(arms))
+	err = par.ForEachErr(sc.Workers, len(arms), func(i int) error {
+		a := arms[i]
+		if h.lookup != nil {
+			if cached, ok := h.lookup(i, a); ok {
+				fig.Arms[i] = cached
+				return nil
+			}
+		}
+		var snk sink.Sink
+		if h.sinks != nil {
+			s, err := h.sinks(i, a)
+			if err != nil {
+				return fmt.Errorf("experiment: %s arm %q: %w", sp.Name, a.Label, err)
+			}
+			snk = s
+		}
+		start := time.Now()
+		arm, err := runSpecArm(scArm, a, snk)
+		if snk != nil {
+			if cerr := snk.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("experiment: %s arm %q: %w", sp.Name, a.Label, err)
+		}
+		if h.done != nil {
+			if err := h.done(i, a, arm, time.Since(start)); err != nil {
+				return fmt.Errorf("experiment: %s arm %q: %w", sp.Name, a.Label, err)
+			}
+		}
+		fig.Arms[i] = arm
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fig, nil
+}
+
+// runSpecArm interprets one declarative arm against a scale: it
+// resolves the corpus's training catalog entry, applies the arm's
+// overrides, assembles the simulator and study configuration, and runs
+// the study, streaming evaluated rounds into snk (when non-nil).
+func runSpecArm(sc Scale, a spec.Arm, snk sink.Sink) (Arm, error) {
+	train, err := TrainingFor(data.CorpusName(a.Corpus))
+	if err != nil {
+		return Arm{}, err
+	}
+	if a.Train != nil {
+		train = core.TrainConfig{
+			Hidden: a.Train.Hidden, LR: a.Train.LR, Momentum: a.Train.Momentum,
+			WeightDecay: a.Train.WeightDecay, LRDecay: a.Train.LRDecay,
+			BatchSize: a.Train.BatchSize, LocalEpochs: a.Train.LocalEpochs,
+		}
+	}
+	if a.LocalEpochs > 0 {
+		train.LocalEpochs = a.LocalEpochs
+	}
+	trainPer := sc.TrainPerNode
+	if a.TrainPerFactor > 0 {
+		trainPer = int(float64(trainPer) * a.TrainPerFactor)
+	}
+	nodes := sc.nodesFor(a.Corpus)
+	viewSize := a.ViewSize
+	if viewSize >= nodes {
+		viewSize = nodes - 1
+	}
+	// k-regular feasibility: n*k must be even.
+	if nodes*viewSize%2 != 0 {
+		viewSize--
+	}
+	if viewSize < 1 {
+		return Arm{}, fmt.Errorf("cannot fit view size %d in %d nodes: %w", a.ViewSize, nodes, ErrScale)
+	}
+	dyn, err := dynamicsKind(a.Dynamics)
+	if err != nil {
+		return Arm{}, err
+	}
+	simCfg := gossip.Config{
+		Nodes:    nodes,
+		ViewSize: viewSize,
+		Dynamics: dyn,
+		Rounds:   sc.Rounds,
+		Seed:     sc.Seed*1_000_003 + a.SeedOffset,
+	}
+	// The arm's own network model wins; otherwise the Scale-level
+	// overlay (dlsim -transport/-latency/-churn) applies.
+	if err := sc.Net.applySim(&simCfg); err != nil {
+		return Arm{}, err
+	}
+	if a.Net != nil {
+		net, err := netConfigOf(a.Net)
+		if err != nil {
+			return Arm{}, err
+		}
+		simCfg.Net = net
+	}
+	if len(a.Churn) > 0 {
+		simCfg.Churn = churnOf(a.Churn)
+	}
+	if a.ChurnFraction > 0 {
+		simCfg.Churn = churnSchedule(nodes, totalTicks(simCfg), a.ChurnFraction)
+	}
+	var dpCfg *core.DPConfig
+	if a.DP != nil {
+		dpCfg = &core.DPConfig{Epsilon: a.DP.Epsilon, Delta: a.DP.Delta, Clip: a.DP.Clip}
+	}
+	cfg := core.StudyConfig{
+		Label:          a.Label,
+		Corpus:         data.CorpusName(a.Corpus),
+		Protocol:       a.Protocol,
+		Sim:            simCfg,
+		Train:          train,
+		Part:           core.PartitionConfig{TrainPerNode: trainPer, TestPerNode: sc.TestPerNode, DirichletBeta: a.Beta},
+		DP:             dpCfg,
+		GlobalTestSize: sc.GlobalTestSize,
+		EvalEvery:      sc.EvalEvery,
+		EvalNodes:      sc.EvalNodes,
+		Workers:        sc.Workers,
+	}
+	if a.Canaries {
+		cfg.Canaries = sc.Canaries
+	}
+	if snk != nil {
+		cfg.OnRecord = snk.Record
+	}
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		return Arm{}, err
+	}
+	res, err := study.Run()
+	if err != nil {
+		return Arm{}, err
+	}
+	return Arm{
+		Label:           a.Label,
+		Series:          res.Series,
+		MessagesSent:    res.MessagesSent,
+		BytesSent:       res.BytesSent,
+		RealizedEpsilon: res.RealizedEpsilon,
+		NoiseMultiplier: res.NoiseMultiplier,
+	}, nil
+}
+
+// dynamicsKind resolves a spec dynamics name.
+func dynamicsKind(name string) (gossip.DynamicsKind, error) {
+	switch name {
+	case "", "static":
+		return gossip.DynamicsStatic, nil
+	case "peerswap":
+		return gossip.DynamicsPeerSwap, nil
+	case "cyclon":
+		return gossip.DynamicsCyclon, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown dynamics %q", ErrScale, name)
+	}
+}
+
+// netConfigOf converts a declarative transport config.
+func netConfigOf(n *spec.Net) (netmodel.Config, error) {
+	kind, err := netmodel.KindByName(n.Transport)
+	if err != nil {
+		return netmodel.Config{}, fmt.Errorf("%w: %v", ErrScale, err)
+	}
+	cfg := netmodel.Config{
+		Kind:        kind,
+		LatencyMean: n.LatencyMean, LatencyJitter: n.LatencyJitter,
+		BandwidthBytesPerTick: n.BandwidthBytesPerTick,
+		DropProb:              n.DropProb,
+	}
+	for _, p := range n.Partitions {
+		cfg.Partitions = append(cfg.Partitions, netmodel.Partition{
+			FromTick: p.FromTick, ToTick: p.ToTick,
+			Members: append([]int(nil), p.Members...),
+		})
+	}
+	return cfg, nil
+}
+
+// churnOf converts a declarative churn schedule.
+func churnOf(events []spec.Churn) []gossip.ChurnEvent {
+	out := make([]gossip.ChurnEvent, len(events))
+	for i, ev := range events {
+		out[i] = gossip.ChurnEvent{Node: ev.Node, LeaveTick: ev.LeaveTick, RejoinTick: ev.RejoinTick}
+	}
+	return out
+}
+
+// SpecRunOptions configure RunSpecDir.
+type SpecRunOptions struct {
+	// OutDir receives the run artifacts: manifest.json, results.csv,
+	// per-arm result caches under arms/, and per-arm event streams
+	// under events/.
+	OutDir string
+	// Resume skips arms whose cached result (keyed by arm content hash
+	// + scale fingerprint, including the seed) already exists in
+	// OutDir/arms — the re-run of an interrupted sweep only executes
+	// what is missing and still produces byte-identical output.
+	Resume bool
+	// Events selects the per-arm stream format: "jsonl" (default),
+	// "csv", or "none".
+	Events string
+}
+
+// SpecArmReport records how one arm of a spec run was satisfied.
+type SpecArmReport struct {
+	Label string `json:"label"`
+	// Key is the arm's cache key: the content hash of (arm, scale
+	// fingerprint). Worker count is excluded — it never affects results.
+	Key string `json:"key"`
+	// Cached is true when the arm was loaded from a previous run's
+	// cache instead of executed.
+	Cached         bool    `json:"cached"`
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	ResultFile     string  `json:"resultFile"`
+	EventsFile     string  `json:"eventsFile,omitempty"`
+}
+
+// SpecManifest is the run manifest written to OutDir/manifest.json.
+type SpecManifest struct {
+	Spec           string          `json:"spec"`
+	SpecHash       string          `json:"specHash"`
+	Seed           int64           `json:"seed"`
+	Workers        int             `json:"workers"`
+	Scale          Scale           `json:"scale"`
+	StartedAt      string          `json:"startedAt"`
+	ElapsedSeconds float64         `json:"elapsedSeconds"`
+	Arms           []SpecArmReport `json:"arms"`
+}
+
+// armCacheFile is the on-disk cached result of one arm.
+type armCacheFile struct {
+	Label           string                `json:"label"`
+	Key             string                `json:"key"`
+	Records         []metrics.RoundRecord `json:"records"`
+	MessagesSent    int                   `json:"messagesSent"`
+	BytesSent       int                   `json:"bytesSent"`
+	RealizedEpsilon float64               `json:"realizedEpsilon,omitempty"`
+	NoiseMultiplier float64               `json:"noiseMultiplier,omitempty"`
+}
+
+// armKey returns the resume cache key of an arm under a scale: the
+// SHA-256 of the arm's canonical JSON together with the scale
+// fingerprint (seed included, worker count excluded — workers never
+// affect results, so a resumed run may use a different pool size).
+func armKey(a spec.Arm, sc Scale) (string, error) {
+	sc.Workers = 0
+	payload := struct {
+		Arm   spec.Arm `json:"arm"`
+		Scale Scale    `json:"scale"`
+	}{a, sc}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("experiment: arm key: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// slugify makes an arm label filesystem-safe.
+func slugify(label string) string {
+	var b strings.Builder
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// writeFileAtomic writes data via a temp file + rename, so an
+// interrupted run never leaves a torn cache entry for resume to trust.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RunSpecDir runs a spec like RunSpec and additionally persists the run
+// to opts.OutDir: a manifest (spec hash, seed, workers, timings), a
+// per-arm result cache enabling -resume, per-arm streamed event files,
+// and a results.csv summary. The returned report says which arms ran
+// and which were loaded from cache.
+func RunSpecDir(sp *spec.Spec, sc Scale, opts SpecRunOptions) (*FigureResult, *SpecManifest, error) {
+	if opts.OutDir == "" {
+		return nil, nil, fmt.Errorf("%w: RunSpecDir needs an output directory", ErrScale)
+	}
+	if opts.Events == "" {
+		opts.Events = "jsonl"
+	}
+	if opts.Events != "jsonl" && opts.Events != "csv" && opts.Events != "none" {
+		return nil, nil, fmt.Errorf("%w: unknown event format %q (want jsonl, csv, or none)", ErrScale, opts.Events)
+	}
+	// runSpecHooked validates below; here only the expansion (for cache
+	// keys) and the content hash are needed.
+	arms, err := sp.ExpandArms()
+	if err != nil {
+		return nil, nil, err
+	}
+	specHash, err := sp.Hash()
+	if err != nil {
+		return nil, nil, err
+	}
+	armsDir := filepath.Join(opts.OutDir, "arms")
+	eventsDir := filepath.Join(opts.OutDir, "events")
+	if err := os.MkdirAll(armsDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("experiment: out dir: %w", err)
+	}
+	if opts.Events != "none" {
+		if err := os.MkdirAll(eventsDir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("experiment: out dir: %w", err)
+		}
+	}
+
+	reports := make([]SpecArmReport, len(arms))
+	keys := make([]string, len(arms))
+	for i, a := range arms {
+		key, err := armKey(a, sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys[i] = key
+		name := slugify(a.Label) + "-" + key[:8]
+		reports[i] = SpecArmReport{
+			Label:      a.Label,
+			Key:        key,
+			ResultFile: filepath.Join("arms", name+".json"),
+		}
+		if opts.Events != "none" {
+			reports[i].EventsFile = filepath.Join("events", name+"."+opts.Events)
+		}
+	}
+
+	started := time.Now()
+	h := specHooks{
+		done: func(i int, a spec.Arm, arm Arm, elapsed time.Duration) error {
+			reports[i].ElapsedSeconds = elapsed.Seconds()
+			cache := armCacheFile{
+				Label:           arm.Label,
+				Key:             keys[i],
+				Records:         arm.Series.Records,
+				MessagesSent:    arm.MessagesSent,
+				BytesSent:       arm.BytesSent,
+				RealizedEpsilon: arm.RealizedEpsilon,
+				NoiseMultiplier: arm.NoiseMultiplier,
+			}
+			raw, err := json.MarshalIndent(cache, "", " ")
+			if err != nil {
+				return err
+			}
+			return writeFileAtomic(filepath.Join(opts.OutDir, reports[i].ResultFile), raw)
+		},
+	}
+	if opts.Events != "none" {
+		h.sinks = func(i int, a spec.Arm) (sink.Sink, error) {
+			return sink.NewFile(filepath.Join(opts.OutDir, reports[i].EventsFile), opts.Events, a.Label)
+		}
+	}
+	if opts.Resume {
+		h.lookup = func(i int, a spec.Arm) (Arm, bool) {
+			arm, ok := loadArmCache(filepath.Join(opts.OutDir, reports[i].ResultFile), keys[i], a.Label)
+			if ok {
+				reports[i].Cached = true
+			}
+			return arm, ok
+		}
+	}
+
+	fig, err := runSpecHooked(sp, sc, h)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if err := writeFileAtomic(filepath.Join(opts.OutDir, "results.csv"), []byte(resultsCSV(fig))); err != nil {
+		return nil, nil, fmt.Errorf("experiment: results.csv: %w", err)
+	}
+	man := &SpecManifest{
+		Spec:           sp.Name,
+		SpecHash:       specHash,
+		Seed:           sc.Seed,
+		Workers:        sc.Workers,
+		Scale:          sc,
+		StartedAt:      started.UTC().Format(time.RFC3339),
+		ElapsedSeconds: time.Since(started).Seconds(),
+		Arms:           reports,
+	}
+	raw, err := json.MarshalIndent(man, "", " ")
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiment: manifest: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(opts.OutDir, "manifest.json"), raw); err != nil {
+		return nil, nil, fmt.Errorf("experiment: manifest: %w", err)
+	}
+	return fig, man, nil
+}
+
+// loadArmCache loads one arm's cached result if present and
+// trustworthy: the key (content hash) and label must both match, so a
+// cache written by a different spec, scale, or seed is ignored rather
+// than resumed from.
+func loadArmCache(path, key, label string) (Arm, bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Arm{}, false
+	}
+	var cache armCacheFile
+	if err := json.Unmarshal(raw, &cache); err != nil {
+		return Arm{}, false
+	}
+	if cache.Key != key || cache.Label != label {
+		return Arm{}, false
+	}
+	return Arm{
+		Label:           cache.Label,
+		Series:          &metrics.Series{Label: cache.Label, Records: cache.Records},
+		MessagesSent:    cache.MessagesSent,
+		BytesSent:       cache.BytesSent,
+		RealizedEpsilon: cache.RealizedEpsilon,
+		NoiseMultiplier: cache.NoiseMultiplier,
+	}, true
+}
+
+// csvField quotes a free-form CSV field when it contains a delimiter,
+// quote, or newline (labels come from user spec files).
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// resultsCSV renders the per-arm summary table as CSV.
+func resultsCSV(fig *FigureResult) string {
+	var b strings.Builder
+	b.WriteString("arm,max_acc,mia_at_max,max_mia,max_tpr,max_gen,messages,bytes,epsilon\n")
+	for _, a := range fig.Arms {
+		at := a.AtMaxTestAcc()
+		maxGen := 0.0
+		for _, r := range a.Series.Records {
+			if r.GenError > maxGen {
+				maxGen = r.GenError
+			}
+		}
+		fmt.Fprintf(&b, "%s,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%.4f\n",
+			csvField(a.Label), at.TestAcc, at.MIAAcc, a.Series.MaxMIAAcc(), a.Series.MaxTPR(),
+			maxGen, a.MessagesSent, a.BytesSent, a.RealizedEpsilon)
+	}
+	return b.String()
+}

@@ -1,0 +1,355 @@
+package experiment
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gossipmia/internal/gossip"
+	"gossipmia/internal/metrics"
+	"gossipmia/internal/spec"
+)
+
+// sweepSpec is a small three-arm spec used across the engine tests: a
+// sweep the hand-coded figures never cover (latency × protocol).
+func sweepSpec() *spec.Spec {
+	return &spec.Spec{
+		Name:    "test sweep",
+		Caption: "latency grid",
+		Sweep: &spec.Sweep{
+			Base: spec.Arm{Label: "cifar10", Corpus: "cifar10", Protocol: "samo", ViewSize: 2, SeedOffset: 40},
+			Axes: []spec.Axis{{Field: "latency", Values: []any{0.0, 15.0, 30.0}}},
+		},
+	}
+}
+
+func TestRunSpecMatchesFigureRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	// The figure runner is a thin builder over RunSpec: running the
+	// emitted spec by hand must reproduce the figure byte for byte.
+	sc := TinyScale()
+	direct, err := RunFigure8(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSpec, err := RunSpec(Figure8Spec(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if figureDump(direct) != figureDump(viaSpec) {
+		t.Fatal("RunFigure8 and RunSpec(Figure8Spec()) diverge")
+	}
+}
+
+func TestRunSpecRejectsInvalid(t *testing.T) {
+	bad := TinyScale()
+	bad.Rounds = 0
+	if _, err := RunSpec(sweepSpec(), bad); !errors.Is(err, ErrScale) {
+		t.Fatalf("bad scale error = %v", err)
+	}
+	sp := sweepSpec()
+	sp.Sweep.Base.Corpus = "mnist"
+	if _, err := RunSpec(sp, TinyScale()); !errors.Is(err, spec.ErrSpec) {
+		t.Fatalf("bad spec error = %v", err)
+	}
+}
+
+func TestRunSpecDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	var ref string
+	for _, workers := range []int{1, 4} {
+		sc := TinyScale()
+		sc.Workers = workers
+		fig, err := RunSpec(sweepSpec(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dump := figureDump(fig)
+		if workers == 1 {
+			ref = dump
+		} else if dump != ref {
+			t.Fatalf("spec run with %d workers diverged from serial run", workers)
+		}
+	}
+}
+
+// TestRunSpecDirWritesArtifacts checks the full run-directory contract:
+// manifest, per-arm caches, per-arm event streams, and results.csv.
+func TestRunSpecDirWritesArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	sc := TinyScale()
+	fig, man, err := RunSpecDir(sweepSpec(), sc, SpecRunOptions{OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Arms) != 3 || len(man.Arms) != 3 {
+		t.Fatalf("arms = %d/%d, want 3", len(fig.Arms), len(man.Arms))
+	}
+	wantHash, err := sweepSpec().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.SpecHash != wantHash || man.Seed != sc.Seed || man.Spec != "test sweep" {
+		t.Fatalf("manifest header = %+v", man)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk SpecManifest
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.SpecHash != wantHash {
+		t.Fatalf("on-disk manifest hash = %q", onDisk.SpecHash)
+	}
+	for i, ar := range man.Arms {
+		if ar.Cached {
+			t.Fatalf("fresh run reported arm %q cached", ar.Label)
+		}
+		if ar.ElapsedSeconds <= 0 {
+			t.Fatalf("arm %q has no timing", ar.Label)
+		}
+		// The cache round-trips to the in-memory arm.
+		craw, err := os.ReadFile(filepath.Join(dir, ar.ResultFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cache armCacheFile
+		if err := json.Unmarshal(craw, &cache); err != nil {
+			t.Fatal(err)
+		}
+		if cache.Label != fig.Arms[i].Label || len(cache.Records) != len(fig.Arms[i].Series.Records) {
+			t.Fatalf("cache for %q diverges from result", ar.Label)
+		}
+		// The event stream holds one JSONL line per evaluated round,
+		// tagged with the arm label.
+		eraw, err := os.ReadFile(filepath.Join(dir, ar.EventsFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(eraw)), "\n")
+		if len(lines) != len(fig.Arms[i].Series.Records) {
+			t.Fatalf("arm %q: %d event lines for %d records", ar.Label, len(lines), len(fig.Arms[i].Series.Records))
+		}
+		var ev struct {
+			Arm string `json:"arm"`
+			metrics.RoundRecord
+		}
+		if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Arm != ar.Label || ev.RoundRecord != fig.Arms[i].Series.Records[0] {
+			t.Fatalf("event %+v diverges from record %+v", ev, fig.Arms[i].Series.Records[0])
+		}
+	}
+	results, err := os.ReadFile(filepath.Join(dir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(string(results)), "\n")); got != 4 { // header + 3 arms
+		t.Fatalf("results.csv has %d lines:\n%s", got, results)
+	}
+}
+
+// TestResumeSkipsCompletedArms is the acceptance test for resumable
+// sweeps: an interrupted run (here: a run that completed only a prefix
+// of the arms) re-invoked with Resume skips the already-completed arms
+// and still produces byte-identical output — table, per-round series,
+// and on-disk results.csv.
+func TestResumeSkipsCompletedArms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	sc := TinyScale()
+	full := sweepSpec()
+
+	// Reference: the uninterrupted run.
+	refDir := t.TempDir()
+	refFig, _, err := RunSpecDir(full, sc, SpecRunOptions{OutDir: refDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV, err := os.ReadFile(filepath.Join(refDir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: only the first two arms completed before the
+	// "crash" (a spec truncated to the prefix writes exactly the cache
+	// files an interrupted full run would have left).
+	dir := t.TempDir()
+	arms, err := full.ExpandArms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := &spec.Spec{Name: full.Name, Caption: full.Caption, Arms: arms[:2]}
+	if _, _, err := RunSpecDir(partial, sc, SpecRunOptions{OutDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume the full sweep in the same directory.
+	resumedFig, man, err := RunSpecDir(full, sc, SpecRunOptions{OutDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cached, ran int
+	for _, ar := range man.Arms {
+		if ar.Cached {
+			cached++
+		} else {
+			ran++
+		}
+	}
+	if cached != 2 || ran != 1 {
+		t.Fatalf("resume ran %d and skipped %d arms, want 1/2", ran, cached)
+	}
+	if figureDump(resumedFig) != figureDump(refFig) {
+		t.Fatalf("resumed figure diverged from uninterrupted run\n--- resumed ---\n%s\n--- want ---\n%s",
+			figureDump(resumedFig), figureDump(refFig))
+	}
+	gotCSV, err := os.ReadFile(filepath.Join(dir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotCSV) != string(refCSV) {
+		t.Fatal("resumed results.csv diverged from uninterrupted run")
+	}
+
+	// Without -resume the same directory re-runs everything.
+	fresh, man2, err := RunSpecDir(full, sc, SpecRunOptions{OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ar := range man2.Arms {
+		if ar.Cached {
+			t.Fatalf("non-resume run used the cache for %q", ar.Label)
+		}
+	}
+	if figureDump(fresh) != figureDump(refFig) {
+		t.Fatal("re-run diverged")
+	}
+}
+
+// TestResumeIgnoresForeignCache proves the (spec hash, seed) keying: a
+// cache written under a different seed or different arm content is not
+// trusted on resume.
+func TestResumeIgnoresForeignCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	sp := &spec.Spec{
+		Name: "keyed",
+		Arms: []spec.Arm{{Label: "a", Corpus: "cifar10", Protocol: "samo", ViewSize: 2}},
+	}
+	dir := t.TempDir()
+	sc := TinyScale()
+	if _, _, err := RunSpecDir(sp, sc, SpecRunOptions{OutDir: dir, Events: "none"}); err != nil {
+		t.Fatal(err)
+	}
+	scOther := sc
+	scOther.Seed = sc.Seed + 1
+	_, man, err := RunSpecDir(sp, scOther, SpecRunOptions{OutDir: dir, Resume: true, Events: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Arms[0].Cached {
+		t.Fatal("resume trusted a cache from a different seed")
+	}
+	// Same seed, same spec: now the cache is used.
+	_, man, err = RunSpecDir(sp, scOther, SpecRunOptions{OutDir: dir, Resume: true, Events: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !man.Arms[0].Cached {
+		t.Fatal("resume ignored a valid cache")
+	}
+}
+
+func TestRunSpecDirOptionValidation(t *testing.T) {
+	sp := sweepSpec()
+	if _, _, err := RunSpecDir(sp, TinyScale(), SpecRunOptions{}); err == nil {
+		t.Fatal("missing out dir accepted")
+	}
+	if _, _, err := RunSpecDir(sp, TinyScale(), SpecRunOptions{OutDir: t.TempDir(), Events: "parquet"}); err == nil {
+		t.Fatal("unknown event format accepted")
+	}
+}
+
+func TestArmKeyProperties(t *testing.T) {
+	a := spec.Arm{Label: "a", Corpus: "cifar10", Protocol: "samo", ViewSize: 2}
+	sc := TinyScale()
+	k1, err := armKey(a, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker count must not change the key (results are worker-invariant).
+	scW := sc
+	scW.Workers = 8
+	if k2, _ := armKey(a, scW); k2 != k1 {
+		t.Fatal("worker count changed the arm key")
+	}
+	// Seed and arm content must change it.
+	scS := sc
+	scS.Seed = 99
+	if k3, _ := armKey(a, scS); k3 == k1 {
+		t.Fatal("seed did not change the arm key")
+	}
+	b := a
+	b.ViewSize = 3
+	if k4, _ := armKey(b, sc); k4 == k1 {
+		t.Fatal("arm content did not change the arm key")
+	}
+}
+
+func TestResultsCSVEscapesLabels(t *testing.T) {
+	fig := &FigureResult{Arms: []Arm{{
+		Label:  `cifar10, "hard" arm`,
+		Series: &metrics.Series{Records: []metrics.RoundRecord{{Round: 0}}},
+	}}}
+	out := resultsCSV(fig)
+	if !strings.Contains(out, `"cifar10, ""hard"" arm",`) {
+		t.Fatalf("label not CSV-escaped:\n%s", out)
+	}
+	plain := &FigureResult{Arms: []Arm{{
+		Label:  "cifar10/samo",
+		Series: &metrics.Series{Records: []metrics.RoundRecord{{Round: 0}}},
+	}}}
+	if !strings.Contains(resultsCSV(plain), "cifar10/samo,") {
+		t.Fatalf("plain label needlessly quoted:\n%s", resultsCSV(plain))
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	if got := slugify("cifar10/samo/k=5/lat=25"); got != "cifar10_samo_k_5_lat_25" {
+		t.Fatalf("slugify = %q", got)
+	}
+	if got := slugify("A-b.c_d"); got != "A-b.c_d" {
+		t.Fatalf("slugify = %q", got)
+	}
+}
+
+func TestDynamicsKindResolution(t *testing.T) {
+	for name, want := range map[string]gossip.DynamicsKind{
+		"": gossip.DynamicsStatic, "static": gossip.DynamicsStatic,
+		"peerswap": gossip.DynamicsPeerSwap, "cyclon": gossip.DynamicsCyclon,
+	} {
+		kind, err := dynamicsKind(name)
+		if err != nil || kind != want {
+			t.Fatalf("dynamicsKind(%q) = %v, %v", name, kind, err)
+		}
+	}
+	if _, err := dynamicsKind("brownian"); !errors.Is(err, ErrScale) {
+		t.Fatalf("unknown dynamics error = %v", err)
+	}
+}

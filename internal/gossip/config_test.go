@@ -46,6 +46,21 @@ func TestConfigValidateErrorPaths(t *testing.T) {
 		{"churn negative leave tick", func(c *Config) {
 			c.Churn = []ChurnEvent{{Node: 0, LeaveTick: -5}}
 		}, "leaveTick"},
+		{"churn rejoin equals leave", func(c *Config) {
+			c.Churn = []ChurnEvent{{Node: 0, LeaveTick: 10, RejoinTick: 10}}
+		}, "rejoinTick"},
+		{"churn rejoin before leave", func(c *Config) {
+			c.Churn = []ChurnEvent{{Node: 0, LeaveTick: 10, RejoinTick: 5}}
+		}, "rejoinTick"},
+		{"churn negative rejoin", func(c *Config) {
+			c.Churn = []ChurnEvent{{Node: 0, LeaveTick: 10, RejoinTick: -1}}
+		}, "rejoinTick"},
+		{"churn overlapping windows", func(c *Config) {
+			c.Churn = []ChurnEvent{
+				{Node: 0, LeaveTick: 10, RejoinTick: 40},
+				{Node: 0, LeaveTick: 20, RejoinTick: 50},
+			}
+		}, "overlap"},
 	}
 	for _, tc := range cases {
 		cfg := validBase()
@@ -60,6 +75,41 @@ func TestConfigValidateErrorPaths(t *testing.T) {
 	}
 	if err := validBase().Validate(); err != nil {
 		t.Fatalf("valid base rejected: %v", err)
+	}
+}
+
+// TestChurnConfigEdgeCases pins the churn schedule's validation
+// boundaries: the permanent-leave zero value stays accepted, a rejoin
+// at or before the leave is rejected (not silently treated as a
+// permanent leave), and node indices must fit the deployment.
+func TestChurnConfigEdgeCases(t *testing.T) {
+	ok := validBase()
+	ok.Churn = []ChurnEvent{
+		{Node: 0, LeaveTick: 0},                 // permanent leave from the start
+		{Node: 1, LeaveTick: 10, RejoinTick: 0}, // zero value: never rejoins
+		{Node: 2, LeaveTick: 0, RejoinTick: 1},  // minimal outage window
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("permanent-leave schedules rejected: %v", err)
+	}
+	bad := validBase()
+	bad.Churn = []ChurnEvent{{Node: bad.Nodes, LeaveTick: 1, RejoinTick: 2}}
+	if err := bad.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatalf("out-of-range node accepted: %v", err)
+	}
+	bad = validBase()
+	bad.Churn = []ChurnEvent{{Node: 0, LeaveTick: 7, RejoinTick: 7}}
+	if err := bad.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatalf("rejoin == leave accepted: %v", err)
+	}
+	// A permanent leave overlaps every later window for the same node.
+	bad = validBase()
+	bad.Churn = []ChurnEvent{
+		{Node: 0, LeaveTick: 5},
+		{Node: 0, LeaveTick: 30, RejoinTick: 40},
+	}
+	if err := bad.Validate(); !errors.Is(err, ErrConfig) {
+		t.Fatalf("window after a permanent leave accepted: %v", err)
 	}
 }
 

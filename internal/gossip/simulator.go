@@ -81,7 +81,10 @@ type Config struct {
 type ChurnEvent struct {
 	Node      int
 	LeaveTick int
-	// RejoinTick <= LeaveTick means the node never comes back.
+	// RejoinTick 0 (the zero value) means the node never comes back. A
+	// positive RejoinTick must follow LeaveTick: a rejoin scheduled at
+	// or before the departure is almost certainly a typo, and Validate
+	// rejects it rather than silently treating it as a permanent leave.
 	RejoinTick int
 }
 
@@ -137,6 +140,10 @@ func (c Config) Validate() error {
 		}
 		if ev.LeaveTick < 0 {
 			return fmt.Errorf("%w: churn event %d: leaveTick=%d", ErrConfig, i, ev.LeaveTick)
+		}
+		if ev.RejoinTick < 0 || (ev.RejoinTick > 0 && ev.RejoinTick <= ev.LeaveTick) {
+			return fmt.Errorf("%w: churn event %d: rejoinTick=%d not after leaveTick=%d (use 0 for a permanent leave)",
+				ErrConfig, i, ev.RejoinTick, ev.LeaveTick)
 		}
 		// Overlapping outages for one node have no sensible semantics
 		// (the duplicate-transition skip would end the union of outages

@@ -1,0 +1,190 @@
+// Package sink streams experiment results as they are produced. A Sink
+// consumes one arm's RoundRecords in round order, fed through the
+// observer hook on core.Study — so an arbitrarily long run can write
+// its series to disk (JSONL or CSV) while the study itself retains O(1)
+// round records instead of O(rounds).
+//
+// Each Sink instance serves a single arm's stream: concurrent arms get
+// independent sinks (and, in the spec engine, independent files), which
+// keeps every output byte-identical for any worker count.
+package sink
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"gossipmia/internal/metrics"
+)
+
+// Sink consumes one arm's round records in round order. Implementations
+// need not be safe for concurrent use; the engine gives every arm its
+// own sink.
+type Sink interface {
+	// Record consumes the next evaluated round.
+	Record(metrics.RoundRecord) error
+	// Close flushes and releases the sink. It must be called exactly
+	// once, after the last Record.
+	Close() error
+}
+
+// Memory retains every record in order — the in-memory sink used to
+// rebuild a metrics.Series from a stream (and by tests).
+type Memory struct {
+	Records []metrics.RoundRecord
+}
+
+// Record implements Sink.
+func (m *Memory) Record(r metrics.RoundRecord) error {
+	m.Records = append(m.Records, r)
+	return nil
+}
+
+// Close implements Sink.
+func (m *Memory) Close() error { return nil }
+
+// Series converts the retained records into a labeled series.
+func (m *Memory) Series(label string) *metrics.Series {
+	return &metrics.Series{Label: label, Records: m.Records}
+}
+
+// jsonlEvent is one JSONL line: the arm label plus the record fields,
+// flattened so the stream is self-describing and greppable.
+type jsonlEvent struct {
+	Arm string `json:"arm"`
+	metrics.RoundRecord
+}
+
+// JSONL writes one self-describing JSON object per evaluated round.
+type JSONL struct {
+	arm string
+	w   *bufio.Writer
+	c   io.Closer
+}
+
+// NewJSONL builds a JSONL sink over w, tagging every event with the arm
+// label. If w is also an io.Closer, Close closes it.
+func NewJSONL(w io.Writer, arm string) *JSONL {
+	j := &JSONL{arm: arm, w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Record implements Sink.
+func (j *JSONL) Record(r metrics.RoundRecord) error {
+	raw, err := json.Marshal(jsonlEvent{Arm: j.arm, RoundRecord: r})
+	if err != nil {
+		return fmt.Errorf("sink: jsonl: %w", err)
+	}
+	raw = append(raw, '\n')
+	if _, err := j.w.Write(raw); err != nil {
+		return fmt.Errorf("sink: jsonl: %w", err)
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (j *JSONL) Close() error {
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("sink: jsonl: %w", err)
+	}
+	if j.c != nil {
+		if err := j.c.Close(); err != nil {
+			return fmt.Errorf("sink: jsonl: %w", err)
+		}
+	}
+	return nil
+}
+
+// CSV writes the series as CSV rows (the Series.CSV column layout),
+// emitting the header before the first record.
+type CSV struct {
+	w      *bufio.Writer
+	c      io.Closer
+	header bool
+}
+
+// NewCSV builds a CSV sink over w. If w is also an io.Closer, Close
+// closes it.
+func NewCSV(w io.Writer) *CSV {
+	c := &CSV{w: bufio.NewWriter(w)}
+	if cl, ok := w.(io.Closer); ok {
+		c.c = cl
+	}
+	return c
+}
+
+// Record implements Sink.
+func (c *CSV) Record(r metrics.RoundRecord) error {
+	if !c.header {
+		if _, err := c.w.WriteString("round,test_acc,mia_acc,tpr_at_1fpr,gen_error\n"); err != nil {
+			return fmt.Errorf("sink: csv: %w", err)
+		}
+		c.header = true
+	}
+	if _, err := fmt.Fprintf(c.w, "%d,%.6f,%.6f,%.6f,%.6f\n",
+		r.Round, r.TestAcc, r.MIAAcc, r.TPRAt1FPR, r.GenError); err != nil {
+		return fmt.Errorf("sink: csv: %w", err)
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (c *CSV) Close() error {
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("sink: csv: %w", err)
+	}
+	if c.c != nil {
+		if err := c.c.Close(); err != nil {
+			return fmt.Errorf("sink: csv: %w", err)
+		}
+	}
+	return nil
+}
+
+// Multi fans every record out to all sinks in order.
+type Multi []Sink
+
+// Record implements Sink.
+func (m Multi) Record(r metrics.RoundRecord) error {
+	for _, s := range m {
+		if err := s.Record(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Sink: every sink is closed even if one fails; the
+// first error wins.
+func (m Multi) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NewFile opens (creating or truncating) path and wraps it in a sink of
+// the given format: "jsonl" or "csv".
+func NewFile(path, format, arm string) (Sink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("sink: %w", err)
+	}
+	switch format {
+	case "jsonl":
+		return NewJSONL(f, arm), nil
+	case "csv":
+		return NewCSV(f), nil
+	default:
+		f.Close()
+		return nil, fmt.Errorf("sink: unknown event format %q (want jsonl or csv)", format)
+	}
+}

@@ -1,0 +1,103 @@
+package sink
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gossipmia/internal/metrics"
+)
+
+func sampleRecords() []metrics.RoundRecord {
+	return []metrics.RoundRecord{
+		{Round: 0, TestAcc: 0.5, MIAAcc: 0.51, TPRAt1FPR: 0.01, GenError: 0.02},
+		{Round: 3, TestAcc: 0.625, MIAAcc: 0.6, TPRAt1FPR: 0.05, GenError: 0.125},
+	}
+}
+
+func feed(t *testing.T, s Sink) {
+	t.Helper()
+	for _, r := range sampleRecords() {
+		if err := s.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemorySinkBuildsSeries(t *testing.T) {
+	m := &Memory{}
+	feed(t, m)
+	series := m.Series("arm-x")
+	if series.Label != "arm-x" || len(series.Records) != 2 {
+		t.Fatalf("series = %+v", series)
+	}
+	if series.Records[1] != sampleRecords()[1] {
+		t.Fatalf("record mangled: %+v", series.Records[1])
+	}
+}
+
+func TestJSONLSinkStream(t *testing.T) {
+	var b strings.Builder
+	feed(t, NewJSONL(&b, "arm-y"))
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), b.String())
+	}
+	var ev struct {
+		Arm string `json:"arm"`
+		metrics.RoundRecord
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Arm != "arm-y" || ev.RoundRecord != sampleRecords()[1] {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestCSVSinkMatchesSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	feed(t, NewCSV(&b))
+	series := metrics.Series{Records: sampleRecords()}
+	if b.String() != series.CSV() {
+		t.Fatalf("csv sink diverged from Series.CSV:\n%s\n--- want ---\n%s", b.String(), series.CSV())
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	a, b := &Memory{}, &Memory{}
+	feed(t, Multi{a, b})
+	if len(a.Records) != 2 || len(b.Records) != 2 {
+		t.Fatalf("fan-out lost records: %d, %d", len(a.Records), len(b.Records))
+	}
+}
+
+func TestFileSinkWritesAndCloses(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []string{"jsonl", "csv"} {
+		path := filepath.Join(dir, "events."+format)
+		s, err := NewFile(path, format, "arm-z")
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(t, s)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strings.Split(strings.TrimSpace(string(raw)), "\n")) < 2 {
+			t.Fatalf("%s: too little output:\n%s", format, raw)
+		}
+	}
+	if _, err := NewFile(filepath.Join(dir, "x"), "parquet", "a"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := NewFile(filepath.Join(dir, "missing", "x"), "jsonl", "a"); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

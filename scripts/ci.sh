@@ -1,11 +1,30 @@
 #!/bin/sh
-# ci.sh — the tier-1 gate plus vet, the race detector over the
-# parallelized packages, and the fuzz-corpus smoke (fuzz targets run
-# once over their seed corpus, no fuzzing time).
+# ci.sh — the tier-1 gate plus gofmt cleanliness, vet, the race
+# detector over the parallelized packages, the fuzz-corpus smoke (fuzz
+# targets run once over their seed corpus, no fuzzing time), and a
+# declarative-spec end-to-end smoke at tiny scale.
 set -eu
 cd "$(dirname "$0")/.."
+
+# gofmt cleanliness: the build must be formatting-clean.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 go build ./...
 go vet ./...
 go test -race ./...
 go test -run='^Fuzz' ./internal/wire
+
+# Spec-engine smoke: run one example spec end-to-end at tiny scale,
+# exercising the manifest, per-arm caches, event streams, and resume.
+specout=$(mktemp -d)
+trap 'rm -rf "$specout"' EXIT
+go run ./cmd/dlsim -spec examples/specs/latency_churn_dp.json -scale tiny -out "$specout/run"
+test -f "$specout/run/manifest.json"
+test -f "$specout/run/results.csv"
+go run ./cmd/dlsim -spec examples/specs/latency_churn_dp.json -scale tiny -out "$specout/run" -resume
+echo "spec smoke ok"
