@@ -1,80 +1,41 @@
 // Command dlsim runs the paper's experiments (Figures 2–9), the
 // extension scenarios, and arbitrary declarative scenario specs at a
-// chosen scale, printing the resulting summary tables and optionally
-// streaming every run into a result directory.
+// chosen scale — locally, as a persisted resumable sweep, or as a
+// client of a dlsim service. It is a thin shell over the public
+// pkg/dlsim SDK.
 //
 // Usage:
 //
-//	dlsim -list
-//	dlsim -figure 3 -scale quick
-//	dlsim -figure all -scale tiny
-//	dlsim -figure 9 -scale quick -seed 7 -csv
-//	dlsim -figure 2 -scale tiny -workers 4         # parallel arms, identical output
-//	dlsim -figure latency -scale quick             # staleness sweep, SAMO vs Base
-//	dlsim -figure churn -scale quick               # churn + partition recovery
-//	dlsim -figure 2 -transport latency -latency 50 # any figure under a latency net
-//	dlsim -figure 8 -churn 0.3 -repeats 5          # churned net, bootstrap CIs
-//	dlsim -spec examples/specs/latency_churn_dp.json -scale tiny
-//	dlsim -spec sweep.json -out runs/sweep         # manifest + JSONL streams
-//	dlsim -spec sweep.json -out runs/sweep -resume # skip completed arms
+//	dlsim run -figure 3 -scale quick           # one figure, local
+//	dlsim run -figure 2 -workers 4             # parallel arms, identical output
+//	dlsim run -spec sweep.json -scale tiny     # declarative spec, local
+//	dlsim run -spec sweep.json -remote http://127.0.0.1:8080
+//	                                           # submit to a service, stream events
+//	dlsim sweep -spec sweep.json -out runs/s   # persisted: manifest + caches + streams
+//	dlsim sweep -spec sweep.json -out runs/s -resume
+//	dlsim serve -addr 127.0.0.1:8080           # HTTP/JSON job service
+//	dlsim list                                 # the scenario catalog
+//	dlsim version                              # build + spec-schema identity
+//
+// The pre-subcommand flat invocation (dlsim -figure 3, dlsim -spec
+// f.json -out d -resume, dlsim -list) keeps working and maps onto
+// run/sweep/list.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"gossipmia/internal/experiment"
-	"gossipmia/internal/spec"
+	"gossipmia/internal/metrics"
+	"gossipmia/pkg/dlsim"
 )
-
-// scenario is one runnable entry of the catalog: a paper figure, an
-// extension scenario, or a pseudo-figure (tables, attacks), with the
-// one-line description -list prints. The catalog is the single source
-// of truth: exactly the names it lists are the names -figure accepts
-// (plus "all", which runs the whole catalog in order).
-type scenario struct {
-	name string
-	desc string
-	// fig runs a figure/scenario and prints its table (nil for text
-	// entries).
-	fig func(experiment.Scale) (*experiment.FigureResult, error)
-	// text renders a pseudo-figure (tables, attacks) directly.
-	text func(experiment.Scale) (string, error)
-	// rejectsOverlay marks entries a network overlay cannot apply to.
-	rejectsOverlay bool
-}
-
-// catalog returns the ordered figure/scenario registry, in the order
-// -figure all runs them.
-func catalog() []scenario {
-	return []scenario{
-		{name: "tables", desc: "Tables 1 and 2: dataset characteristics and training configuration",
-			text: func(experiment.Scale) (string, error) {
-				return experiment.DatasetCatalogTable() + "\n" + experiment.TrainingCatalogTable(), nil
-			}, rejectsOverlay: true},
-		{name: "2", desc: "RQ1: SAMO vs Base Gossip, 5-regular static graph, all corpora", fig: experiment.RunFigure2},
-		{name: "3", desc: "RQ2: static vs dynamic topology, 2-regular graph (SAMO)", fig: experiment.RunFigure3},
-		{name: "4", desc: "RQ3: canary worst-case audit (max TPR@1%FPR), static vs dynamic", fig: experiment.RunFigure4},
-		{name: "5", desc: "RQ4: view-size sweep and communication cost (CIFAR-10-like)", fig: experiment.RunFigure5},
-		{name: "6", desc: "RQ5: Dirichlet non-IID sweep (Purchase100-like)", fig: experiment.RunFigure6},
-		{name: "7", desc: "RQ6: MIA vulnerability vs generalization error, all corpora", fig: experiment.RunFigure7},
-		{name: "8", desc: "RQ6: per-round MIA accuracy and generalization error", fig: experiment.RunFigure8},
-		{name: "9", desc: "RQ7: DP-SGD privacy-budget sweep (epsilon)", fig: experiment.RunFigure9},
-		{name: "latency", desc: "network scenario: per-link latency / staleness sweep, SAMO vs Base", fig: experiment.RunLatencySweep},
-		{name: "churn", desc: "network scenario: node churn and healing partition recovery", fig: experiment.RunChurnRecovery},
-		{name: "dynamics", desc: "extension: static vs PeerSwap vs Cyclon peer sampling", fig: experiment.RunDynamicsComparison},
-		{name: "attacks", desc: "extension: attack score-function comparison on final models",
-			text: func(sc experiment.Scale) (string, error) {
-				cmp, err := experiment.RunAttackComparison(sc)
-				if err != nil {
-					return "", err
-				}
-				return cmp.Table(), nil
-			}},
-	}
-}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -83,12 +44,68 @@ func main() {
 	}
 }
 
+// run dispatches a subcommand; an invocation that starts with a flag
+// (or is empty) takes the legacy flat path, which covers run and sweep
+// under the original flag set.
 func run(args []string) error {
-	fs := flag.NewFlagSet("dlsim", flag.ContinueOnError)
-	figure := fs.String("figure", "all", `figure or scenario to run (see -list): 2..9, "latency", "churn", "dynamics", "tables", "attacks", or "all"`)
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, rest := args[0], args[1:]
+		switch cmd {
+		case "run", "sweep":
+			return runAndSweep(cmd, rest)
+		case "serve":
+			return serveCmd(rest)
+		case "list":
+			return listCmd(rest)
+		case "version":
+			return versionCmd(rest)
+		case "help":
+			printUsage(os.Stdout)
+			return nil
+		default:
+			return fmt.Errorf("unknown command %q (want run, sweep, serve, list, or version)", cmd)
+		}
+	}
+	return runAndSweep("", args)
+}
+
+func printUsage(w *os.File) {
+	fmt.Fprintln(w, strings.TrimSpace(`
+usage: dlsim <command> [flags]
+
+commands:
+  run      run a figure/scenario or a declarative spec (locally or against -remote)
+  sweep    run a spec persisted to a result directory (-out), resumable (-resume)
+  serve    expose the engine as an HTTP/JSON job service
+  list     print the scenario catalog
+  version  print build, Go, and spec-schema identity
+
+Legacy flat flags (dlsim -figure 3, dlsim -spec f.json -out d) still work.
+Run dlsim <command> -h for each command's flags.`))
+}
+
+// signalContext is the root context of CLI runs: Ctrl-C cancels it,
+// which stops engine workers at the next arm/round boundary (leaving
+// any -out directory's completed arm caches intact for -resume).
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// runAndSweep implements run, sweep, and the legacy flat invocation
+// (cmd ""). All three share one flag set so every pre-subcommand flag
+// keeps working in its new home; sweep additionally requires -spec and
+// -out.
+func runAndSweep(cmd string, args []string) error {
+	name := cmd
+	if name == "" {
+		name = "dlsim"
+	}
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	figure := fs.String("figure", "all", `figure or scenario to run (see dlsim list): 2..9, "latency", "churn", "dynamics", "tables", "attacks", or "all"`)
 	specPath := fs.String("spec", "", "run a declarative scenario spec (JSON file) instead of a catalog figure")
-	outDir := fs.String("out", "", "result directory for -spec runs: manifest, per-arm caches, streamed events, results.csv")
+	outDir := fs.String("out", "", "result directory: manifest, per-arm caches, streamed events, results.csv (requires -spec)")
 	resume := fs.Bool("resume", false, "with -spec and -out: skip arms whose cached results already exist in the out directory")
+	remote := fs.String("remote", "", "submit the run to a dlsim service at this base URL instead of executing locally (requires -spec)")
 	list := fs.Bool("list", false, "print the available figures/scenarios and exit")
 	scaleName := fs.String("scale", "quick", "experiment scale: tiny, quick, or paper")
 	seed := fs.Int64("seed", 0, "override the scale's base seed (0 keeps the preset)")
@@ -102,6 +119,9 @@ func run(args []string) error {
 	drop := fs.Float64("drop", 0, "probability that a transmission is lost (implies -transport lossy)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
 	if *workers < 0 {
 		return fmt.Errorf("workers must be >= 0, got %d", *workers)
@@ -125,6 +145,13 @@ func run(args []string) error {
 		return err
 	}
 
+	if cmd == "sweep" && (*specPath == "" || *outDir == "") {
+		return fmt.Errorf("sweep requires -spec and -out")
+	}
+
+	ctx, stop := signalContext()
+	defer stop()
+
 	if *specPath != "" {
 		if *figure != "all" {
 			return fmt.Errorf("-spec and -figure are mutually exclusive (got -figure %s)", *figure)
@@ -139,7 +166,16 @@ func run(args []string) error {
 		if sc.Net != (experiment.NetOverlay{}) {
 			return fmt.Errorf("network overlay flags cannot be combined with -spec: declare the network per arm in the spec file")
 		}
-		return runSpecFile(*specPath, sc, *outDir, *resume, *csv, *plotFlag)
+		if *remote != "" {
+			if *outDir != "" || *resume {
+				return fmt.Errorf("-out and -resume are local-run flags and cannot be combined with -remote")
+			}
+			return runRemote(ctx, *remote, *specPath, *scaleName, *seed, *workers, *csv, *plotFlag)
+		}
+		return runSpecFile(ctx, *specPath, *scaleName, *seed, *workers, *outDir, *resume, *csv, *plotFlag)
+	}
+	if *remote != "" {
+		return fmt.Errorf("-remote requires -spec (submit a spec file to the service)")
 	}
 	if *outDir != "" || *resume {
 		return fmt.Errorf("-out and -resume require -spec")
@@ -150,69 +186,262 @@ func run(args []string) error {
 		if sc.Net != (experiment.NetOverlay{}) {
 			return fmt.Errorf("network overlay flags cannot be combined with -figure all: the latency and churn scenarios pin their own networks per arm")
 		}
-		for _, s := range catalog() {
-			if err := runEntry(s, sc, *csv, *plotFlag); err != nil {
-				return fmt.Errorf("figure %s: %w", s.name, err)
+		for _, e := range experiment.Catalog() {
+			if err := runEntry(ctx, e, sc, *csv, *plotFlag); err != nil {
+				return fmt.Errorf("figure %s: %w", e.Name, err)
 			}
 		}
 		return nil
 	default:
-		var sel *scenario
-		for _, s := range catalog() {
-			if s.name == *figure {
-				sel = &s
-				break
-			}
+		e, ok := experiment.CatalogEntryByName(*figure)
+		if !ok {
+			return fmt.Errorf("unknown figure %q (run dlsim list for the catalog)", *figure)
 		}
-		if sel == nil {
-			return fmt.Errorf("unknown figure %q (run dlsim -list for the catalog)", *figure)
+		if e.RejectsOverlay && sc.Net != (experiment.NetOverlay{}) {
+			return fmt.Errorf("network overlay flags have no effect on -figure %s", e.Name)
 		}
-		if sel.rejectsOverlay && sc.Net != (experiment.NetOverlay{}) {
-			return fmt.Errorf("network overlay flags have no effect on -figure %s", sel.name)
-		}
-		if *repeats > 1 && sel.fig != nil {
-			rep, err := experiment.Replicate(sel.fig, sc, *repeats, 0.95)
+		if *repeats > 1 && e.Runnable() {
+			rep, err := experiment.Replicate(func(rsc experiment.Scale) (*experiment.FigureResult, error) {
+				return e.Run(ctx, rsc)
+			}, sc, *repeats, 0.95)
 			if err != nil {
 				return err
 			}
 			fmt.Println(rep.Table())
 			return nil
 		}
-		return runEntry(*sel, sc, *csv, *plotFlag)
+		return runEntry(ctx, e, sc, *csv, *plotFlag)
 	}
 }
 
-// runSpecFile loads and runs a declarative spec, optionally persisting
-// the run (manifest, caches, event streams) to a result directory.
-func runSpecFile(path string, sc experiment.Scale, outDir string, resume, csv, renderPlot bool) error {
+// newRunner assembles the SDK runner the CLI's local spec runs go
+// through.
+func newRunner(scaleName string, seed int64, workers int) (*dlsim.Runner, error) {
+	opts := []dlsim.Option{dlsim.WithScale(scaleName), dlsim.WithWorkers(workers)}
+	if seed != 0 {
+		opts = append(opts, dlsim.WithSeed(seed))
+	}
+	return dlsim.NewRunner(opts...)
+}
+
+// runSpecFile loads and runs a declarative spec through the SDK,
+// optionally persisting the run (manifest, caches, event streams) to a
+// result directory.
+func runSpecFile(ctx context.Context, path, scaleName string, seed int64, workers int, outDir string, resume, csv, renderPlot bool) error {
 	if resume && outDir == "" {
 		return fmt.Errorf("-resume requires -out")
 	}
-	sp, err := spec.Load(path)
+	sp, err := dlsim.LoadSpec(path)
 	if err != nil {
 		return err
 	}
-	var fig *experiment.FigureResult
+	runner, err := newRunner(scaleName, seed, workers)
+	if err != nil {
+		return err
+	}
+	var res *dlsim.Result
 	if outDir == "" {
-		fig, err = experiment.RunSpec(sp, sc)
+		res, err = runner.Run(ctx, sp)
 	} else {
-		var man *experiment.SpecManifest
-		fig, man, err = experiment.RunSpecDir(sp, sc, experiment.SpecRunOptions{OutDir: outDir, Resume: resume})
+		var report *dlsim.RunReport
+		res, report, err = runner.RunDir(ctx, sp, dlsim.DirOptions{OutDir: outDir, Resume: resume})
 		if err == nil {
 			cached := 0
-			for _, a := range man.Arms {
+			for _, a := range report.Arms {
 				if a.Cached {
 					cached++
 				}
 			}
 			fmt.Printf("spec %s (hash %s): %d arms (%d from cache) -> %s\n",
-				sp.Name, man.SpecHash[:12], len(man.Arms), cached, outDir)
+				sp.Name, report.SpecHash[:12], len(report.Arms), cached, outDir)
 		}
 	}
 	if err != nil {
 		return err
 	}
+	return printResult(res, csv, renderPlot)
+}
+
+// runRemote submits a spec to a dlsim service, streams its round
+// records as they are produced, and prints the final table.
+func runRemote(ctx context.Context, base, path, scaleName string, seed int64, workers int, csv, renderPlot bool) error {
+	sp, err := dlsim.LoadSpec(path)
+	if err != nil {
+		return err
+	}
+	client := dlsim.NewClient(base)
+	job, err := client.Submit(ctx, dlsim.JobRequest{Spec: sp, Scale: scaleName, Seed: seed, Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s (%s, key %s)\n", job.ID, job.Status, job.Key[:12])
+	// Ctrl-C must not strand the job server-side: it would keep holding
+	// one of the service's worker slots. Best-effort cancel on a fresh
+	// context (ctx is already dead at that point).
+	defer func() {
+		if ctx.Err() == nil {
+			return
+		}
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if _, cerr := client.Cancel(cctx, job.ID); cerr == nil {
+			fmt.Fprintf(os.Stderr, "dlsim: cancelled job %s\n", job.ID)
+		} else {
+			fmt.Fprintf(os.Stderr, "dlsim: could not cancel job %s: %v\n", job.ID, cerr)
+		}
+	}()
+	if err := client.Events(ctx, job.ID, func(ev dlsim.Event) error {
+		fmt.Printf("event %s round=%d acc=%.4f mia=%.4f\n", ev.Arm, ev.Round, ev.TestAcc, ev.MIAAcc)
+		return nil
+	}); err != nil {
+		return err
+	}
+	job, err = client.Job(ctx, job.ID)
+	if err != nil {
+		return err
+	}
+	switch job.Status {
+	case dlsim.StatusDone:
+		return printResult(job.Result, csv, renderPlot)
+	case dlsim.StatusCancelled:
+		return fmt.Errorf("job %s was cancelled", job.ID)
+	default:
+		return fmt.Errorf("job %s %s: %s", job.ID, job.Status, job.Error)
+	}
+}
+
+// runEntry runs one catalog entry and prints its output. Text entries
+// render directly; spec-backed entries run through the generic
+// executor under ctx.
+func runEntry(ctx context.Context, e experiment.CatalogEntry, sc experiment.Scale, csv, renderPlot bool) error {
+	if !e.Runnable() {
+		out, err := e.Text(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+	fig, err := e.Run(ctx, sc)
+	if err != nil {
+		return err
+	}
 	return printFigure(fig, csv, renderPlot)
+}
+
+// printFigure prints an engine-side figure (catalog entries, which may
+// need the internal plot renderer).
+func printFigure(fig *experiment.FigureResult, csv, renderPlot bool) error {
+	fmt.Println(fig.Table())
+	if renderPlot {
+		p, err := fig.TradeoffPlot()
+		if err != nil {
+			return fmt.Errorf("plot: %w", err)
+		}
+		fmt.Println(p)
+	}
+	if csv {
+		for _, arm := range fig.Arms {
+			fmt.Printf("# %s\n%s\n", arm.Label, arm.Series.CSV())
+		}
+	}
+	return nil
+}
+
+// printResult prints an SDK result (spec runs, local or remote).
+func printResult(res *dlsim.Result, csv, renderPlot bool) error {
+	fmt.Println(res.Table())
+	if renderPlot {
+		p, err := figureOf(res).TradeoffPlot()
+		if err != nil {
+			return fmt.Errorf("plot: %w", err)
+		}
+		fmt.Println(p)
+	}
+	if csv {
+		for _, arm := range res.Arms {
+			fmt.Printf("# %s\nround,test_acc,mia_acc,tpr_at_1fpr,gen_error\n", arm.Label)
+			for _, r := range arm.Records {
+				fmt.Printf("%d,%.6f,%.6f,%.6f,%.6f\n", r.Round, r.TestAcc, r.MIAAcc, r.TPRAt1FPR, r.GenError)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// figureOf converts an SDK result back into the engine's figure shape
+// so presentation (plots, palettes, axis labels) has exactly one
+// implementation regardless of where the result came from.
+func figureOf(res *dlsim.Result) *experiment.FigureResult {
+	fig := &experiment.FigureResult{Name: res.Name, Caption: res.Caption, Notes: res.Notes}
+	for _, arm := range res.Arms {
+		s := &metrics.Series{Label: arm.Label}
+		for _, r := range arm.Records {
+			s.Append(metrics.RoundRecord{
+				Round: r.Round, TestAcc: r.TestAcc, MIAAcc: r.MIAAcc,
+				TPRAt1FPR: r.TPRAt1FPR, GenError: r.GenError,
+			})
+		}
+		fig.Arms = append(fig.Arms, experiment.Arm{
+			Label: arm.Label, Series: s,
+			MessagesSent: arm.MessagesSent, BytesSent: arm.BytesSent,
+			RealizedEpsilon: arm.RealizedEpsilon, NoiseMultiplier: arm.NoiseMultiplier,
+		})
+	}
+	return fig
+}
+
+// listCmd prints the catalog, either the local build's or a remote
+// service's.
+func listCmd(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	addr := fs.String("addr", "", "query a dlsim service at this base URL instead of the local build")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		printCatalog(os.Stdout)
+		return nil
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	entries, err := dlsim.NewClient(*addr).Catalog(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("figures and scenarios at %s:\n", *addr)
+	for _, e := range entries {
+		kind := " "
+		if !e.Runnable {
+			kind = "*"
+		}
+		fmt.Printf("  %-9s %s%s\n", e.Name, kind, e.Desc)
+	}
+	fmt.Println("entries marked * are text-only and cannot run as service jobs")
+	return nil
+}
+
+// versionCmd prints the build identity (module, Go, spec schema).
+func versionCmd(args []string) error {
+	fs := flag.NewFlagSet("version", flag.ContinueOnError)
+	addr := fs.String("addr", "", "query a dlsim service at this base URL instead of the local build")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	v := dlsim.Version()
+	if *addr != "" {
+		ctx, stop := signalContext()
+		defer stop()
+		remote, err := dlsim.NewClient(*addr).Version(ctx)
+		if err != nil {
+			return err
+		}
+		v = *remote
+	}
+	fmt.Printf("dlsim %s\nmodule: %s\ngo: %s\nspec-schema: %s\n",
+		v.Version, v.Module, v.GoVersion, v.SpecSchemaHash)
+	return nil
 }
 
 // netOverlay folds the network flags into the experiment overlay,
@@ -248,58 +477,16 @@ func netOverlay(transport string, latency, churn, drop float64) (experiment.NetO
 
 func printCatalog(w *os.File) {
 	fmt.Fprintln(w, "figures and scenarios (-figure NAME):")
-	for _, s := range catalog() {
-		fmt.Fprintf(w, "  %-9s %s\n", s.name, s.desc)
+	for _, e := range experiment.Catalog() {
+		fmt.Fprintf(w, "  %-9s %s\n", e.Name, e.Desc)
 	}
 	fmt.Fprintln(w, "  all       every figure and scenario above, in catalog order")
 	fmt.Fprintln(w, strings.TrimSpace(`
 network overlay flags (apply to any figure): -transport, -latency, -churn, -drop
-declarative specs: -spec file.json [-out dir [-resume]] (see examples/specs/)`))
-}
-
-// runEntry runs one catalog entry and prints its output.
-func runEntry(s scenario, sc experiment.Scale, csv, renderPlot bool) error {
-	if s.text != nil {
-		out, err := s.text(sc)
-		if err != nil {
-			return err
-		}
-		fmt.Println(out)
-		return nil
-	}
-	fig, err := s.fig(sc)
-	if err != nil {
-		return err
-	}
-	return printFigure(fig, csv, renderPlot)
-}
-
-func printFigure(fig *experiment.FigureResult, csv, renderPlot bool) error {
-	fmt.Println(fig.Table())
-	if renderPlot {
-		p, err := fig.TradeoffPlot()
-		if err != nil {
-			return fmt.Errorf("plot: %w", err)
-		}
-		fmt.Println(p)
-	}
-	if csv {
-		for _, arm := range fig.Arms {
-			fmt.Printf("# %s\n%s\n", arm.Label, arm.Series.CSV())
-		}
-	}
-	return nil
+declarative specs: -spec file.json [-out dir [-resume]] (see examples/specs/)
+service mode: dlsim serve; submit with dlsim run -spec file.json -remote URL`))
 }
 
 func scaleByName(name string) (experiment.Scale, error) {
-	switch name {
-	case "tiny":
-		return experiment.TinyScale(), nil
-	case "quick":
-		return experiment.QuickScale(), nil
-	case "paper":
-		return experiment.PaperScale(), nil
-	default:
-		return experiment.Scale{}, fmt.Errorf("unknown scale %q (want tiny, quick, or paper)", name)
-	}
+	return experiment.ScaleByName(name)
 }

@@ -87,15 +87,18 @@ func TestListFlag(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
 		t.Fatalf("-list: %v", err)
 	}
+	if err := run([]string{"list"}); err != nil {
+		t.Fatalf("list subcommand: %v", err)
+	}
 	names := map[string]bool{}
-	for _, s := range catalog() {
-		if (s.fig == nil) == (s.text == nil) || s.desc == "" {
-			t.Fatalf("catalog entry %q incomplete", s.name)
+	for _, e := range experiment.Catalog() {
+		if (e.Spec == nil) == (e.Text == nil) || e.Desc == "" {
+			t.Fatalf("catalog entry %q incomplete", e.Name)
 		}
-		if names[s.name] {
-			t.Fatalf("duplicate catalog entry %q", s.name)
+		if names[e.Name] {
+			t.Fatalf("duplicate catalog entry %q", e.Name)
 		}
-		names[s.name] = true
+		names[e.Name] = true
 	}
 	// The catalog is the single source of truth for -list AND -figure:
 	// every name -figure accepts (other than "all") must be listed,
@@ -115,14 +118,78 @@ func TestCatalogNamesAllRunnable(t *testing.T) {
 	if err := run([]string{"-figure", "tables"}); err != nil {
 		t.Fatalf("tables: %v", err)
 	}
-	for _, s := range catalog() {
+	for _, e := range experiment.Catalog() {
 		// Dispatch with a bad scale: a listed name must get past name
 		// resolution (and fail, if at all, on the scale), never report
 		// "unknown figure".
-		err := run([]string{"-figure", s.name, "-scale", "nope"})
+		err := run([]string{"-figure", e.Name, "-scale", "nope"})
 		if err == nil || strings.Contains(err.Error(), "unknown figure") {
-			t.Fatalf("catalog name %q not accepted by -figure: %v", s.name, err)
+			t.Fatalf("catalog name %q not accepted by -figure: %v", e.Name, err)
 		}
+	}
+}
+
+// TestSubcommandDispatch pins the subcommand surface: known commands
+// parse their own flags, unknown commands error, and the legacy flat
+// flags keep working under run and sweep.
+func TestSubcommandDispatch(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("unknown command error = %v", err)
+	}
+	if err := run([]string{"run", "-figure", "tables"}); err != nil {
+		t.Fatalf("run -figure tables: %v", err)
+	}
+	if err := run([]string{"version"}); err != nil {
+		t.Fatalf("version: %v", err)
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help: %v", err)
+	}
+	// sweep demands a spec and an out directory.
+	if err := run([]string{"sweep", "-scale", "tiny"}); err == nil || !strings.Contains(err.Error(), "sweep requires") {
+		t.Fatalf("sweep without -spec/-out: %v", err)
+	}
+	if err := run([]string{"sweep", "-spec", "x.json"}); err == nil || !strings.Contains(err.Error(), "sweep requires") {
+		t.Fatalf("sweep without -out: %v", err)
+	}
+	// serve validates its flags without binding when they are invalid.
+	if err := run([]string{"serve", "-scale", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown scale") {
+		t.Fatalf("serve bad scale: %v", err)
+	}
+	if err := run([]string{"serve", "-jobs", "0"}); err == nil {
+		t.Fatal("serve -jobs 0 accepted")
+	}
+	// -remote is a -spec companion and excludes local-run persistence.
+	if err := run([]string{"run", "-remote", "http://x"}); err == nil || !strings.Contains(err.Error(), "-remote requires -spec") {
+		t.Fatalf("-remote without -spec: %v", err)
+	}
+	if err := run([]string{"run", "-spec", "x.json", "-remote", "http://x", "-out", "d"}); err == nil ||
+		!strings.Contains(err.Error(), "cannot be combined with -remote") {
+		t.Fatalf("-remote with -out: %v", err)
+	}
+	// Trailing positional arguments are rejected, not ignored.
+	if err := run([]string{"run", "-figure", "tables", "extra"}); err == nil ||
+		!strings.Contains(err.Error(), "unexpected argument") {
+		t.Fatalf("trailing argument: %v", err)
+	}
+}
+
+// TestSweepSubcommandTiny proves the sweep subcommand is the persisted
+// spec run: artifacts land in -out and -resume serves from cache.
+func TestSweepSubcommandTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	path := writeTestSpec(t)
+	out := filepath.Join(t.TempDir(), "run")
+	if err := run([]string{"sweep", "-spec", path, "-scale", "tiny", "-out", out}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "manifest.json")); err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+	if err := run([]string{"sweep", "-spec", path, "-scale", "tiny", "-out", out, "-resume"}); err != nil {
+		t.Fatalf("resumed sweep: %v", err)
 	}
 }
 
@@ -209,7 +276,9 @@ func TestRunSpecFileTiny(t *testing.T) {
 		t.Skip("runs a simulation")
 	}
 	path := writeTestSpec(t)
-	if err := run([]string{"-spec", path, "-scale", "tiny"}); err != nil {
+	// -plot must keep working for spec runs (it renders from the SDK
+	// result's records, not the internal figure).
+	if err := run([]string{"-spec", path, "-scale", "tiny", "-plot"}); err != nil {
 		t.Fatalf("spec run: %v", err)
 	}
 	out := filepath.Join(t.TempDir(), "run")

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"gossipmia/internal/server"
+)
+
+// serveCmd runs the HTTP/JSON scenario service until interrupted.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port; the bound address is printed)")
+	jobs := fs.Int("jobs", 1, "scenarios executing concurrently; everything else waits in the queue")
+	queue := fs.Int("queue", 16, "bounded pending-queue depth; submissions beyond it get HTTP 503")
+	scale := fs.String("scale", "quick", "default scale for submissions that do not set one: tiny, quick, or paper")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := scaleByName(*scale); err != nil {
+		return err
+	}
+	if *jobs < 1 || *queue < 1 {
+		return fmt.Errorf("serve needs -jobs >= 1 and -queue >= 1")
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	svc := server.New(server.Config{
+		Jobs:         *jobs,
+		QueueDepth:   *queue,
+		DefaultScale: *scale,
+	})
+	httpSrv := &http.Server{Handler: svc}
+
+	// The bound address line is the machine-readable contract scripts
+	// parse (ci.sh starts serve on :0 and reads the port from here).
+	fmt.Printf("dlsim: serving on http://%s (jobs=%d queue=%d scale=%s)\n",
+		ln.Addr(), *jobs, *queue, *scale)
+
+	ctx, stop := signalContext()
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "dlsim: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Stop accepting, then abort jobs: in-flight event streams end when
+	// their jobs reach a terminal status.
+	svc.Close()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

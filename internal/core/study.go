@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -205,6 +206,14 @@ func (s *Study) Config() StudyConfig { return s.cfg }
 
 // Run executes the study arm and returns its per-round series.
 func (s *Study) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the study arm like Run, aborting between rounds
+// when ctx is cancelled. Cancellation is checked at every round
+// boundary (before the round's evaluation), so a cancelled run returns
+// ctx.Err() within one round without producing a partial record.
+func (s *Study) RunContext(ctx context.Context) (*Result, error) {
 	cfg := s.cfg
 	simCfg := cfg.Sim.Defaulted()
 	rng := tensor.NewRNG(simCfg.Seed)
@@ -254,6 +263,9 @@ func (s *Study) Run() (*Result, error) {
 	series := &metrics.Series{Label: cfg.Label}
 
 	observer := func(round int, sim *gossip.Simulator) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if (round+1)%cfg.EvalEvery != 0 && round != simCfg.Rounds-1 {
 			return nil
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -67,7 +68,7 @@ func DynamicsComparisonSpec() *spec.Spec {
 
 // RunDynamicsComparison runs the dynamics-comparison spec.
 func RunDynamicsComparison(sc Scale) (*FigureResult, error) {
-	return RunSpec(DynamicsComparisonSpec(), sc)
+	return RunSpec(context.Background(), DynamicsComparisonSpec(), sc)
 }
 
 // RunAttackComparison trains one SAMO deployment on the CIFAR-10-like

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -160,7 +161,7 @@ func Figure2Spec() *spec.Spec {
 
 // RunFigure2 runs the Figure 2 spec.
 func RunFigure2(sc Scale) (*FigureResult, error) {
-	return RunSpec(Figure2Spec(), sc)
+	return RunSpec(context.Background(), Figure2Spec(), sc)
 }
 
 // Figure3Spec (RQ2): static vs dynamic topology on a sparse 2-regular
@@ -190,7 +191,7 @@ func Figure3Spec() *spec.Spec {
 
 // RunFigure3 runs the Figure 3 spec.
 func RunFigure3(sc Scale) (*FigureResult, error) {
-	return RunSpec(Figure3Spec(), sc)
+	return RunSpec(context.Background(), Figure3Spec(), sc)
 }
 
 // Figure4Spec (RQ3): canary-based worst-case audit — maximum per-node
@@ -221,7 +222,7 @@ func Figure4Spec() *spec.Spec {
 
 // RunFigure4 runs the Figure 4 spec.
 func RunFigure4(sc Scale) (*FigureResult, error) {
-	return RunSpec(Figure4Spec(), sc)
+	return RunSpec(context.Background(), Figure4Spec(), sc)
 }
 
 // Figure5Spec (RQ4): view-size sweep on the CIFAR-10-like corpus with
@@ -255,7 +256,7 @@ func Figure5Spec(sc Scale) *spec.Spec {
 
 // RunFigure5 runs the Figure 5 spec.
 func RunFigure5(sc Scale) (*FigureResult, error) {
-	return RunSpec(Figure5Spec(sc), sc)
+	return RunSpec(context.Background(), Figure5Spec(sc), sc)
 }
 
 // Figure6Spec (RQ5): Dirichlet non-IID sweep on the Purchase100-like
@@ -294,7 +295,7 @@ func Figure6Spec() *spec.Spec {
 
 // RunFigure6 runs the Figure 6 spec.
 func RunFigure6(sc Scale) (*FigureResult, error) {
-	return RunSpec(Figure6Spec(), sc)
+	return RunSpec(context.Background(), Figure6Spec(), sc)
 }
 
 // Figure7Spec (RQ6): MIA vulnerability against generalization error
@@ -326,13 +327,19 @@ func Figure7Spec() *spec.Spec {
 // RunFigure7 runs the Figure 7 spec and appends the RQ6 rank
 // correlations.
 func RunFigure7(sc Scale) (*FigureResult, error) {
-	fig, err := RunSpec(Figure7Spec(), sc)
+	fig, err := RunSpec(context.Background(), Figure7Spec(), sc)
 	if err != nil {
 		return nil, err
 	}
-	// Quantify the RQ6 link per arm: rank correlation between the
-	// per-round generalization error and MIA accuracy. A rho well below
-	// 1 is the paper's "generalization error is not the only key factor".
+	AppendFigure7Notes(fig)
+	return fig, nil
+}
+
+// AppendFigure7Notes quantifies the RQ6 link per arm: rank correlation
+// between the per-round generalization error and MIA accuracy. A rho
+// well below 1 is the paper's "generalization error is not the only key
+// factor".
+func AppendFigure7Notes(fig *FigureResult) {
 	for _, arm := range fig.Arms {
 		gen := make([]float64, 0, len(arm.Series.Records))
 		miaAcc := make([]float64, 0, len(arm.Series.Records))
@@ -346,7 +353,6 @@ func RunFigure7(sc Scale) (*FigureResult, error) {
 		}
 		fig.Notes = append(fig.Notes, fmt.Sprintf("%s: spearman(genErr, miaAcc) = %.2f", arm.Label, rho))
 	}
-	return fig, nil
 }
 
 // Figure8Spec (RQ6): per-round MIA accuracy and generalization error on
@@ -372,7 +378,7 @@ func Figure8Spec() *spec.Spec {
 
 // RunFigure8 runs the Figure 8 spec.
 func RunFigure8(sc Scale) (*FigureResult, error) {
-	return RunSpec(Figure8Spec(), sc)
+	return RunSpec(context.Background(), Figure8Spec(), sc)
 }
 
 // Figure9Spec (RQ7): DP-SGD privacy-budget sweep (plus a non-DP
@@ -410,7 +416,7 @@ func Figure9Spec() *spec.Spec {
 
 // RunFigure9 runs the Figure 9 spec.
 func RunFigure9(sc Scale) (*FigureResult, error) {
-	return RunSpec(Figure9Spec(), sc)
+	return RunSpec(context.Background(), Figure9Spec(), sc)
 }
 
 func dynLabel(dynamic bool) string {

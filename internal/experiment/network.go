@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"gossipmia/internal/data"
@@ -166,7 +167,7 @@ func RunLatencySweep(sc Scale) (*FigureResult, error) {
 	if err := rejectOverlay("latency", sc); err != nil {
 		return nil, err
 	}
-	return RunSpec(LatencySweepSpec(), sc)
+	return RunSpec(context.Background(), LatencySweepSpec(), sc)
 }
 
 // ChurnRecoverySpec (network scenario "churn"): SAMO on a sparse graph
@@ -206,7 +207,7 @@ func RunChurnRecovery(sc Scale) (*FigureResult, error) {
 	if err := rejectOverlay("churn", sc); err != nil {
 		return nil, err
 	}
-	return RunSpec(ChurnRecoverySpec(sc), sc)
+	return RunSpec(context.Background(), ChurnRecoverySpec(sc), sc)
 }
 
 // churnSpecSchedule is churnSchedule in the declarative vocabulary.

@@ -8,6 +8,7 @@ package experiment
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // ErrScale is returned for unusable scales.
@@ -71,6 +72,24 @@ func (s Scale) nodesFor(corpus string) int {
 	}
 	return s.Nodes
 }
+
+// ScaleByName resolves a named scale preset — the single resolver the
+// CLI, the SDK, and the job service all route through.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return TinyScale(), nil
+	case "quick":
+		return QuickScale(), nil
+	case "paper":
+		return PaperScale(), nil
+	default:
+		return Scale{}, fmt.Errorf("unknown scale %q (want %s)", name, strings.Join(ScaleNames(), ", "))
+	}
+}
+
+// ScaleNames lists the named presets ScaleByName accepts.
+func ScaleNames() []string { return []string{"tiny", "quick", "paper"} }
 
 // QuickScale is the laptop-scale preset used by tests, benchmarks, and
 // the examples: every figure reproduces in seconds to a couple of

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -26,8 +27,26 @@ import (
 // figure. Arms are fully independent — each derives its seed from the
 // scale and its own seed offset — and land in spec order, so the figure
 // is byte-identical to a serial run for any worker count.
-func RunSpec(sp *spec.Spec, sc Scale) (*FigureResult, error) {
-	return runSpecHooked(sp, sc, specHooks{})
+//
+// Cancelling ctx stops the run promptly: no new arm is started, arms in
+// flight abort at their next round boundary, and the call returns an
+// error wrapping ctx.Err().
+func RunSpec(ctx context.Context, sp *spec.Spec, sc Scale) (*FigureResult, error) {
+	return runSpecHooked(ctx, sp, sc, specHooks{})
+}
+
+// RunSpecSinks runs a spec like RunSpec, additionally streaming every
+// arm's evaluated rounds into the sink returned by sinkFor — the
+// entry point the HTTP job service and the pkg/dlsim SDK attach their
+// observers to. sinkFor is called once per arm (from worker goroutines,
+// distinct arms per call) and may return a nil sink to skip an arm's
+// stream; each non-nil sink is closed after the arm's last record.
+func RunSpecSinks(ctx context.Context, sp *spec.Spec, sc Scale, sinkFor func(i int, label string) (sink.Sink, error)) (*FigureResult, error) {
+	h := specHooks{}
+	if sinkFor != nil {
+		h.sinks = func(i int, a spec.Arm) (sink.Sink, error) { return sinkFor(i, a.Label) }
+	}
+	return runSpecHooked(ctx, sp, sc, h)
 }
 
 // specHooks customize the executor per arm: a cache lookup that can
@@ -41,7 +60,7 @@ type specHooks struct {
 	done   func(i int, a spec.Arm, arm Arm, elapsed time.Duration) error
 }
 
-func runSpecHooked(sp *spec.Spec, sc Scale, h specHooks) (*FigureResult, error) {
+func runSpecHooked(ctx context.Context, sp *spec.Spec, sc Scale, h specHooks) (*FigureResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -56,7 +75,7 @@ func runSpecHooked(sp *spec.Spec, sc Scale, h specHooks) (*FigureResult, error) 
 	scArm.Workers = innerWorkers(sc.Workers, len(arms))
 	fig := &FigureResult{Name: sp.Name, Caption: sp.Caption}
 	fig.Arms = make([]Arm, len(arms))
-	err = par.ForEachErr(sc.Workers, len(arms), func(i int) error {
+	err = par.ForEachErrCtx(ctx, sc.Workers, len(arms), func(i int) error {
 		a := arms[i]
 		if h.lookup != nil {
 			if cached, ok := h.lookup(i, a); ok {
@@ -73,7 +92,7 @@ func runSpecHooked(sp *spec.Spec, sc Scale, h specHooks) (*FigureResult, error) 
 			snk = s
 		}
 		start := time.Now()
-		arm, err := runSpecArm(scArm, a, snk)
+		arm, err := runSpecArm(ctx, scArm, a, snk)
 		if snk != nil {
 			if cerr := snk.Close(); cerr != nil && err == nil {
 				err = cerr
@@ -100,7 +119,7 @@ func runSpecHooked(sp *spec.Spec, sc Scale, h specHooks) (*FigureResult, error) 
 // resolves the corpus's training catalog entry, applies the arm's
 // overrides, assembles the simulator and study configuration, and runs
 // the study, streaming evaluated rounds into snk (when non-nil).
-func runSpecArm(sc Scale, a spec.Arm, snk sink.Sink) (Arm, error) {
+func runSpecArm(ctx context.Context, sc Scale, a spec.Arm, snk sink.Sink) (Arm, error) {
 	train, err := TrainingFor(data.CorpusName(a.Corpus))
 	if err != nil {
 		return Arm{}, err
@@ -187,7 +206,7 @@ func runSpecArm(sc Scale, a spec.Arm, snk sink.Sink) (Arm, error) {
 	if err != nil {
 		return Arm{}, err
 	}
-	res, err := study.Run()
+	res, err := study.RunContext(ctx)
 	if err != nil {
 		return Arm{}, err
 	}
@@ -259,6 +278,17 @@ type SpecRunOptions struct {
 	// Events selects the per-arm stream format: "jsonl" (default),
 	// "csv", or "none".
 	Events string
+	// ExtraSinks, when non-nil, attaches an additional per-arm sink
+	// alongside the run directory's event files (the hook the SDK's
+	// WithSink rides on for persisted runs). It may return a nil sink
+	// to skip an arm. Arms served from the resume cache do not stream
+	// — neither to event files nor to extra sinks.
+	ExtraSinks func(i int, label string) (sink.Sink, error)
+	// OnArmDone, when non-nil, observes every arm as it is satisfied
+	// (executed or loaded from cache), after its cache file is durably
+	// on disk. It is invoked from worker goroutines with distinct arms
+	// per call, in completion order — not spec order.
+	OnArmDone func(i int, report SpecArmReport)
 }
 
 // SpecArmReport records how one arm of a spec run was satisfied.
@@ -296,6 +326,23 @@ type armCacheFile struct {
 	BytesSent       int                   `json:"bytesSent"`
 	RealizedEpsilon float64               `json:"realizedEpsilon,omitempty"`
 	NoiseMultiplier float64               `json:"noiseMultiplier,omitempty"`
+	// Sum is the integrity checksum of the entry: the SHA-256 of the
+	// cache's canonical JSON with this field empty. A cache whose
+	// content does not reproduce its Sum — truncated, hand-edited, or
+	// torn by a filesystem that reordered the atomic rename — is
+	// ignored on resume and the arm recomputed.
+	Sum string `json:"sum"`
+}
+
+// checksum returns the integrity sum of the entry's content.
+func (c armCacheFile) checksum() (string, error) {
+	c.Sum = ""
+	raw, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("experiment: cache checksum: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // armKey returns the resume cache key of an arm under a scale: the
@@ -346,7 +393,12 @@ func writeFileAtomic(path string, data []byte) error {
 // per-arm result cache enabling -resume, per-arm streamed event files,
 // and a results.csv summary. The returned report says which arms ran
 // and which were loaded from cache.
-func RunSpecDir(sp *spec.Spec, sc Scale, opts SpecRunOptions) (*FigureResult, *SpecManifest, error) {
+//
+// On cancellation the sweep checkpoints cleanly: completed arms keep
+// their atomically-written cache files (no manifest or results.csv is
+// written for the aborted run), so a later Resume re-executes only what
+// is missing and produces byte-identical output.
+func RunSpecDir(ctx context.Context, sp *spec.Spec, sc Scale, opts SpecRunOptions) (*FigureResult, *SpecManifest, error) {
 	if opts.OutDir == "" {
 		return nil, nil, fmt.Errorf("%w: RunSpecDir needs an output directory", ErrScale)
 	}
@@ -409,16 +461,52 @@ func RunSpecDir(sp *spec.Spec, sc Scale, opts SpecRunOptions) (*FigureResult, *S
 				RealizedEpsilon: arm.RealizedEpsilon,
 				NoiseMultiplier: arm.NoiseMultiplier,
 			}
+			sum, err := cache.checksum()
+			if err != nil {
+				return err
+			}
+			cache.Sum = sum
 			raw, err := json.MarshalIndent(cache, "", " ")
 			if err != nil {
 				return err
 			}
-			return writeFileAtomic(filepath.Join(opts.OutDir, reports[i].ResultFile), raw)
+			if err := writeFileAtomic(filepath.Join(opts.OutDir, reports[i].ResultFile), raw); err != nil {
+				return err
+			}
+			if opts.OnArmDone != nil {
+				opts.OnArmDone(i, reports[i])
+			}
+			return nil
 		},
 	}
-	if opts.Events != "none" {
+	if opts.Events != "none" || opts.ExtraSinks != nil {
 		h.sinks = func(i int, a spec.Arm) (sink.Sink, error) {
-			return sink.NewFile(filepath.Join(opts.OutDir, reports[i].EventsFile), opts.Events, a.Label)
+			var sinks sink.Multi
+			if opts.Events != "none" {
+				f, err := sink.NewFile(filepath.Join(opts.OutDir, reports[i].EventsFile), opts.Events, a.Label)
+				if err != nil {
+					return nil, err
+				}
+				sinks = append(sinks, f)
+			}
+			if opts.ExtraSinks != nil {
+				extra, err := opts.ExtraSinks(i, a.Label)
+				if err != nil {
+					_ = sinks.Close()
+					return nil, err
+				}
+				if extra != nil {
+					sinks = append(sinks, extra)
+				}
+			}
+			switch len(sinks) {
+			case 0:
+				return nil, nil
+			case 1:
+				return sinks[0], nil
+			default:
+				return sinks, nil
+			}
 		}
 	}
 	if opts.Resume {
@@ -426,12 +514,15 @@ func RunSpecDir(sp *spec.Spec, sc Scale, opts SpecRunOptions) (*FigureResult, *S
 			arm, ok := loadArmCache(filepath.Join(opts.OutDir, reports[i].ResultFile), keys[i], a.Label)
 			if ok {
 				reports[i].Cached = true
+				if opts.OnArmDone != nil {
+					opts.OnArmDone(i, reports[i])
+				}
 			}
 			return arm, ok
 		}
 	}
 
-	fig, err := runSpecHooked(sp, sc, h)
+	fig, err := runSpecHooked(ctx, sp, sc, h)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -460,8 +551,10 @@ func RunSpecDir(sp *spec.Spec, sc Scale, opts SpecRunOptions) (*FigureResult, *S
 }
 
 // loadArmCache loads one arm's cached result if present and
-// trustworthy: the key (content hash) and label must both match, so a
-// cache written by a different spec, scale, or seed is ignored rather
+// trustworthy: the file must decode, its integrity checksum must
+// reproduce, and the key (content hash) and label must both match — so
+// a truncated or corrupted file, or a cache written by a different
+// spec, scale, or seed, is ignored (and the arm recomputed) rather
 // than resumed from.
 func loadArmCache(path, key, label string) (Arm, bool) {
 	raw, err := os.ReadFile(path)
@@ -470,6 +563,9 @@ func loadArmCache(path, key, label string) (Arm, bool) {
 	}
 	var cache armCacheFile
 	if err := json.Unmarshal(raw, &cache); err != nil {
+		return Arm{}, false
+	}
+	if sum, err := cache.checksum(); err != nil || cache.Sum != sum {
 		return Arm{}, false
 	}
 	if cache.Key != key || cache.Label != label {
@@ -485,16 +581,8 @@ func loadArmCache(path, key, label string) (Arm, bool) {
 	}, true
 }
 
-// csvField quotes a free-form CSV field when it contains a delimiter,
-// quote, or newline (labels come from user spec files).
-func csvField(s string) string {
-	if !strings.ContainsAny(s, ",\"\n\r") {
-		return s
-	}
-	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
-}
-
-// resultsCSV renders the per-arm summary table as CSV.
+// resultsCSV renders the per-arm summary table as CSV. Labels are
+// free-form text from user spec files and are RFC 4180-quoted.
 func resultsCSV(fig *FigureResult) string {
 	var b strings.Builder
 	b.WriteString("arm,max_acc,mia_at_max,max_mia,max_tpr,max_gen,messages,bytes,epsilon\n")
@@ -507,7 +595,7 @@ func resultsCSV(fig *FigureResult) string {
 			}
 		}
 		fmt.Fprintf(&b, "%s,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%.4f\n",
-			csvField(a.Label), at.TestAcc, at.MIAAcc, a.Series.MaxMIAAcc(), a.Series.MaxTPR(),
+			sink.Quote(a.Label), at.TestAcc, at.MIAAcc, a.Series.MaxMIAAcc(), a.Series.MaxTPR(),
 			maxGen, a.MessagesSent, a.BytesSent, a.RealizedEpsilon)
 	}
 	return b.String()

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"os"
@@ -37,7 +38,7 @@ func TestRunSpecMatchesFigureRunner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaSpec, err := RunSpec(Figure8Spec(), sc)
+	viaSpec, err := RunSpec(t.Context(), Figure8Spec(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,12 +50,12 @@ func TestRunSpecMatchesFigureRunner(t *testing.T) {
 func TestRunSpecRejectsInvalid(t *testing.T) {
 	bad := TinyScale()
 	bad.Rounds = 0
-	if _, err := RunSpec(sweepSpec(), bad); !errors.Is(err, ErrScale) {
+	if _, err := RunSpec(t.Context(), sweepSpec(), bad); !errors.Is(err, ErrScale) {
 		t.Fatalf("bad scale error = %v", err)
 	}
 	sp := sweepSpec()
 	sp.Sweep.Base.Corpus = "mnist"
-	if _, err := RunSpec(sp, TinyScale()); !errors.Is(err, spec.ErrSpec) {
+	if _, err := RunSpec(t.Context(), sp, TinyScale()); !errors.Is(err, spec.ErrSpec) {
 		t.Fatalf("bad spec error = %v", err)
 	}
 }
@@ -67,7 +68,7 @@ func TestRunSpecDeterministicAcrossWorkers(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		sc := TinyScale()
 		sc.Workers = workers
-		fig, err := RunSpec(sweepSpec(), sc)
+		fig, err := RunSpec(t.Context(), sweepSpec(), sc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func TestRunSpecDirWritesArtifacts(t *testing.T) {
 	}
 	dir := t.TempDir()
 	sc := TinyScale()
-	fig, man, err := RunSpecDir(sweepSpec(), sc, SpecRunOptions{OutDir: dir})
+	fig, man, err := RunSpecDir(t.Context(), sweepSpec(), sc, SpecRunOptions{OutDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestResumeSkipsCompletedArms(t *testing.T) {
 
 	// Reference: the uninterrupted run.
 	refDir := t.TempDir()
-	refFig, _, err := RunSpecDir(full, sc, SpecRunOptions{OutDir: refDir})
+	refFig, _, err := RunSpecDir(t.Context(), full, sc, SpecRunOptions{OutDir: refDir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,12 +195,12 @@ func TestResumeSkipsCompletedArms(t *testing.T) {
 		t.Fatal(err)
 	}
 	partial := &spec.Spec{Name: full.Name, Caption: full.Caption, Arms: arms[:2]}
-	if _, _, err := RunSpecDir(partial, sc, SpecRunOptions{OutDir: dir}); err != nil {
+	if _, _, err := RunSpecDir(t.Context(), partial, sc, SpecRunOptions{OutDir: dir}); err != nil {
 		t.Fatal(err)
 	}
 
 	// Resume the full sweep in the same directory.
-	resumedFig, man, err := RunSpecDir(full, sc, SpecRunOptions{OutDir: dir, Resume: true})
+	resumedFig, man, err := RunSpecDir(t.Context(), full, sc, SpecRunOptions{OutDir: dir, Resume: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestResumeSkipsCompletedArms(t *testing.T) {
 	}
 
 	// Without -resume the same directory re-runs everything.
-	fresh, man2, err := RunSpecDir(full, sc, SpecRunOptions{OutDir: dir})
+	fresh, man2, err := RunSpecDir(t.Context(), full, sc, SpecRunOptions{OutDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,12 +255,12 @@ func TestResumeIgnoresForeignCache(t *testing.T) {
 	}
 	dir := t.TempDir()
 	sc := TinyScale()
-	if _, _, err := RunSpecDir(sp, sc, SpecRunOptions{OutDir: dir, Events: "none"}); err != nil {
+	if _, _, err := RunSpecDir(t.Context(), sp, sc, SpecRunOptions{OutDir: dir, Events: "none"}); err != nil {
 		t.Fatal(err)
 	}
 	scOther := sc
 	scOther.Seed = sc.Seed + 1
-	_, man, err := RunSpecDir(sp, scOther, SpecRunOptions{OutDir: dir, Resume: true, Events: "none"})
+	_, man, err := RunSpecDir(t.Context(), sp, scOther, SpecRunOptions{OutDir: dir, Resume: true, Events: "none"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestResumeIgnoresForeignCache(t *testing.T) {
 		t.Fatal("resume trusted a cache from a different seed")
 	}
 	// Same seed, same spec: now the cache is used.
-	_, man, err = RunSpecDir(sp, scOther, SpecRunOptions{OutDir: dir, Resume: true, Events: "none"})
+	_, man, err = RunSpecDir(t.Context(), sp, scOther, SpecRunOptions{OutDir: dir, Resume: true, Events: "none"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,10 +279,10 @@ func TestResumeIgnoresForeignCache(t *testing.T) {
 
 func TestRunSpecDirOptionValidation(t *testing.T) {
 	sp := sweepSpec()
-	if _, _, err := RunSpecDir(sp, TinyScale(), SpecRunOptions{}); err == nil {
+	if _, _, err := RunSpecDir(t.Context(), sp, TinyScale(), SpecRunOptions{}); err == nil {
 		t.Fatal("missing out dir accepted")
 	}
-	if _, _, err := RunSpecDir(sp, TinyScale(), SpecRunOptions{OutDir: t.TempDir(), Events: "parquet"}); err == nil {
+	if _, _, err := RunSpecDir(t.Context(), sp, TinyScale(), SpecRunOptions{OutDir: t.TempDir(), Events: "parquet"}); err == nil {
 		t.Fatal("unknown event format accepted")
 	}
 }
@@ -351,5 +352,165 @@ func TestDynamicsKindResolution(t *testing.T) {
 	}
 	if _, err := dynamicsKind("brownian"); !errors.Is(err, ErrScale) {
 		t.Fatalf("unknown dynamics error = %v", err)
+	}
+}
+
+// TestRunSpecDirCancellationCheckpoints is the cancellation contract:
+// a mid-sweep cancel surfaces ctx.Err() within one arm boundary, the
+// out directory holds only atomic (complete) cache files for the arms
+// that finished, and a subsequent resume produces output byte-identical
+// to an uninterrupted run.
+func TestRunSpecDirCancellationCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	sc := TinyScale()
+	sc.Workers = 1 // deterministic arm order: cancel lands between arm 0 and arm 1
+
+	// Reference: the uninterrupted run.
+	refDir := t.TempDir()
+	refFig, _, err := RunSpecDir(t.Context(), sweepSpec(), sc, SpecRunOptions{OutDir: refDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV, err := os.ReadFile(filepath.Join(refDir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel as soon as the first arm checkpoints.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, _, err = RunSpecDir(ctx, sweepSpec(), sc, SpecRunOptions{
+		OutDir:    dir,
+		OnArmDone: func(int, SpecArmReport) { cancel() },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run error = %v, want context.Canceled", err)
+	}
+
+	// Only complete, atomically-written caches may remain.
+	entries, err := os.ReadDir(filepath.Join(dir, "arms"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("cancelled run left %d cache files, want exactly the completed arm", len(entries))
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("cancelled run left a torn temp file %q", e.Name())
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); !os.IsNotExist(err) {
+		t.Fatalf("cancelled run wrote a manifest (err=%v); an aborted sweep must not look complete", err)
+	}
+
+	// Resume completes the remaining arms and is byte-identical.
+	resumed, man, err := RunSpecDir(t.Context(), sweepSpec(), sc, SpecRunOptions{OutDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cached int
+	for _, ar := range man.Arms {
+		if ar.Cached {
+			cached++
+		}
+	}
+	if cached != 1 {
+		t.Fatalf("resume used %d cached arms, want 1 (the arm completed before the cancel)", cached)
+	}
+	if figureDump(resumed) != figureDump(refFig) {
+		t.Fatal("resumed-after-cancel figure diverged from uninterrupted run")
+	}
+	gotCSV, err := os.ReadFile(filepath.Join(dir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotCSV) != string(refCSV) {
+		t.Fatal("resumed-after-cancel results.csv diverged from uninterrupted run")
+	}
+}
+
+// TestRunSpecCancelledBeforeStart covers the trivial boundary: an
+// already-cancelled context runs nothing.
+func TestRunSpecCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSpec(ctx, sweepSpec(), TinyScale()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestResumeIgnoresCorruptCache is the resume-robustness contract: a
+// truncated or content-tampered per-arm cache file is detected (decode
+// error / integrity-sum mismatch), ignored, and recomputed — the sweep
+// completes with byte-identical results instead of aborting or
+// trusting bad data.
+func TestResumeIgnoresCorruptCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	sc := TinyScale()
+	full := sweepSpec()
+
+	refDir := t.TempDir()
+	refFig, _, err := RunSpecDir(t.Context(), full, sc, SpecRunOptions{OutDir: refDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	_, man, err := RunSpecDir(t.Context(), full, sc, SpecRunOptions{OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm 0: truncated mid-JSON (a crash during a non-atomic copy).
+	f0 := filepath.Join(dir, man.Arms[0].ResultFile)
+	raw, err := os.ReadFile(f0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f0, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm 1: decodes fine and keeps its key, but a record was altered —
+	// only the integrity sum can catch this.
+	f1 := filepath.Join(dir, man.Arms[1].ResultFile)
+	raw, err = os.ReadFile(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tampered armCacheFile
+	if err := json.Unmarshal(raw, &tampered); err != nil {
+		t.Fatal(err)
+	}
+	if len(tampered.Records) == 0 {
+		t.Fatal("cache has no records to tamper with")
+	}
+	tampered.Records[0].TestAcc += 0.25
+	edited, err := json.MarshalIndent(tampered, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f1, edited, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, man2, err := RunSpecDir(t.Context(), full, sc, SpecRunOptions{OutDir: dir, Resume: true})
+	if err != nil {
+		t.Fatalf("resume over corrupt caches aborted: %v", err)
+	}
+	if man2.Arms[0].Cached || man2.Arms[1].Cached {
+		t.Fatalf("resume trusted a corrupt cache: %+v", man2.Arms)
+	}
+	if !man2.Arms[2].Cached {
+		t.Fatal("resume recomputed the intact arm")
+	}
+	if figureDump(resumed) != figureDump(refFig) {
+		t.Fatal("resume after corruption diverged from the reference run")
 	}
 }

@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,12 +26,24 @@ func Workers(requested int) int {
 // results, fn runs inline on the calling goroutine in index order. fn
 // must confine its writes to per-index state.
 func ForEach(workers, n int, fn func(i int)) {
+	forEach(context.Background(), workers, n, fn)
+}
+
+// forEach is the shared scheduler: like ForEach, but once ctx is
+// cancelled no further index is started. Indices already running are
+// never interrupted — a work item either runs to completion or does not
+// run at all, which is what lets the sweep cache stay atomic on abort.
+func forEach(ctx context.Context, workers, n int, fn func(i int)) {
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
+	done := ctx.Done()
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil && ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -42,6 +55,9 @@ func ForEach(workers, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil && ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -58,12 +74,20 @@ func ForEach(workers, n int, fn func(i int)) {
 // which goroutine observed it first), or nil when every call succeeds.
 // All indices run even when some fail.
 func ForEachErr(workers, n int, fn func(i int) error) error {
+	return ForEachErrCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachErrCtx is the context-aware ForEachErr: cancelling ctx stops
+// the fan-out at the next index boundary — items already started run to
+// completion, no new item is launched — and the call reports ctx.Err()
+// unless an earlier (lower-index) item had already failed on its own.
+func ForEachErrCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	errs := make([]error, n)
-	ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	forEach(ctx, workers, n, func(i int) { errs[i] = fn(i) })
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -59,5 +60,65 @@ func TestForEachErrReturnsLowestIndex(t *testing.T) {
 	}
 	if err := ForEachErr(4, 50, func(int) error { return nil }); err != nil {
 		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestForEachErrCtxCancellationStopsScheduling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	// Serial path: cancelling inside index 1 must prevent 2..n-1 from
+	// starting while leaving 0 and 1 completed.
+	err := ForEachErrCtx(ctx, 1, 100, func(i int) error {
+		ran.Add(1)
+		if i == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("ran %d indices, want 2 (the one in flight completes, no new one starts)", got)
+	}
+}
+
+func TestForEachErrCtxParallelCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachErrCtx(ctx, 4, 1000, func(i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got == 1000 {
+		t.Fatal("cancellation did not stop the fan-out")
+	}
+}
+
+func TestForEachErrCtxPrefersRealErrors(t *testing.T) {
+	// A function error at a low index wins over the cancellation the
+	// fan-out observed afterwards.
+	ctx, cancel := context.WithCancel(context.Background())
+	errA := errors.New("a")
+	err := ForEachErrCtx(ctx, 1, 10, func(i int) error {
+		if i == 0 {
+			cancel()
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want the fn error", err)
+	}
+}
+
+func TestForEachErrCtxNilErrorWhenUncancelled(t *testing.T) {
+	if err := ForEachErrCtx(context.Background(), 3, 20, func(int) error { return nil }); err != nil {
+		t.Fatalf("err = %v", err)
 	}
 }

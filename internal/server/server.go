@@ -1,0 +1,342 @@
+// Package server implements the dlsim scenario service: an HTTP/JSON
+// job API over the declarative experiment engine. Scenario specs are
+// submitted as jobs onto a bounded queue, executed by a fixed pool of
+// workers through the generic spec executor, streamed round-by-round
+// as NDJSON, and cancellable at any time. Identical submissions (same
+// spec content hash, scale, and seed) dedup onto one execution.
+//
+// v1 endpoints:
+//
+//	POST   /v1/jobs             submit {spec, scale, seed, workers}
+//	GET    /v1/jobs             list jobs, newest first
+//	GET    /v1/jobs/{id}        job status (result embedded once done)
+//	DELETE /v1/jobs/{id}        cancel (frees the queue slot)
+//	GET    /v1/jobs/{id}/events NDJSON round records: replay + follow
+//	GET    /v1/catalog          scenario catalog and scales
+//	GET    /v1/version          build identity + spec-schema hash
+//	GET    /v1/healthz          liveness + queue stats
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gossipmia/internal/experiment"
+	"gossipmia/pkg/dlsim"
+)
+
+// ErrQueueFull is returned when the bounded job queue cannot accept a
+// submission; it maps to HTTP 503.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// Config sizes the service.
+type Config struct {
+	// Jobs is the number of scenarios executing concurrently (worker
+	// goroutines). Default 1: one scenario at a time, everything else
+	// queues.
+	Jobs int
+	// QueueDepth bounds the pending queue; a submission beyond it is
+	// rejected with 503 rather than buffered without limit. Default 16.
+	QueueDepth int
+	// DefaultScale names the scale used by submissions that do not set
+	// one. Default "quick".
+	DefaultScale string
+	// MaxBodyBytes bounds a submission body. Default 1 MiB.
+	MaxBodyBytes int64
+	// MaxJobs caps how many jobs (with their results and event logs)
+	// the service retains; beyond it the oldest terminal jobs are
+	// evicted so a long-running instance's memory stays bounded.
+	// Queued and running jobs are never evicted. Default 256.
+	MaxJobs int
+	// now stamps job transitions; tests may pin it.
+	now func() time.Time
+}
+
+// withDefaults resolves unset fields.
+func (c Config) withDefaults() Config {
+	if c.Jobs <= 0 {
+		c.Jobs = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultScale == "" {
+		c.DefaultScale = "quick"
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Server is the scenario service. It implements http.Handler; Close
+// stops the workers and aborts running jobs.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	now func() time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	notify     chan struct{}
+
+	mu      sync.Mutex
+	seq     int64
+	jobs    map[string]*job
+	order   []string
+	byKey   map[string]*job
+	pending []*job
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		now:        cfg.now,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		notify:     make(chan struct{}, 1),
+		jobs:       map[string]*job{},
+		byKey:      map[string]*job{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux = mux
+	s.wg.Add(cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close aborts every queued and running job and waits for the workers
+// to drain. The HTTP listener (owned by the caller) must be shut down
+// separately.
+func (s *Server) Close() {
+	s.baseCancel()
+	s.mu.Lock()
+	pending := append([]*job(nil), s.pending...)
+	s.mu.Unlock()
+	for _, j := range pending {
+		s.cancelJob(j)
+	}
+	s.wg.Wait()
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+// writeErr writes the service's error envelope.
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit is POST /v1/jobs.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req dlsim.JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	if req.Spec == nil {
+		writeErr(w, http.StatusBadRequest, "job request has no spec")
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "invalid spec: %v", err)
+		return
+	}
+	scaleName := req.Scale
+	if scaleName == "" {
+		scaleName = s.cfg.DefaultScale
+	}
+	sc, err := experiment.ScaleByName(scaleName)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if req.Seed != 0 {
+		sc.Seed = req.Seed
+	}
+	if req.Workers < 0 {
+		writeErr(w, http.StatusUnprocessableEntity, "workers must be >= 0, got %d", req.Workers)
+		return
+	}
+	sc.Workers = req.Workers
+
+	j, deduped, err := s.submit(req.Spec, sc, scaleName)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusServiceUnavailable, "job queue full (depth %d): retry later", s.cfg.QueueDepth)
+		return
+	case err != nil:
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	st := s.statusOf(j, deduped)
+	s.mu.Unlock()
+	code := http.StatusAccepted
+	if deduped {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// jobByID resolves the {id} path segment.
+func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return nil
+	}
+	return j
+}
+
+// handleJob is GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	st := s.statusOf(j, false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleList is GET /v1/jobs.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]*dlsim.JobStatus, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		out = append(out, s.statusOf(s.jobs[s.order[i]], false))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCancel is DELETE /v1/jobs/{id}.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	s.cancelJob(j)
+	s.mu.Lock()
+	st := s.statusOf(j, false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: an NDJSON stream replaying
+// every round record already produced, then following the job live
+// until it reaches a terminal status or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	cursor := 0
+	for {
+		lines, done, wake := j.events.next(cursor)
+		for _, line := range lines {
+			// Two writes, not append(line, '\n'): the line's backing
+			// array is shared by every subscriber of the log.
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				return
+			}
+		}
+		cursor += len(lines)
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wake:
+		}
+	}
+}
+
+// handleCatalog is GET /v1/catalog.
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scenarios": dlsim.Catalog(),
+		"scales":    dlsim.Scales(),
+	})
+}
+
+// handleVersion is GET /v1/version.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, dlsim.Version())
+}
+
+// handleHealthz is GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	queued := len(s.pending)
+	running := 0
+	for _, j := range s.jobs {
+		if j.status == dlsim.StatusRunning {
+			running++
+		}
+	}
+	total := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"jobs":       total,
+		"queued":     queued,
+		"running":    running,
+		"queueDepth": s.cfg.QueueDepth,
+		"slots":      s.cfg.Jobs,
+	})
+}

@@ -1,0 +1,457 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gossipmia/internal/experiment"
+	"gossipmia/internal/spec"
+	"gossipmia/pkg/dlsim"
+)
+
+// newTestService starts a Server behind an httptest listener and
+// returns a client for it. Both are torn down with the test.
+func newTestService(t *testing.T, cfg Config) *dlsim.Client {
+	t.Helper()
+	svc := New(cfg)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		svc.Close()
+		ts.Close()
+	})
+	return dlsim.NewClient(ts.URL)
+}
+
+// smallSpec is the two-arm scenario of the byte-identical acceptance
+// test.
+func smallSpec() *dlsim.Spec {
+	return &dlsim.Spec{
+		Name: "service e2e",
+		Arms: []dlsim.Arm{
+			{Label: "a", Corpus: "cifar10", Protocol: "samo", ViewSize: 2, SeedOffset: 1},
+			{Label: "b", Corpus: "cifar10", Protocol: "base", ViewSize: 2, SeedOffset: 2},
+		},
+	}
+}
+
+// longSpec expands to twenty arms; submitted at quick scale with one
+// worker it runs for seconds — a wide, deterministic window for a
+// cancellation to land while the job is running.
+func longSpec() *dlsim.Spec {
+	return &dlsim.Spec{
+		Name: "long sweep",
+		Sweep: &dlsim.Sweep{
+			Base: dlsim.Arm{Label: "base", Corpus: "cifar10", Protocol: "samo", ViewSize: 2, SeedOffset: 10},
+			Axes: []dlsim.Axis{
+				{Field: "protocol", Values: []any{"samo", "base"}},
+				{Field: "latency", Values: []any{0.0, 5.0, 10.0, 15.0, 20.0}},
+				{Field: "localEpochs", Values: []any{2.0, 4.0}},
+			},
+		},
+	}
+}
+
+// awaitStatus polls until the job reaches status (or any terminal
+// state when the wanted one was skipped).
+func awaitStatus(t *testing.T, c *dlsim.Client, id, status string) *dlsim.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		job, err := c.Job(t.Context(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Status == status || dlsim.TerminalStatus(job.Status) {
+			return job
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q", id, status)
+	return nil
+}
+
+// TestSubmitStreamByteIdentical is the end-to-end acceptance test: a
+// spec submitted via POST /v1/jobs and streamed over /events yields
+// byte-identical arm results to calling experiment.RunSpec directly
+// with the same seed and workers.
+func TestSubmitStreamByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	client := newTestService(t, Config{DefaultScale: "tiny"})
+
+	job, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: smallSpec(), Scale: "tiny", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != dlsim.StatusQueued && job.Status != dlsim.StatusRunning {
+		t.Fatalf("fresh job status = %q", job.Status)
+	}
+
+	// Subscribe immediately — the stream replays what already happened
+	// and follows the job live until it is terminal.
+	perArm := map[string][]dlsim.RoundRecord{}
+	if err := client.Events(t.Context(), job.ID, func(ev dlsim.Event) error {
+		perArm[ev.Arm] = append(perArm[ev.Arm], ev.RoundRecord)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	final, err := client.Await(t.Context(), job.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != dlsim.StatusDone {
+		t.Fatalf("job finished %q: %s", final.Status, final.Error)
+	}
+	if final.Result == nil || len(final.Result.Arms) != 2 {
+		t.Fatalf("job result = %+v", final.Result)
+	}
+
+	// The reference: the engine run directly, same seed and workers.
+	raw, err := json.Marshal(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spec.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := experiment.TinyScale()
+	sc.Workers = 2
+	fig, err := experiment.RunSpec(t.Context(), sp, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, want := range fig.Arms {
+		got := final.Result.Arms[i]
+		if got.Label != want.Label || got.MessagesSent != want.MessagesSent || got.BytesSent != want.BytesSent {
+			t.Fatalf("arm %d aggregates diverge: %+v vs %+v", i, got, want)
+		}
+		if len(got.Records) != len(want.Series.Records) {
+			t.Fatalf("arm %q: %d records, want %d", got.Label, len(got.Records), len(want.Series.Records))
+		}
+		streamed := perArm[want.Label]
+		if len(streamed) != len(want.Series.Records) {
+			t.Fatalf("arm %q: streamed %d events, want %d", want.Label, len(streamed), len(want.Series.Records))
+		}
+		for j, w := range want.Series.Records {
+			pub := dlsim.RoundRecord{Round: w.Round, TestAcc: w.TestAcc, MIAAcc: w.MIAAcc, TPRAt1FPR: w.TPRAt1FPR, GenError: w.GenError}
+			if got.Records[j] != pub {
+				t.Fatalf("arm %q result record %d diverges: %+v vs %+v", got.Label, j, got.Records[j], pub)
+			}
+			if streamed[j] != pub {
+				t.Fatalf("arm %q streamed record %d diverges: %+v vs %+v", got.Label, j, streamed[j], pub)
+			}
+		}
+	}
+
+	// Dedup: an identical submission is answered by the same job.
+	again, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: smallSpec(), Scale: "tiny", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Deduped || again.ID != job.ID || again.Status != dlsim.StatusDone {
+		t.Fatalf("dedup = %+v", again)
+	}
+	// A different worker count still dedups (workers never affect
+	// results); a different seed does not.
+	workers1, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: smallSpec(), Scale: "tiny", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !workers1.Deduped || workers1.ID != job.ID {
+		t.Fatalf("worker count broke dedup: %+v", workers1)
+	}
+	reseeded, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: smallSpec(), Scale: "tiny", Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reseeded.Deduped || reseeded.ID == job.ID {
+		t.Fatalf("seed change deduped: %+v", reseeded)
+	}
+	if _, err := client.Cancel(t.Context(), reseeded.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelRunningJobFreesSlot is the cancellation acceptance test:
+// DELETE stops a running job and its slot immediately serves the next
+// queued submission.
+func TestCancelRunningJobFreesSlot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	client := newTestService(t, Config{Jobs: 1, QueueDepth: 4, DefaultScale: "tiny"})
+
+	long, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: longSpec(), Scale: "quick", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitStatus(t, client, long.ID, dlsim.StatusRunning)
+
+	quick, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: smallSpec(), Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quick.Status != dlsim.StatusQueued {
+		t.Fatalf("second job on a 1-slot server is %q, want queued", quick.Status)
+	}
+
+	if _, err := client.Cancel(t.Context(), long.ID); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, err := client.Await(t.Context(), long.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cancelled.Status != dlsim.StatusCancelled {
+		t.Fatalf("cancelled job finished %q", cancelled.Status)
+	}
+	// The cancelled job's event stream terminates rather than hanging.
+	if err := client.Events(t.Context(), long.ID, func(dlsim.Event) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// The freed slot runs the queued job to completion.
+	done, err := client.Await(t.Context(), quick.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != dlsim.StatusDone {
+		t.Fatalf("queued job finished %q: %s", done.Status, done.Error)
+	}
+
+	// Cancelling a terminal job is a no-op that reports the final state.
+	again, err := client.Cancel(t.Context(), long.ID)
+	if err != nil || again.Status != dlsim.StatusCancelled {
+		t.Fatalf("re-cancel = %+v, %v", again, err)
+	}
+}
+
+// TestQueueBoundAndQueuedCancel: the queue is bounded (503 beyond the
+// depth) and cancelling a queued job frees its slot without waiting
+// for a worker.
+func TestQueueBoundAndQueuedCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	client := newTestService(t, Config{Jobs: 1, QueueDepth: 1, DefaultScale: "tiny"})
+
+	long, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: longSpec(), Scale: "quick", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitStatus(t, client, long.ID, dlsim.StatusRunning)
+
+	queued, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: smallSpec(), Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth 1 is now full; a distinct third spec is rejected.
+	third := smallSpec()
+	third.Arms[0].SeedOffset = 42
+	third.Arms = third.Arms[:1]
+	if _, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: third, Scale: "tiny"}); err == nil {
+		t.Fatal("over-depth submission accepted")
+	} else if !errorsIsQueueFull(err) {
+		t.Fatalf("over-depth error = %v, want queue-full", err)
+	}
+
+	// Cancelling the queued job frees the slot immediately.
+	st, err := client.Cancel(t.Context(), queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != dlsim.StatusCancelled {
+		t.Fatalf("queued job after cancel = %q", st.Status)
+	}
+	if _, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: third, Scale: "tiny"}); err != nil {
+		t.Fatalf("slot not freed: %v", err)
+	}
+	if _, err := client.Cancel(t.Context(), long.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func errorsIsQueueFull(err error) bool {
+	for e := err; e != nil; {
+		if e == dlsim.ErrJobQueueFull {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// TestRequestValidation exercises the HTTP error surface with raw
+// requests (the SDK client validates specs before posting).
+func TestRequestValidation(t *testing.T) {
+	svc := New(Config{DefaultScale: "tiny"})
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		svc.Close()
+		ts.Close()
+	})
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post(`{`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated body -> %d", resp.StatusCode)
+	}
+	if resp := post(`{}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing spec -> %d", resp.StatusCode)
+	}
+	if resp := post(`{"spec":{"name":"x","arms":[{"label":"a","corpus":"nope","protocol":"samo","viewSize":2}]}}`); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid spec -> %d", resp.StatusCode)
+	}
+	if resp := post(`{"spec":{"name":"x","arms":[{"label":"a","corpus":"cifar10","protocol":"samo","viewSize":2}]},"scale":"galactic"}`); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown scale -> %d", resp.StatusCode)
+	}
+	if resp := post(`{"spec":{"name":"x","arms":[{"label":"a","corpus":"cifar10","protocol":"samo","viewSize":2}]},"bogus":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown request field -> %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job -> %d", resp.StatusCode)
+	}
+}
+
+// TestMetaEndpoints covers catalog, version, healthz, and the job
+// listing through the SDK client.
+func TestMetaEndpoints(t *testing.T) {
+	client := newTestService(t, Config{DefaultScale: "tiny"})
+
+	entries, err := client.Catalog(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, e := range entries {
+		found[e.Name] = e.Runnable
+	}
+	if !found["2"] || found["tables"] {
+		t.Fatalf("catalog = %+v", entries)
+	}
+
+	v, err := client.Version(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SpecSchemaHash != spec.SchemaHash() || v.GoVersion == "" {
+		t.Fatalf("version = %+v", v)
+	}
+
+	if err := client.Health(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, err := client.Jobs(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("fresh service lists %d jobs", len(jobs))
+	}
+}
+
+// TestCancelThenResubmitReexecutes: cancelling a RUNNING job drops its
+// dedup key immediately, so an identical resubmission re-executes
+// rather than attaching to the dying job.
+func TestCancelThenResubmitReexecutes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	client := newTestService(t, Config{Jobs: 1, QueueDepth: 4, DefaultScale: "tiny"})
+
+	long, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: longSpec(), Scale: "quick", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitStatus(t, client, long.ID, dlsim.StatusRunning)
+	if _, err := client.Cancel(t.Context(), long.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately resubmit the identical spec — before the worker has
+	// necessarily observed the cancellation.
+	again, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: longSpec(), Scale: "quick", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Deduped || again.ID == long.ID {
+		t.Fatalf("resubmission after cancel deduped onto the dying job: %+v", again)
+	}
+	if _, err := client.Cancel(t.Context(), again.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJobRetentionPrunesOldTerminalJobs: a bounded service evicts the
+// oldest terminal jobs (and their event logs) past MaxJobs; live jobs
+// are never evicted.
+func TestJobRetentionPrunesOldTerminalJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	client := newTestService(t, Config{Jobs: 1, MaxJobs: 1, DefaultScale: "tiny"})
+
+	first, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: smallSpec(), Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Await(t.Context(), first.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	second := smallSpec()
+	second.Arms = second.Arms[:1]
+	sj, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: second, Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Await(t.Context(), sj.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first (older terminal) job has been evicted.
+	if _, err := client.Job(t.Context(), first.ID); !errors.Is(err, dlsim.ErrNotFound) {
+		t.Fatalf("evicted job lookup = %v, want ErrNotFound", err)
+	}
+	jobs, err := client.Jobs(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != sj.ID {
+		t.Fatalf("retained jobs = %+v", jobs)
+	}
+	// An evicted key re-executes rather than resurrecting the pruned job.
+	re, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: smallSpec(), Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Deduped {
+		t.Fatalf("submission deduped onto an evicted job: %+v", re)
+	}
+}

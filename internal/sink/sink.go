@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"gossipmia/internal/metrics"
 )
@@ -100,18 +101,33 @@ func (j *JSONL) Close() error {
 	return nil
 }
 
-// CSV writes the series as CSV rows (the Series.CSV column layout),
-// emitting the header before the first record.
+// Quote escapes a free-form CSV field per RFC 4180: a field containing
+// a comma, double quote, CR, or LF is wrapped in double quotes with
+// embedded quotes doubled; any other field passes through unchanged.
+// Arm labels come from user spec files (and sweep expansion composes
+// them from arbitrary label/value text), so every CSV emitter that
+// writes a label must route it through here.
+func Quote(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// CSV writes one row per evaluated round, leading with the RFC
+// 4180-quoted arm label so the stream is self-describing like the
+// JSONL sink's. The header precedes the first record.
 type CSV struct {
+	arm    string
 	w      *bufio.Writer
 	c      io.Closer
 	header bool
 }
 
-// NewCSV builds a CSV sink over w. If w is also an io.Closer, Close
-// closes it.
-func NewCSV(w io.Writer) *CSV {
-	c := &CSV{w: bufio.NewWriter(w)}
+// NewCSV builds a CSV sink over w, tagging every row with the arm
+// label. If w is also an io.Closer, Close closes it.
+func NewCSV(w io.Writer, arm string) *CSV {
+	c := &CSV{arm: arm, w: bufio.NewWriter(w)}
 	if cl, ok := w.(io.Closer); ok {
 		c.c = cl
 	}
@@ -121,13 +137,13 @@ func NewCSV(w io.Writer) *CSV {
 // Record implements Sink.
 func (c *CSV) Record(r metrics.RoundRecord) error {
 	if !c.header {
-		if _, err := c.w.WriteString("round,test_acc,mia_acc,tpr_at_1fpr,gen_error\n"); err != nil {
+		if _, err := c.w.WriteString("arm,round,test_acc,mia_acc,tpr_at_1fpr,gen_error\n"); err != nil {
 			return fmt.Errorf("sink: csv: %w", err)
 		}
 		c.header = true
 	}
-	if _, err := fmt.Fprintf(c.w, "%d,%.6f,%.6f,%.6f,%.6f\n",
-		r.Round, r.TestAcc, r.MIAAcc, r.TPRAt1FPR, r.GenError); err != nil {
+	if _, err := fmt.Fprintf(c.w, "%s,%d,%.6f,%.6f,%.6f,%.6f\n",
+		Quote(c.arm), r.Round, r.TestAcc, r.MIAAcc, r.TPRAt1FPR, r.GenError); err != nil {
 		return fmt.Errorf("sink: csv: %w", err)
 	}
 	return nil
@@ -182,7 +198,7 @@ func NewFile(path, format, arm string) (Sink, error) {
 	case "jsonl":
 		return NewJSONL(f, arm), nil
 	case "csv":
-		return NewCSV(f), nil
+		return NewCSV(f, arm), nil
 	default:
 		f.Close()
 		return nil, fmt.Errorf("sink: unknown event format %q (want jsonl or csv)", format)

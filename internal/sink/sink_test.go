@@ -60,12 +60,47 @@ func TestJSONLSinkStream(t *testing.T) {
 	}
 }
 
-func TestCSVSinkMatchesSeriesCSV(t *testing.T) {
+func TestCSVSinkRowsCarryArmColumn(t *testing.T) {
 	var b strings.Builder
-	feed(t, NewCSV(&b))
-	series := metrics.Series{Records: sampleRecords()}
-	if b.String() != series.CSV() {
-		t.Fatalf("csv sink diverged from Series.CSV:\n%s\n--- want ---\n%s", b.String(), series.CSV())
+	feed(t, NewCSV(&b, "arm-c"))
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "arm,round,test_acc,mia_acc,tpr_at_1fpr,gen_error" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "arm-c,0,") || !strings.HasPrefix(lines[2], "arm-c,3,") {
+		t.Fatalf("rows not tagged with the arm label:\n%s", b.String())
+	}
+}
+
+// TestCSVSinkQuotesHostileLabels is the RFC 4180 regression test: arm
+// labels containing commas, quotes, or newlines must not corrupt the
+// row structure of the stream.
+func TestCSVSinkQuotesHostileLabels(t *testing.T) {
+	label := "cifar10, \"hard\"\narm"
+	var b strings.Builder
+	feed(t, NewCSV(&b, label))
+	want := `"cifar10, ""hard""` + "\narm\",0,"
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("hostile label not quoted:\n%s", b.String())
+	}
+}
+
+func TestQuote(t *testing.T) {
+	cases := map[string]string{
+		"plain":       "plain",
+		"with spaces": "with spaces",
+		"a,b":         `"a,b"`,
+		`say "hi"`:    `"say ""hi"""`,
+		"line\nbreak": "\"line\nbreak\"",
+		"cr\rhere":    "\"cr\rhere\"",
+	}
+	for in, want := range cases {
+		if got := Quote(in); got != want {
+			t.Fatalf("Quote(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 

@@ -27,6 +27,11 @@ import (
 // ErrSpec is returned for invalid scenario specs.
 var ErrSpec = errors.New("spec: invalid scenario spec")
 
+// MaxSweepArms bounds a sweep's cartesian expansion. Far above any
+// legitimate grid (the paper's largest sweeps are dozens of arms), it
+// exists so a hostile or typoed spec cannot blow up validation.
+const MaxSweepArms = 10_000
+
 // Spec is one declarative scenario: a named set of arms, optionally
 // augmented by a cartesian sweep that expands into further arms.
 type Spec struct {
@@ -325,6 +330,13 @@ func (s *Spec) ExpandArms() ([]Arm, error) {
 				ErrSpec, i, ax.Field, axisFieldNames())
 		}
 		total *= len(ax.Values)
+		// Checked per axis, before the product can overflow: specs reach
+		// this code from untrusted service submissions, and an unbounded
+		// cartesian blow-up must fail validation instead of exhausting
+		// memory (or overflowing into a silently empty expansion).
+		if total > MaxSweepArms {
+			return nil, fmt.Errorf("%w: sweep expands to more than %d arms", ErrSpec, MaxSweepArms)
+		}
 	}
 	idx := make([]int, len(sw.Axes))
 	for n := 0; n < total; n++ {

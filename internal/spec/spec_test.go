@@ -296,3 +296,30 @@ func TestAxisFieldNamesSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepExpansionBounded: a hostile cartesian blow-up (reachable
+// from untrusted service submissions) must fail validation instead of
+// exhausting memory or overflowing into an empty expansion.
+func TestSweepExpansionBounded(t *testing.T) {
+	big := make([]any, 1000)
+	for i := range big {
+		big[i] = float64(i + 1)
+	}
+	sp := &Spec{
+		Name: "blowup",
+		Sweep: &Sweep{
+			Base: Arm{Label: "b", Corpus: "cifar10", Protocol: "samo", ViewSize: 2},
+			Axes: []Axis{
+				{Field: "viewSize", Values: big},
+				{Field: "localEpochs", Values: big},
+				{Field: "trainPerFactor", Values: big},
+			},
+		},
+	}
+	if err := sp.Validate(); err == nil || !errors.Is(err, ErrSpec) {
+		t.Fatalf("10^9-arm sweep accepted: %v", err)
+	}
+	if _, err := sp.ExpandArms(); err == nil {
+		t.Fatal("ExpandArms ran an unbounded blow-up")
+	}
+}

@@ -1,0 +1,312 @@
+package dlsim
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Job statuses reported by the service. A job is terminal once it is
+// done, failed, or cancelled.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// TerminalStatus reports whether a job status is final.
+func TerminalStatus(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCancelled
+}
+
+// JobRequest is the POST /v1/jobs body: the scenario spec plus the run
+// parameters. Zero values select the service's defaults.
+type JobRequest struct {
+	Spec *Spec `json:"spec"`
+	// Scale is a named scale: "tiny", "quick", or "paper".
+	Scale string `json:"scale,omitempty"`
+	// Seed overrides the scale's base seed (0 keeps the preset).
+	Seed int64 `json:"seed,omitempty"`
+	// Workers bounds the job's worker goroutines (0 = one per CPU).
+	// Worker count never affects results, so it is excluded from the
+	// dedup key.
+	Workers int `json:"workers,omitempty"`
+}
+
+// JobStatus describes one submitted job.
+type JobStatus struct {
+	ID string `json:"id"`
+	// Key is the job's dedup key: the content hash of the spec's
+	// expanded arms together with the scale fingerprint (seed
+	// included, workers excluded). Identical submissions share a key —
+	// and, through the service's result cache, a single execution.
+	Key    string `json:"key"`
+	Status string `json:"status"`
+	// Deduped marks a submission that was answered by an existing job
+	// with the same key instead of a new execution.
+	Deduped bool   `json:"deduped,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Spec    string `json:"spec"`
+	Scale   string `json:"scale"`
+	Seed    int64  `json:"seed"`
+	Workers int    `json:"workers"`
+	// Events counts the round records streamed so far.
+	Events      int    `json:"events"`
+	SubmittedAt string `json:"submittedAt"`
+	StartedAt   string `json:"startedAt,omitempty"`
+	FinishedAt  string `json:"finishedAt,omitempty"`
+	// Result carries the full per-arm outcome once Status is "done".
+	Result *Result `json:"result,omitempty"`
+}
+
+// Client talks to a `dlsim serve` instance over its HTTP/JSON v1 API.
+// The zero Client is not usable; build one with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (timeouts,
+// transports, test doubles). The default client has no timeout: event
+// streams are long-lived, so deadlines belong on the per-call context.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// NewClient builds a client for a service base URL such as
+// "http://127.0.0.1:8080".
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// apiError is the service's error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// ErrJobQueueFull is returned by Submit when the service's bounded job
+// queue cannot accept another submission; retry later or raise the
+// service's -queue depth.
+var ErrJobQueueFull = errors.New("dlsim: job queue full")
+
+// ErrNotFound is returned when the service does not know the requested
+// job — never created, or already evicted by the service's bounded
+// job retention.
+var ErrNotFound = errors.New("dlsim: not found")
+
+// do issues one JSON request and decodes the response into out (when
+// non-nil), translating non-2xx responses into errors.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("dlsim: encode request: %w", err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("dlsim: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("dlsim: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return fmt.Errorf("%w (%s %s)", ErrJobQueueFull, method, path)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w (%s %s)", ErrNotFound, method, path)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var ae apiError
+		if err := json.NewDecoder(resp.Body).Decode(&ae); err == nil && ae.Error != "" {
+			return fmt.Errorf("dlsim: %s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("dlsim: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("dlsim: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Submit posts a scenario spec as a job. The spec is validated locally
+// first so structural errors surface without a round trip. An
+// identical in-flight or completed submission (same dedup key) is
+// answered by the existing job with Deduped set.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	if req.Spec == nil {
+		return nil, fmt.Errorf("dlsim: submit: nil spec")
+	}
+	if err := req.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	var job JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Job fetches one job's status (including its result once done).
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var job JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Jobs lists every job the service knows, newest first.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var jobs []JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &jobs); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// Cancel stops a queued or running job and frees its queue slot. It
+// returns the job's post-cancel status; cancelling a terminal job is a
+// no-op returning its final state.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	var job JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Events streams a job's round records: every event already produced
+// is replayed in order, then the stream follows the job live until it
+// reaches a terminal status, fn returns an error, or ctx is
+// cancelled. fn runs on the calling goroutine.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return fmt.Errorf("dlsim: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("dlsim: events: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		if err := json.NewDecoder(resp.Body).Decode(&ae); err == nil && ae.Error != "" {
+			return fmt.Errorf("dlsim: events: %s (HTTP %d)", ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("dlsim: events: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("dlsim: events: bad line %q: %w", line, err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("dlsim: events: %w", err)
+	}
+	// The server ends the stream only when the job is terminal; a clean
+	// EOF on a still-live job means an intermediary dropped the
+	// connection, which must not masquerade as completion.
+	job, err := c.Job(ctx, id)
+	if errors.Is(err, ErrNotFound) {
+		// The stream itself existed, so the job did too: it has since
+		// been evicted by job retention — only terminal jobs are.
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("dlsim: events: stream ended, status check failed: %w", err)
+	}
+	if !TerminalStatus(job.Status) {
+		return fmt.Errorf("dlsim: events: stream for job %s ended while the job is still %s (connection dropped?)", id, job.Status)
+	}
+	return nil
+}
+
+// Await polls a job until it reaches a terminal status, returning its
+// final state. poll <= 0 defaults to 200ms.
+func (c *Client) Await(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if TerminalStatus(job.Status) {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Catalog fetches the service's scenario catalog.
+func (c *Client) Catalog(ctx context.Context) ([]CatalogEntry, error) {
+	var out struct {
+		Scenarios []CatalogEntry `json:"scenarios"`
+		Scales    []string       `json:"scales"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/catalog", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Scenarios, nil
+}
+
+// Version fetches the service build's identity.
+func (c *Client) Version(ctx context.Context) (*VersionInfo, error) {
+	var v VersionInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/version", nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Health probes /v1/healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}

@@ -1,8 +1,10 @@
 #!/bin/sh
 # ci.sh — the tier-1 gate plus gofmt cleanliness, vet, the race
 # detector over the parallelized packages, the fuzz-corpus smoke (fuzz
-# targets run once over their seed corpus, no fuzzing time), and a
-# declarative-spec end-to-end smoke at tiny scale.
+# targets run once over their seed corpus, no fuzzing time), a
+# declarative-spec end-to-end smoke at tiny scale, a race-enabled
+# service smoke (serve + submit + stream + cancel over HTTP), and the
+# pkg/dlsim API gate (no internal types in exported signatures).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,12 +21,73 @@ go vet ./...
 go test -race ./...
 go test -run='^Fuzz' ./internal/wire
 
+# pkg/dlsim API gate: the public SDK must not leak internal types into
+# its exported signatures (the stability promise of the package). The
+# grep matches qualified references to internal packages in the
+# documented API surface.
+api=$(go doc -all ./pkg/dlsim)
+leaks=$(echo "$api" | grep -nE 'internal/|\b(experiment|metrics|sink|spec|core|gossip|netmodel|par|data|nn|mia|server)\.[A-Z]' || true)
+if [ -n "$leaks" ]; then
+    echo "pkg/dlsim leaks internal types into its exported API:" >&2
+    echo "$leaks" >&2
+    exit 1
+fi
+echo "pkg/dlsim api gate ok"
+
 # Spec-engine smoke: run one example spec end-to-end at tiny scale,
 # exercising the manifest, per-arm caches, event streams, and resume.
 specout=$(mktemp -d)
-trap 'rm -rf "$specout"' EXIT
-go run ./cmd/dlsim -spec examples/specs/latency_churn_dp.json -scale tiny -out "$specout/run"
+cleanup() {
+    [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$specout"
+}
+trap cleanup EXIT
+go run ./cmd/dlsim sweep -spec examples/specs/latency_churn_dp.json -scale tiny -out "$specout/run"
 test -f "$specout/run/manifest.json"
 test -f "$specout/run/results.csv"
-go run ./cmd/dlsim -spec examples/specs/latency_churn_dp.json -scale tiny -out "$specout/run" -resume
+go run ./cmd/dlsim sweep -spec examples/specs/latency_churn_dp.json -scale tiny -out "$specout/run" -resume
+# The legacy flat invocation must keep working.
+go run ./cmd/dlsim -spec examples/specs/latency_churn_dp.json -scale tiny >/dev/null
 echo "spec smoke ok"
+
+# Service smoke, race-enabled: start serve on an ephemeral port, submit
+# a tiny example spec through the CLI thin client (streams NDJSON
+# events), then submit a second job over raw HTTP and cancel it.
+go build -race -o "$specout/dlsim" ./cmd/dlsim
+"$specout/dlsim" serve -addr 127.0.0.1:0 -scale tiny >"$specout/serve.log" 2>&1 &
+serve_pid=$!
+base=""
+i=0
+while [ $i -lt 100 ]; do
+    base=$(sed -n 's|^dlsim: serving on \(http://[^ ]*\).*|\1|p' "$specout/serve.log")
+    [ -n "$base" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$specout/serve.log" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$base" ] || { echo "serve never printed its address" >&2; cat "$specout/serve.log" >&2; exit 1; }
+
+"$specout/dlsim" run -spec examples/specs/latency_churn_dp.json -scale tiny -remote "$base" >"$specout/remote.log"
+grep -q '^event ' "$specout/remote.log" || { echo "remote run streamed no events" >&2; cat "$specout/remote.log" >&2; exit 1; }
+
+# Version endpoints agree between the local build and the service.
+"$specout/dlsim" version >"$specout/ver-local.log"
+"$specout/dlsim" version -addr "$base" >"$specout/ver-remote.log"
+cmp -s "$specout/ver-local.log" "$specout/ver-remote.log" || { echo "local and service version reports diverge" >&2; exit 1; }
+
+# Cancel flow over raw HTTP: a quick-scale job is slow enough to catch.
+printf '{"scale":"quick","spec":%s}' "$(cat examples/specs/latency_churn_dp.json)" >"$specout/jobreq.json"
+job=$(curl -sf -X POST -H 'Content-Type: application/json' --data-binary @"$specout/jobreq.json" "$base/v1/jobs")
+job_id=$(echo "$job" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n 1)
+[ -n "$job_id" ] || { echo "no job id in: $job" >&2; exit 1; }
+curl -sf -X DELETE "$base/v1/jobs/$job_id" >/dev/null
+status=$(curl -sf "$base/v1/jobs/$job_id" | sed -n 's/.*"status": *"\([^"]*\)".*/\1/p' | head -n 1)
+case "$status" in
+    cancelled|running) ;; # running = cancel delivered, worker about to observe it
+    *) echo "job after DELETE has status '$status'" >&2; exit 1 ;;
+esac
+curl -sf "$base/v1/healthz" >/dev/null
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+echo "service smoke ok"
