@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-smoke
+# bench-compare inputs: the baseline and candidate snapshots, and the
+# tolerated ns/op growth in percent.
+OLD ?= BENCH_0003.json
+NEW ?= BENCH_0004.json
+THRESHOLD ?= 15
+
+.PHONY: all build vet test race ci bench bench-smoke bench-compare
 
 all: ci
 
@@ -23,6 +29,13 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
 
 # Quick hot-path perf snapshot; writes BENCH_smoke.json for the
-# perf trajectory (see BENCH_0001.json for the PR-1 before/after).
+# perf trajectory (see BENCH_0001.json for the PR-1 before/after) and
+# gates the zero-allocation invariants of the send, trainer, and
+# evaluation hot paths.
 bench-smoke:
 	./scripts/bench_smoke.sh
+
+# Diff two BENCH_*.json snapshots and fail on >$(THRESHOLD)% ns/op
+# regressions: make bench-compare OLD=BENCH_0003.json NEW=BENCH_0004.json
+bench-compare:
+	$(GO) run ./scripts/bench_compare -old $(OLD) -new $(NEW) -threshold $(THRESHOLD)

@@ -479,13 +479,28 @@ func BenchmarkExtensionMessageLoss(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelSpeedup runs multi-arm figures with the experiment
-// engine forced serial (workers=1) and with one worker per CPU. The
-// speedup is the ratio of the two ns/op numbers; arms own their seeds,
-// so both configurations produce byte-identical figures (asserted by
-// TestFigureIdenticalAcrossWorkerCounts). On a multi-core machine
-// (GOMAXPROCS >= 4) the parallel variant should run >= 2x faster on
-// these 8-arm figures; on a single core the two coincide.
+// parallelWorkerMatrix is the deduplicated worker sweep of the speedup
+// benchmarks: serial, 2, 4, plus one-per-CPU when that differs. The
+// explicit 2/4 rows make the speedup visible in snapshots on multi-core
+// runners, and deduplication keeps BENCH_*.json free of the duplicate
+// `workers=1#01` rows that a 1-core GOMAXPROCS used to produce.
+func parallelWorkerMatrix() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkParallelSpeedup runs multi-arm figures across the worker
+// matrix. The Workers knob now drives every level — arm fan-out,
+// node-parallel tick execution inside each arm, per-node evaluation,
+// and tiled GEMM — and arms own their seeds, so every configuration
+// produces byte-identical figures (asserted by
+// TestFigureIdenticalAcrossWorkerCounts and the intra-arm determinism
+// tests). On a multi-core machine the workers=4 rows should run well
+// over 2.5x faster than workers=1 on these 8-arm figures; on a single
+// core all rows coincide.
 func BenchmarkParallelSpeedup(b *testing.B) {
 	figures := []struct {
 		name string
@@ -495,7 +510,7 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 		{"figure3", experiment.RunFigure3},
 	}
 	for _, fig := range figures {
-		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		for _, workers := range parallelWorkerMatrix() {
 			b.Run(fmt.Sprintf("%s/workers=%d", fig.name, workers), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					sc := benchScale()
@@ -506,6 +521,47 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkIntraArmSpeedup isolates the node-parallel tick engine: ONE
+// arm (so arm fan-out contributes nothing) with a wake schedule dense
+// enough that several nodes wake in the same tick. The scaling of
+// these rows is intra-arm: concurrent wake compute (merge + local SGD)
+// plus the parallel per-node evaluation; results are byte-identical
+// across rows.
+func BenchmarkIntraArmSpeedup(b *testing.B) {
+	for _, workers := range parallelWorkerMatrix() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				train, err := experiment.TrainingFor(data.CIFAR10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				study, err := core.NewStudy(core.StudyConfig{
+					Label:    "intra-arm/samo/k=3/dense-wakes",
+					Corpus:   data.CIFAR10,
+					Protocol: "samo",
+					Sim: gossip.Config{
+						Nodes: 24, ViewSize: 3, Rounds: 2,
+						TicksPerRound: 20, WakeMean: 5, WakeStd: 2,
+						Seed: 7,
+					},
+					Train:          train,
+					Part:           core.PartitionConfig{TrainPerNode: 32, TestPerNode: 32},
+					GlobalTestSize: 128,
+					EvalEvery:      2,
+					EvalNodes:      8,
+					Workers:        workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := study.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"gossipmia/internal/data"
+	"gossipmia/internal/gossip"
+	"gossipmia/internal/nn"
+	"gossipmia/internal/tensor"
+)
+
+// BenchmarkEvalRound isolates the per-round evaluation path — batched
+// accuracy sweep, scratch-backed MPE attack, generalization error over
+// every eval node — on a trained simulator. With the per-study
+// evalScratch and the models' reusable batch scratch warmed up, a
+// steady-state evaluation round must allocate nothing; bench-smoke
+// gates allocs_per_op == 0 on this benchmark so the invariant cannot
+// silently rot.
+func BenchmarkEvalRound(b *testing.B) {
+	cfg := workersStudyConfig(1)
+	study, err := NewStudy(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg = study.Config()
+	simCfg := cfg.Sim.Defaulted()
+	rng := tensor.NewRNG(simCfg.Seed)
+	gen, err := data.NewGenerator(cfg.Corpus, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts, err := study.buildPartition(gen, simCfg.Nodes, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	globalTest := gen.Sample(cfg.GlobalTestSize, rng)
+	sizes := append([]int{gen.Dim()}, cfg.Train.Hidden...)
+	sizes = append(sizes, gen.Classes())
+	initial, err := nn.NewMLP(sizes, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	protocol, err := gossip.ProtocolByName(cfg.Protocol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory, _, _, err := study.buildUpdaters(parts, simCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := gossip.New(simCfg, protocol, initial, parts, factory)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.Run(nil); err != nil {
+		b.Fatal(err)
+	}
+	evalIDs := study.pickEvalNodes(simCfg.Nodes, rng)
+	es := newEvalScratch(len(evalIDs))
+	// Warm up every reusable buffer: model batch scratch, attack score
+	// slices, threshold points.
+	if _, err := study.evaluateRound(0, sim, evalIDs, globalTest, nil, es); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.evaluateRound(0, sim, evalIDs, globalTest, nil, es); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

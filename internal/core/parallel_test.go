@@ -6,6 +6,7 @@ import (
 	"gossipmia/internal/data"
 	"gossipmia/internal/gossip"
 	"gossipmia/internal/metrics"
+	"gossipmia/internal/netmodel"
 )
 
 func workersStudyConfig(workers int) StudyConfig {
@@ -52,6 +53,44 @@ func TestSeriesIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 	for _, w := range []int{2, 8} {
 		got := runSeries(t, workersStudyConfig(w))
+		if len(got.Records) != len(ref.Records) {
+			t.Fatalf("workers=%d: %d records, want %d", w, len(got.Records), len(ref.Records))
+		}
+		for i, r := range got.Records {
+			if r != ref.Records[i] {
+				t.Fatalf("workers=%d: record %d = %+v, want %+v", w, i, r, ref.Records[i])
+			}
+		}
+	}
+}
+
+// TestSeriesIdenticalAcrossWorkerCountsLatencyChurn pins the intra-arm
+// engine end to end on a non-Instant scenario: a latency transport plus
+// a churn schedule, with wake intervals short enough that several nodes
+// wake in the same tick. StudyConfig.Workers flows into the simulator's
+// node-parallel tick engine here, so this proves a whole study arm —
+// sim, training, evaluation — is byte-identical across worker counts.
+// Run under -race it also proves the tick fan-out is data-race free.
+func TestSeriesIdenticalAcrossWorkerCountsLatencyChurn(t *testing.T) {
+	mk := func(workers int) StudyConfig {
+		cfg := workersStudyConfig(workers)
+		cfg.Protocol = "base"
+		cfg.Sim.TicksPerRound = 10
+		cfg.Sim.WakeMean = 4
+		cfg.Sim.WakeStd = 2
+		cfg.Sim.Net = netmodel.Config{Kind: netmodel.KindLatency, LatencyMean: 3, LatencyJitter: 2}
+		cfg.Sim.Churn = []gossip.ChurnEvent{
+			{Node: 1, LeaveTick: 6, RejoinTick: 15},
+			{Node: 5, LeaveTick: 12},
+		}
+		return cfg
+	}
+	ref := runSeries(t, mk(1))
+	if len(ref.Records) == 0 {
+		t.Fatal("reference run produced no records")
+	}
+	for _, w := range []int{2, 8} {
+		got := runSeries(t, mk(w))
 		if len(got.Records) != len(ref.Records) {
 			t.Fatalf("workers=%d: %d records, want %d", w, len(got.Records), len(ref.Records))
 		}

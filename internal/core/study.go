@@ -110,12 +110,16 @@ type StudyConfig struct {
 	// the measurements would be silently lost.
 	DiscardSeries bool
 
-	// Workers bounds the goroutines used to fan out the per-node
-	// evaluation (test accuracy, MIA attack, generalization error, and
-	// the canary audit) at each observed round: 0 means one worker per
-	// CPU, 1 forces the serial path. Every node is evaluated under its
-	// own model and results are reduced in a fixed node order, so the
-	// resulting Series is identical for every worker count.
+	// Workers is the intra-arm parallelism knob. It bounds the
+	// goroutines used to fan out the per-node evaluation (test accuracy,
+	// MIA attack, generalization error, and the canary audit) at each
+	// observed round, the simulator's node-parallel tick execution
+	// (gossip.Config.Workers), and the worker-tiled GEMM kernels of
+	// minibatch training and batched scoring: 0 means one worker per
+	// CPU, 1 forces the serial paths. Every layer is deterministic by
+	// construction — indexed result slots, buffered-commit tick ordering,
+	// bit-identical GEMM tiles — so the resulting Series is byte-identical
+	// for every worker count.
 	Workers int
 }
 
@@ -216,6 +220,12 @@ func (s *Study) Run() (*Result, error) {
 func (s *Study) RunContext(ctx context.Context) (*Result, error) {
 	cfg := s.cfg
 	simCfg := cfg.Sim.Defaulted()
+	// One Workers knob drives every intra-arm layer: the simulator's
+	// node-parallel tick engine and (via the initial model, whose clones
+	// seed every node) the worker-tiled GEMM kernels.
+	if simCfg.Workers == 0 {
+		simCfg.Workers = cfg.Workers
+	}
 	rng := tensor.NewRNG(simCfg.Seed)
 
 	gen, err := data.NewGenerator(cfg.Corpus, rng)
@@ -243,6 +253,7 @@ func (s *Study) RunContext(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: model: %w", err)
 	}
+	initial.SetWorkers(par.Workers(cfg.Workers))
 
 	protocol, err := gossip.ProtocolByName(cfg.Protocol)
 	if err != nil {
@@ -261,6 +272,7 @@ func (s *Study) RunContext(ctx context.Context) (*Result, error) {
 
 	evalIDs := s.pickEvalNodes(simCfg.Nodes, rng)
 	series := &metrics.Series{Label: cfg.Label}
+	scratch := newEvalScratch(len(evalIDs))
 
 	observer := func(round int, sim *gossip.Simulator) error {
 		if err := ctx.Err(); err != nil {
@@ -269,7 +281,7 @@ func (s *Study) RunContext(ctx context.Context) (*Result, error) {
 		if (round+1)%cfg.EvalEvery != 0 && round != simCfg.Rounds-1 {
 			return nil
 		}
-		rec, err := s.evaluateRound(round, sim, evalIDs, globalTest, canaries)
+		rec, err := s.evaluateRound(round, sim, evalIDs, globalTest, canaries, scratch)
 		if err != nil {
 			return err
 		}
@@ -400,6 +412,34 @@ func (s *Study) buildUpdaters(parts []data.NodeData, simCfg gossip.Config) (goss
 	return factory, updaters, sigma, nil
 }
 
+// evalNode measures one eval slot: global test accuracy, the MPE
+// attack (on the slot's scratch), and generalization error, written
+// into the slot's indexed result cells.
+func (s *Study) evalNode(i int, evalIDs []int, nodes []*gossip.Node,
+	globalTest *data.Dataset, es *evalScratch) error {
+	id := evalIDs[i]
+	node := nodes[id]
+	acc, err := metrics.Accuracy(node.Model, globalTest)
+	if err != nil {
+		return fmt.Errorf("core: test accuracy node %d: %w", id, err)
+	}
+	es.accs[i] = acc
+
+	res, err := es.attack[i].AttackNode(node.Model, node.Data)
+	if err != nil {
+		return fmt.Errorf("core: attack node %d: %w", id, err)
+	}
+	es.miaAccs[i] = res.Accuracy
+	es.tprs[i] = res.TPRAt1FPR
+
+	ge, err := metrics.GenError(node.Model, node.Data)
+	if err != nil {
+		return fmt.Errorf("core: gen error node %d: %w", id, err)
+	}
+	es.genErrs[i] = ge
+	return nil
+}
+
 // realizedEpsilon converts the realized step count into the actually
 // spent (ε,δ) budget.
 func (s *Study) realizedEpsilon(steps int, sigma float64, parts []data.NodeData) (float64, error) {
@@ -442,61 +482,72 @@ func (s *Study) pickEvalNodes(nodes int, rng *tensor.RNG) []int {
 	return rng.Perm(nodes)[:k]
 }
 
+// evalScratch holds the per-run buffers of evaluateRound: the four
+// indexed metric slots plus one mia.Scratch per eval slot (each slot is
+// worked by at most one goroutine per round), so a study's evaluation
+// rounds allocate nothing at steady state regardless of how often they
+// fire.
+type evalScratch struct {
+	accs, miaAccs, tprs, genErrs []float64
+	attack                       []mia.Scratch
+	models                       []*nn.MLP
+}
+
+// newEvalScratch sizes the scratch for n evaluated nodes per round.
+func newEvalScratch(n int) *evalScratch {
+	return &evalScratch{
+		accs:    make([]float64, n),
+		miaAccs: make([]float64, n),
+		tprs:    make([]float64, n),
+		genErrs: make([]float64, n),
+		attack:  make([]mia.Scratch, n),
+	}
+}
+
 // evaluateRound measures the paper's four metrics averaged over the eval
 // nodes (canary TPR is a max, as in Figure 4). The per-node evaluations
 // are embarrassingly parallel — each goroutine works a distinct node's
-// model, whose forward-pass scratch no other goroutine touches — and
-// write into indexed slots reduced in evalIDs order, so the record is
-// byte-identical for any Workers setting.
+// model, whose forward-pass scratch no other goroutine touches, and a
+// distinct scratch slot — and write into indexed slots reduced in
+// evalIDs order, so the record is byte-identical for any Workers
+// setting.
 func (s *Study) evaluateRound(round int, sim *gossip.Simulator, evalIDs []int,
-	globalTest *data.Dataset, canaries *mia.CanarySet) (metrics.RoundRecord, error) {
+	globalTest *data.Dataset, canaries *mia.CanarySet, es *evalScratch) (metrics.RoundRecord, error) {
 
 	nodes := sim.Nodes()
-	accs := make([]float64, len(evalIDs))
-	miaAccs := make([]float64, len(evalIDs))
-	tprs := make([]float64, len(evalIDs))
-	genErrs := make([]float64, len(evalIDs))
-
-	err := par.ForEachErr(s.cfg.Workers, len(evalIDs), func(i int) error {
-		id := evalIDs[i]
-		node := nodes[id]
-		acc, err := metrics.Accuracy(node.Model, globalTest)
-		if err != nil {
-			return fmt.Errorf("core: test accuracy node %d: %w", id, err)
+	var err error
+	if par.Workers(s.cfg.Workers) <= 1 {
+		// Serial fast path: no fan-out bookkeeping, so evaluation rounds
+		// allocate nothing at steady state.
+		for i := range evalIDs {
+			if err = s.evalNode(i, evalIDs, nodes, globalTest, es); err != nil {
+				break
+			}
 		}
-		accs[i] = acc
-
-		res, err := mia.AttackNode(node.Model, node.Data)
-		if err != nil {
-			return fmt.Errorf("core: attack node %d: %w", id, err)
-		}
-		miaAccs[i] = res.Accuracy
-		tprs[i] = res.TPRAt1FPR
-
-		ge, err := metrics.GenError(node.Model, node.Data)
-		if err != nil {
-			return fmt.Errorf("core: gen error node %d: %w", id, err)
-		}
-		genErrs[i] = ge
-		return nil
-	})
+	} else {
+		err = par.ForEachErr(s.cfg.Workers, len(evalIDs), func(i int) error {
+			return s.evalNode(i, evalIDs, nodes, globalTest, es)
+		})
+	}
 	if err != nil {
 		return metrics.RoundRecord{}, err
 	}
 
 	rec := metrics.RoundRecord{
 		Round:     round,
-		TestAcc:   metrics.Mean(accs),
-		MIAAcc:    metrics.Mean(miaAccs),
-		TPRAt1FPR: metrics.Mean(tprs),
-		GenError:  metrics.Mean(genErrs),
+		TestAcc:   metrics.Mean(es.accs),
+		MIAAcc:    metrics.Mean(es.miaAccs),
+		TPRAt1FPR: metrics.Mean(es.tprs),
+		GenError:  metrics.Mean(es.genErrs),
 	}
 	if canaries != nil {
-		models := make([]*nn.MLP, len(nodes))
-		for i, n := range nodes {
-			models[i] = n.Model
+		if len(es.models) != len(nodes) {
+			es.models = make([]*nn.MLP, len(nodes))
 		}
-		maxTPR, err := canaries.MaxTPRWorkers(models, s.cfg.Workers)
+		for i, n := range nodes {
+			es.models[i] = n.Model
+		}
+		maxTPR, err := canaries.MaxTPRWorkers(es.models, s.cfg.Workers)
 		if err != nil {
 			return metrics.RoundRecord{}, fmt.Errorf("core: canary audit: %w", err)
 		}

@@ -37,12 +37,17 @@ type Scale struct {
 	// Seed drives all randomness.
 	Seed int64
 	// Workers bounds the goroutines the experiment engine uses to run
-	// independent study arms (and, within each arm, the per-node
-	// evaluation fan-out): 0 means one worker per CPU, 1 forces the
-	// serial path. The budget is divided across nesting levels
-	// (replication repeats > arms > per-node evaluation) rather than
-	// multiplied. Each arm owns its seed and RNG streams, so results
-	// are byte-identical for every worker count.
+	// independent study arms and, within each arm, the node-parallel
+	// tick engine, the per-node evaluation fan-out, and the worker-tiled
+	// GEMM kernels: 0 means one worker per CPU, 1 forces the serial
+	// paths. The budget is divided across the fan-out levels
+	// (replication repeats > arms > intra-arm); the kernel layer nests
+	// inside the intra-arm fan-outs with the same budget but engages
+	// only above a matrix-size threshold, so nested oversubscription
+	// stays transient and bounded. Each arm owns its seed and RNG
+	// streams and the intra-arm layers are deterministic by
+	// construction, so results are byte-identical for every worker
+	// count.
 	Workers int
 	// Net overlays a network model (transport, latency, loss, churn) on
 	// every arm; the zero value keeps the Instant transport, i.e. the

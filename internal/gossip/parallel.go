@@ -1,0 +1,473 @@
+package gossip
+
+import (
+	"fmt"
+
+	"gossipmia/internal/netmodel"
+	"gossipmia/internal/par"
+	"gossipmia/internal/wire"
+)
+
+// This file implements node-parallel tick execution: a single arm's
+// tick loop fanned out over worker goroutines while staying
+// byte-identical to the serial loop in simulator.go.
+//
+// Each tick runs in phases:
+//
+//  1. Churn transitions (serial, unchanged).
+//  2. Due queued deliveries, grouped by receiver and handed to the
+//     protocol concurrently — one goroutine per receiver, per-receiver
+//     drain order preserved. OnReceive touches only receiver-local
+//     state (model, inbox, the node's own RNG), so receivers commute.
+//  3. Wake-ups, in one or more stages. Every stage is a serial
+//     *planning* pass followed by a parallel *compute* pass:
+//
+//     Planning walks due wakers in node-ID order and performs exactly
+//     the shared-state work the serial loop would: topology dynamics
+//     (PeerSwap / Cyclon shuffles mutate the shared graph or sampler),
+//     a view snapshot, the protocol's peer selection
+//     (WakePlanner.PlanTargets, drawing the node's own RNG in serial
+//     order), and the transport's per-send Plan calls — whose drop
+//     coins and counters consume the shared stream in exactly the
+//     serial send order (ascending waker ID, view order within a
+//     wake).
+//
+//     Compute runs the planned wakes concurrently in conflict-free
+//     batches: each wake's local work (WakePlanner.ComputeWake — merge
+//     pending models, train) plus its inline deliveries
+//     (protocol.OnReceive on the target, for transports that deliver
+//     at the send tick). Two wakes conflict when their touched node
+//     sets — the waker plus its inline targets — intersect; batches
+//     are contiguous runs of the node-ID order, so conflicting wakes
+//     execute in serial order with a barrier between them.
+//
+//     A stage ends early when the next due waker is itself an inline
+//     target of an already-planned wake: in the serial loop that
+//     node's receive-triggered training draws from its RNG *before*
+//     its own wake draws, so its planning must wait until the earlier
+//     wakes have computed. Chains of such dependencies degrade
+//     gracefully toward the serial order; in practice almost every
+//     tick is a single stage.
+//
+//  4. Commit (serial): queued sends copied during compute are pushed
+//     into the transport's delivery heap in (waker, send) order — the
+//     exact order the serial loop's Send calls would have scheduled
+//     them, preserving the heap's FIFO tie-break.
+//
+// Because planning preserves every shared-RNG draw and counter update
+// in serial order, compute touches only node-local state under mutual
+// exclusion, and commit preserves queue order, the observable run —
+// every parameter byte, every counter, every error — equals the serial
+// loop's for any worker count. Protocols opt in via WakePlanner;
+// Epidemic cannot (its fanout sampling draws *after* training), so it
+// keeps the serial loop.
+
+// WakePlanner is implemented by protocols whose wake-time peer
+// selection can run ahead of the wake's local work without changing
+// the node's RNG draw order — i.e. OnWake's selection draws (if any)
+// happen before any other RNG use of the wake. The parallel tick
+// engine then splits a wake into PlanTargets (serial planning pass)
+// and ComputeWake (parallel compute pass), and transmits
+// node.Model.Params() to the planned targets itself, exactly as OnWake
+// would after its local work.
+type WakePlanner interface {
+	// PlanTargets appends the peers this wake will send to, in send
+	// order, to dst and returns it. It must consume exactly the
+	// node-RNG draws OnWake performs for peer selection, and must
+	// report the same error OnWake would for an unusable view.
+	PlanTargets(node *Node, view []int, size int, dst []int) ([]int, error)
+	// ComputeWake performs the wake's local work — merging pending
+	// models, training — without sending.
+	ComputeWake(node *Node) error
+}
+
+var (
+	_ WakePlanner = BaseGossip{}
+	_ WakePlanner = SAMO{}
+)
+
+// sendMode classifies a planned transmission.
+type sendMode uint8
+
+const (
+	sendDropped sendMode = iota // lost: failure model, partition, or offline receiver
+	sendInline                  // delivered at the send tick, inside the compute pass
+	sendQueued                  // scheduled into the delivery heap at commit
+)
+
+// plannedSend is one transmission whose fate the planning pass fixed.
+type plannedSend struct {
+	to        int
+	deliverAt int
+	mode      sendMode
+	buf       []float64 // queued payload, copied during compute
+}
+
+// tickUnit is one planned wake-up.
+type tickUnit struct {
+	node    *Node
+	targets []int
+	sends   []plannedSend
+	err     error
+}
+
+// recvGroup is one receiver's due deliveries for the current tick, in
+// drain order.
+type recvGroup struct {
+	to    int
+	idxs  []int // indices into Simulator.drainBuf
+	err   error
+	errAt int // drain index of the failing delivery, for deterministic reporting
+}
+
+// tickEngine holds the reusable scratch of the parallel tick loop.
+type tickEngine struct {
+	s       *Simulator
+	planner WakePlanner
+	workers int
+
+	units       []tickUnit
+	recv        []recvGroup
+	group       []int  // node -> recvGroup index this tick, -1 when none
+	touched     []bool // per-node conflict marks of the current batch
+	touchedList []int
+	tainted     []bool // per-node inline-target marks of the current stage
+	taintedList []int
+}
+
+// runParallel is Run on the node-parallel engine.
+func (s *Simulator) runParallel(observer Observer, planner WakePlanner, workers int) error {
+	e := &tickEngine{
+		s:       s,
+		planner: planner,
+		workers: workers,
+		group:   make([]int, len(s.nodes)),
+		touched: make([]bool, len(s.nodes)),
+		tainted: make([]bool, len(s.nodes)),
+	}
+	for i := range e.group {
+		e.group[i] = -1
+	}
+	totalTicks := s.cfg.Rounds * s.cfg.TicksPerRound
+	for ; s.tick < totalTicks; s.tick++ {
+		s.applyChurn()
+		if err := e.deliverDue(); err != nil {
+			return err
+		}
+		if err := e.runWakes(); err != nil {
+			return err
+		}
+		if err := s.observeTick(observer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverDue is the parallel counterpart of Simulator.deliverDue:
+// deliveries to offline nodes are screened out serially (counters and
+// arena recycling), the rest are grouped by receiver and processed
+// concurrently with per-receiver drain order preserved. On failure the
+// error of the earliest drained delivery is reported, matching the
+// serial loop's first-failure semantics.
+func (e *tickEngine) deliverDue() error {
+	s := e.s
+	if s.transport.Pending() == 0 {
+		return nil
+	}
+	s.drainBuf = s.transport.Drain(s.drainBuf[:0], s.tick)
+	e.recv = e.recv[:0]
+	for i := range s.drainBuf {
+		d := &s.drainBuf[i]
+		if s.down[d.To] {
+			s.messagesDropped++
+			s.pool.Put(d.Params)
+			d.Params = nil
+			continue
+		}
+		gi := e.group[d.To]
+		if gi < 0 {
+			gi = e.growRecv(d.To)
+			e.group[d.To] = gi
+		}
+		e.recv[gi].idxs = append(e.recv[gi].idxs, i)
+	}
+	par.ForEach(e.workers, len(e.recv), func(gi int) {
+		g := &e.recv[gi]
+		for _, di := range g.idxs {
+			d := &s.drainBuf[di]
+			params := d.Params
+			d.Params = nil
+			err := s.protocol.OnReceive(s.nodes[d.To], Message{From: d.From, Params: params})
+			if s.syncRecv {
+				s.pool.Put(params) // VecPool is safe for concurrent use
+			}
+			if err != nil {
+				g.err = fmt.Errorf("gossip: deliver %d->%d at tick %d: %w", d.From, d.To, s.tick, err)
+				g.errAt = di
+				return
+			}
+		}
+	})
+	var firstErr error
+	firstAt := -1
+	for gi := range e.recv {
+		g := &e.recv[gi]
+		e.group[g.to] = -1
+		if g.err != nil && (firstAt < 0 || g.errAt < firstAt) {
+			firstErr, firstAt = g.err, g.errAt
+		}
+	}
+	return firstErr
+}
+
+// growRecv appends a recvGroup slot for node `to`, reusing capacity.
+func (e *tickEngine) growRecv(to int) int {
+	if len(e.recv) < cap(e.recv) {
+		e.recv = e.recv[:len(e.recv)+1]
+	} else {
+		e.recv = append(e.recv, recvGroup{})
+	}
+	g := &e.recv[len(e.recv)-1]
+	g.to = to
+	g.idxs = g.idxs[:0]
+	g.err = nil
+	g.errAt = -1
+	return len(e.recv) - 1
+}
+
+// runWakes executes the tick's due wake-ups in stages of
+// plan-then-compute, committing queued sends after each stage.
+func (e *tickEngine) runWakes() error {
+	s := e.s
+	next := 0
+	for next < len(s.nodes) {
+		planned, err := e.planStage(&next)
+		if err != nil {
+			return err
+		}
+		if planned == 0 {
+			break
+		}
+		if err := e.computeStage(); err != nil {
+			return err
+		}
+		if err := e.commitStage(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// planStage is the serial planning pass: it advances *next over due
+// wakers in node-ID order — applying dynamics, snapshotting views,
+// selecting peers, and planning transports exactly as the serial loop
+// interleaves them — until the scan ends or the next waker is an
+// inline target of a wake already planned in this stage (whose compute
+// must run first to keep that node's RNG order serial).
+func (e *tickEngine) planStage(next *int) (int, error) {
+	s := e.s
+	e.units = e.units[:0]
+	for _, id := range e.taintedList {
+		e.tainted[id] = false
+	}
+	e.taintedList = e.taintedList[:0]
+	for ; *next < len(s.nodes); *next++ {
+		node := s.nodes[*next]
+		if node.nextWake > s.tick || s.down[node.ID] {
+			continue
+		}
+		if e.tainted[node.ID] {
+			break // planned earlier wakes deliver to it this tick
+		}
+		switch s.cfg.Dynamics {
+		case DynamicsPeerSwap:
+			s.topo.PeerSwap(node.ID, node.RNG)
+		case DynamicsCyclon:
+			s.sampler.Shuffle(node.ID)
+		}
+		u := e.growUnit()
+		u.node = node
+		// The snapshot is consumed here and now: a later same-tick
+		// waker's PeerSwap must not be visible to this wake, exactly as
+		// in the serial loop's read-during-wake ordering.
+		view := s.View(node.ID)
+		var err error
+		u.targets, err = e.planner.PlanTargets(node, view, len(s.nodes), u.targets[:0])
+		if err != nil {
+			return 0, fmt.Errorf("gossip: node %d wake at tick %d: %w", node.ID, s.tick, err)
+		}
+		wireBytes := wire.ParamsWireSize(node.Model.NumParams())
+		for _, to := range u.targets {
+			if to < 0 || to >= len(s.nodes) {
+				err := fmt.Errorf("%w: send to unknown node %d", ErrProtocol, to)
+				return 0, fmt.Errorf("gossip: node %d wake at tick %d: %w", node.ID, s.tick, err)
+			}
+			s.messagesSent++
+			s.bytesSent += wireBytes
+			if s.down[to] {
+				s.messagesDropped++
+				u.sends = append(u.sends, plannedSend{to: to, mode: sendDropped})
+				continue
+			}
+			deliverAt, dropped := s.transport.Plan(s.tick, node.ID, to, wireBytes)
+			if dropped {
+				s.messagesDropped++
+				u.sends = append(u.sends, plannedSend{to: to, mode: sendDropped})
+				continue
+			}
+			if deliverAt <= s.tick {
+				u.sends = append(u.sends, plannedSend{to: to, mode: sendInline})
+				if !e.tainted[to] {
+					e.tainted[to] = true
+					e.taintedList = append(e.taintedList, to)
+				}
+				continue
+			}
+			s.messagesDelayed++
+			u.sends = append(u.sends, plannedSend{to: to, deliverAt: deliverAt, mode: sendQueued})
+		}
+		node.nextWake = s.tick + node.interval
+	}
+	return len(e.units), nil
+}
+
+// growUnit appends a unit slot, reusing target/send capacity.
+func (e *tickEngine) growUnit() *tickUnit {
+	if len(e.units) < cap(e.units) {
+		e.units = e.units[:len(e.units)+1]
+	} else {
+		e.units = append(e.units, tickUnit{})
+	}
+	u := &e.units[len(e.units)-1]
+	u.node = nil
+	u.sends = u.sends[:0]
+	u.err = nil
+	return u
+}
+
+// computeStage cuts the stage's units into contiguous conflict-free
+// batches and runs each batch's wakes concurrently. Units touch their
+// waker plus their inline targets; a unit whose touch set intersects
+// the current batch starts the next one, so conflicting wakes keep
+// their serial order across the batch barrier.
+func (e *tickEngine) computeStage() error {
+	clear := func() {
+		for _, id := range e.touchedList {
+			e.touched[id] = false
+		}
+		e.touchedList = e.touchedList[:0]
+	}
+	mark := func(id int) {
+		if !e.touched[id] {
+			e.touched[id] = true
+			e.touchedList = append(e.touchedList, id)
+		}
+	}
+	batchLo := 0
+	flush := func(hi int) error {
+		if hi > batchLo {
+			if err := e.runBatch(batchLo, hi); err != nil {
+				return err
+			}
+		}
+		batchLo = hi
+		clear()
+		return nil
+	}
+	for i := range e.units {
+		u := &e.units[i]
+		conflict := e.touched[u.node.ID]
+		if !conflict {
+			for si := range u.sends {
+				if u.sends[si].mode == sendInline && e.touched[u.sends[si].to] {
+					conflict = true
+					break
+				}
+			}
+		}
+		if conflict {
+			if err := flush(i); err != nil {
+				return err
+			}
+		}
+		mark(u.node.ID)
+		for si := range u.sends {
+			if u.sends[si].mode == sendInline {
+				mark(u.sends[si].to)
+			}
+		}
+	}
+	return flush(len(e.units))
+}
+
+// runBatch executes units [lo, hi) concurrently and reports the error
+// of the lowest-index failing unit — the wake the serial loop would
+// have failed on first.
+func (e *tickEngine) runBatch(lo, hi int) error {
+	par.ForEach(e.workers, hi-lo, func(i int) {
+		u := &e.units[lo+i]
+		u.err = e.runUnit(u)
+	})
+	for i := lo; i < hi; i++ {
+		if err := e.units[i].err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runUnit performs one wake's compute: the protocol's local work, then
+// its planned sends — inline deliveries on this goroutine (the batch
+// guarantees exclusive access to the targets), queued payload copies
+// for the commit pass.
+func (e *tickEngine) runUnit(u *tickUnit) error {
+	s := e.s
+	if err := e.planner.ComputeWake(u.node); err != nil {
+		return fmt.Errorf("gossip: node %d wake at tick %d: %w", u.node.ID, s.tick, err)
+	}
+	params := u.node.Model.Params()
+	for si := range u.sends {
+		p := &u.sends[si]
+		switch p.mode {
+		case sendInline:
+			msg := Message{From: u.node.ID}
+			if s.syncRecv {
+				msg.Params = params
+			} else {
+				buf := s.pool.Get(len(params))
+				copy(buf, params)
+				msg.Params = buf
+			}
+			if err := s.protocol.OnReceive(s.nodes[p.to], msg); err != nil {
+				return fmt.Errorf("gossip: node %d wake at tick %d: %w", u.node.ID, s.tick, err)
+			}
+		case sendQueued:
+			buf := s.pool.Get(len(params))
+			copy(buf, params)
+			p.buf = buf
+		}
+	}
+	return nil
+}
+
+// commitStage schedules the stage's queued sends into the transport in
+// (waker, send) order — the serial loop's send order, preserving the
+// delivery heap's FIFO tie-break for same-tick deliveries.
+func (e *tickEngine) commitStage() error {
+	s := e.s
+	for ui := range e.units {
+		u := &e.units[ui]
+		for si := range u.sends {
+			p := &u.sends[si]
+			if p.mode != sendQueued || p.buf == nil {
+				continue
+			}
+			s.transport.Schedule(netmodel.Delivery{
+				From: u.node.ID, To: p.to, SentTick: s.tick, DeliverAt: p.deliverAt, Params: p.buf,
+			})
+			p.buf = nil
+		}
+	}
+	return nil
+}

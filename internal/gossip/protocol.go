@@ -73,18 +73,35 @@ func (BaseGossip) OnWake(node *Node, net Network) error {
 	return net.Send(node.ID, j, node.Model.Params())
 }
 
-// OnReceive implements Protocol: θi ← (θi+θj)/2, then local update.
+// OnReceive implements Protocol: θi ← (θi+θj)/2, then local update. The
+// pairwise average runs on the unrolled add/scale vector kernels:
+// element-wise it is the same (θi+θj) followed by an exact halving as
+// the scalar loop, so results are bit-identical — only the sweep is
+// four-wide.
 func (BaseGossip) OnReceive(node *Node, msg Message) error {
 	params := node.Model.Params()
 	if len(params) != len(msg.Params) {
 		return fmt.Errorf("node %d received model of size %d, has %d: %w",
 			node.ID, len(msg.Params), len(params), ErrProtocol)
 	}
-	for i := range params {
-		params[i] = (params[i] + msg.Params[i]) / 2
-	}
+	_ = params.AddInPlace(msg.Params) // lengths verified above
+	params.Scale(0.5)
 	return node.localUpdate()
 }
+
+// PlanTargets implements WakePlanner: the one uniformly chosen neighbor,
+// drawn exactly as OnWake draws it (the wake's only RNG use, so the
+// planning pass leaves the node's stream in the same state).
+func (BaseGossip) PlanTargets(node *Node, view []int, size int, dst []int) ([]int, error) {
+	if len(view) == 0 {
+		return dst, fmt.Errorf("node %d has empty view: %w", node.ID, ErrProtocol)
+	}
+	return append(dst, view[node.RNG.Intn(len(view))]), nil
+}
+
+// ComputeWake implements WakePlanner: Base Gossip trains on receive, so
+// the wake itself has no local work.
+func (BaseGossip) ComputeWake(*Node) error { return nil }
 
 // SAMO is Algorithm 2 (Send-All-Merge-Once): received models are stored;
 // on wake, if any were received, the node averages them with its own
@@ -149,7 +166,9 @@ func (p SAMO) mergeAndTrain(node *Node) error {
 	return node.localUpdate()
 }
 
-// OnReceive implements Protocol.
+// OnReceive implements Protocol. The nodelay ablation's pairwise merge
+// uses the same unrolled add/scale kernels as BaseGossip.OnReceive
+// (bit-identical to the scalar loop).
 func (p SAMO) OnReceive(node *Node, msg Message) error {
 	if p.MergeOnReceive {
 		params := node.Model.Params()
@@ -157,14 +176,25 @@ func (p SAMO) OnReceive(node *Node, msg Message) error {
 			return fmt.Errorf("node %d received model of size %d, has %d: %w",
 				node.ID, len(msg.Params), len(params), ErrProtocol)
 		}
-		for i := range params {
-			params[i] = (params[i] + msg.Params[i]) / 2
-		}
+		_ = params.AddInPlace(msg.Params) // lengths verified above
+		params.Scale(0.5)
 		return node.localUpdate()
 	}
 	node.Inbox = append(node.Inbox, msg)
 	return nil
 }
+
+// PlanTargets implements WakePlanner: SAMO disseminates to its whole
+// current view, consuming no randomness.
+func (SAMO) PlanTargets(node *Node, view []int, size int, dst []int) ([]int, error) {
+	return append(dst, view...), nil
+}
+
+// ComputeWake implements WakePlanner: the merge-once step plus one local
+// update — exactly the pre-send portion of OnWake. For the nodelay
+// ablation the inbox is always empty and this is a no-op, matching
+// OnWake there too.
+func (p SAMO) ComputeWake(node *Node) error { return p.mergeAndTrain(node) }
 
 // ProtocolByName resolves a protocol identifier used in configs and CLIs.
 func ProtocolByName(name string) (Protocol, error) {

@@ -9,6 +9,7 @@ import (
 	"gossipmia/internal/graph"
 	"gossipmia/internal/netmodel"
 	"gossipmia/internal/nn"
+	"gossipmia/internal/par"
 	"gossipmia/internal/rps"
 	"gossipmia/internal/tensor"
 	"gossipmia/internal/wire"
@@ -75,6 +76,15 @@ type Config struct {
 	Churn []ChurnEvent
 	// Seed drives all randomness of the run.
 	Seed int64
+	// Workers bounds the goroutines of the node-parallel tick engine:
+	// each tick's due wake-ups run concurrently (one goroutine per
+	// conflict-free wake, each node on its own RNG stream) between a
+	// serial planning pass and a serial commit pass, so runs are
+	// byte-identical to the serial path for every setting. 0 means one
+	// worker per CPU, 1 forces the fully serial loop. Protocols whose
+	// peer selection cannot be planned ahead of the wake's local work
+	// (Epidemic) always take the serial loop.
+	Workers int
 }
 
 // ChurnEvent schedules one departure (and optional rejoin) of a node.
@@ -412,7 +422,16 @@ func (s *Simulator) Size() int { return len(s.nodes) }
 // every round boundary. Each tick proceeds in a fixed order: churn
 // transitions, then queued deliveries due this tick, then node wake-ups
 // in ID order — so runs are deterministic for every transport.
+//
+// With Workers resolving above one and a WakePlanner protocol, ticks
+// execute on the node-parallel engine (see parallel.go), which is
+// byte-identical to the serial loop below by construction.
 func (s *Simulator) Run(observer Observer) error {
+	if workers := par.Workers(s.cfg.Workers); workers > 1 {
+		if planner, ok := s.protocol.(WakePlanner); ok {
+			return s.runParallel(observer, planner, workers)
+		}
+	}
 	totalTicks := s.cfg.Rounds * s.cfg.TicksPerRound
 	for ; s.tick < totalTicks; s.tick++ {
 		s.applyChurn()
@@ -428,11 +447,19 @@ func (s *Simulator) Run(observer Observer) error {
 			}
 			node.nextWake = s.tick + node.interval
 		}
-		if (s.tick+1)%s.cfg.TicksPerRound == 0 && observer != nil {
-			round := (s.tick + 1) / s.cfg.TicksPerRound
-			if err := observer(round-1, s); err != nil {
-				return fmt.Errorf("gossip: observer at round %d: %w", round-1, err)
-			}
+		if err := s.observeTick(observer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observeTick fires observer when the current tick closes a round.
+func (s *Simulator) observeTick(observer Observer) error {
+	if (s.tick+1)%s.cfg.TicksPerRound == 0 && observer != nil {
+		round := (s.tick + 1) / s.cfg.TicksPerRound
+		if err := observer(round-1, s); err != nil {
+			return fmt.Errorf("gossip: observer at round %d: %w", round-1, err)
 		}
 	}
 	return nil

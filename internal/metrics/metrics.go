@@ -10,22 +10,26 @@ import (
 
 	"gossipmia/internal/data"
 	"gossipmia/internal/nn"
+	"gossipmia/internal/tensor"
 )
 
-// Accuracy returns top-1 accuracy of model on ds (Equation 5).
+// Accuracy returns top-1 accuracy of model on ds (Equation 5). The
+// sweep runs through the model's batched scoring path — blocked GEMM
+// forward passes that are bit-identical to per-example Predict calls —
+// so the result is unchanged and the evaluation loop allocates nothing
+// at steady state.
 func Accuracy(model *nn.MLP, ds *data.Dataset) (float64, error) {
 	if ds.Len() == 0 {
 		return 0, data.ErrEmpty
 	}
 	correct := 0
-	for i, x := range ds.X {
-		pred, err := model.Predict(x)
-		if err != nil {
-			return 0, fmt.Errorf("metrics: accuracy example %d: %w", i, err)
-		}
-		if pred == ds.Y[i] {
+	err := model.ScoreBatch(ds.X, func(i int, logits tensor.Vector) {
+		if logits.ArgMax() == ds.Y[i] {
 			correct++
 		}
+	})
+	if err != nil {
+		return 0, fmt.Errorf("metrics: accuracy: %w", err)
 	}
 	return float64(correct) / float64(ds.Len()), nil
 }

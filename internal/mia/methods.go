@@ -88,45 +88,20 @@ func MethodScore(m Method, p tensor.Vector, y int) (float64, error) {
 	}
 }
 
-// ScoresWith returns the method-m score of every example in ds, reusing
-// one probability buffer across the sweep.
+// ScoresWith returns the method-m score of every example in ds. The
+// sweep runs through the model's batched scoring path (bit-identical to
+// per-example forward passes), reusing one probability buffer.
 func ScoresWith(m Method, model *nn.MLP, ds *data.Dataset) ([]float64, error) {
 	if ds.Len() == 0 {
 		return nil, data.ErrEmpty
 	}
-	out := make([]float64, ds.Len())
-	p := tensor.NewVector(model.Classes())
-	for i, x := range ds.X {
-		if err := model.ProbsInto(x, p); err != nil {
-			return nil, fmt.Errorf("mia: %s score example %d: %w", m, i, err)
-		}
-		s, err := MethodScore(m, p, ds.Y[i])
-		if err != nil {
-			return nil, err
-		}
-		out[i] = s
-	}
-	return out, nil
+	var s Scratch
+	return s.scoresInto(m, model, ds, make([]float64, 0, ds.Len()))
 }
 
 // AttackNodeWith runs the thresholded attack of AttackNode with an
 // arbitrary score method.
 func AttackNodeWith(m Method, model *nn.MLP, nd data.NodeData) (Result, error) {
-	memberScores, err := ScoresWith(m, model, nd.Train)
-	if err != nil {
-		return Result{}, fmt.Errorf("mia: member scores: %w", err)
-	}
-	nonScores, err := ScoresWith(m, model, nd.Test)
-	if err != nil {
-		return Result{}, fmt.Errorf("mia: non-member scores: %w", err)
-	}
-	acc, _, err := BestThresholdAccuracy(memberScores, nonScores)
-	if err != nil {
-		return Result{}, err
-	}
-	tpr, err := TPRAtFPR(memberScores, nonScores, 0.01)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{Accuracy: acc, TPRAt1FPR: tpr}, nil
+	var s Scratch
+	return s.AttackNodeWith(m, model, nd)
 }

@@ -7,9 +7,7 @@ package mia
 
 import (
 	"errors"
-	"fmt"
 	"math"
-	"sort"
 
 	"gossipmia/internal/data"
 	"gossipmia/internal/nn"
@@ -64,50 +62,8 @@ func Scores(model *nn.MLP, ds *data.Dataset) ([]float64, error) {
 // member and non-member sides contribute equally regardless of their
 // counts, matching the "sampled equally" attack set construction.
 func BestThresholdAccuracy(member, nonMember []float64) (acc, threshold float64, err error) {
-	if len(member) == 0 || len(nonMember) == 0 {
-		return 0, 0, ErrNoScores
-	}
-	type point struct {
-		score  float64
-		member bool
-	}
-	pts := make([]point, 0, len(member)+len(nonMember))
-	for _, s := range member {
-		pts = append(pts, point{s, true})
-	}
-	for _, s := range nonMember {
-		pts = append(pts, point{s, false})
-	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i].score < pts[j].score })
-
-	wm := 0.5 / float64(len(member))    // weight of one member
-	wn := 0.5 / float64(len(nonMember)) // weight of one non-member
-
-	// Threshold below every score: all predicted non-member.
-	best := 0.5
-	bestTau := pts[0].score - 1
-	var caught float64 // weighted members with score <= tau
-	var wrong float64  // weighted non-members with score <= tau
-	i := 0
-	for i < len(pts) {
-		// Advance over all points sharing this score so ties sit on the
-		// same side of the threshold.
-		s := pts[i].score
-		for i < len(pts) && pts[i].score == s {
-			if pts[i].member {
-				caught += wm
-			} else {
-				wrong += wn
-			}
-			i++
-		}
-		acc := 0.5 + caught - wrong
-		if acc > best {
-			best = acc
-			bestTau = s
-		}
-	}
-	return best, bestTau, nil
+	var s Scratch
+	return s.bestThresholdAccuracy(member, nonMember)
 }
 
 // TPRAtFPR returns the true-positive rate of the score-thresholded attack
@@ -115,37 +71,8 @@ func BestThresholdAccuracy(member, nonMember []float64) (acc, threshold float64,
 // maxFPR (Equation 7 uses maxFPR = 0.01). Members are positives and are
 // predicted when score ≤ τ.
 func TPRAtFPR(member, nonMember []float64, maxFPR float64) (float64, error) {
-	if len(member) == 0 || len(nonMember) == 0 {
-		return 0, ErrNoScores
-	}
-	if maxFPR < 0 || maxFPR > 1 {
-		return 0, fmt.Errorf("mia: maxFPR %v out of [0,1]", maxFPR)
-	}
-	non := append([]float64(nil), nonMember...)
-	sort.Float64s(non)
-	mem := append([]float64(nil), member...)
-	sort.Float64s(mem)
-
-	// Candidate thresholds: each non-member score defines the largest τ
-	// with a given FPR. Find the largest τ with FPR ≤ maxFPR.
-	allowed := int(maxFPR * float64(len(non))) // false positives allowed
-	var tau float64
-	if allowed <= 0 {
-		// τ must be strictly below the smallest non-member score.
-		tau = math.Nextafter(non[0], math.Inf(-1))
-	} else if allowed >= len(non) {
-		tau = math.Inf(1)
-	} else {
-		// non[allowed-1] may tie with non[allowed]; walk back over ties
-		// so FPR stays ≤ maxFPR.
-		tau = non[allowed-1]
-		if tau == non[allowed] {
-			tau = math.Nextafter(tau, math.Inf(-1))
-		}
-	}
-	// TPR = fraction of members with score <= tau.
-	tp := sort.SearchFloat64s(mem, math.Nextafter(tau, math.Inf(1)))
-	return float64(tp) / float64(len(mem)), nil
+	var s Scratch
+	return s.tprAtFPR(member, nonMember, maxFPR)
 }
 
 // Result bundles the two vulnerability measures for one victim model.
@@ -156,23 +83,9 @@ type Result struct {
 
 // AttackNode runs the omniscient MPE attack of the threat model against
 // one node: members are the node's training records, non-members its
-// local test records.
+// local test records. Hot loops that attack repeatedly should hold a
+// Scratch and call its AttackNode instead — same result, no allocation.
 func AttackNode(model *nn.MLP, nd data.NodeData) (Result, error) {
-	memberScores, err := Scores(model, nd.Train)
-	if err != nil {
-		return Result{}, fmt.Errorf("mia: member scores: %w", err)
-	}
-	nonScores, err := Scores(model, nd.Test)
-	if err != nil {
-		return Result{}, fmt.Errorf("mia: non-member scores: %w", err)
-	}
-	acc, _, err := BestThresholdAccuracy(memberScores, nonScores)
-	if err != nil {
-		return Result{}, err
-	}
-	tpr, err := TPRAtFPR(memberScores, nonScores, 0.01)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{Accuracy: acc, TPRAt1FPR: tpr}, nil
+	var s Scratch
+	return s.AttackNode(model, nd)
 }

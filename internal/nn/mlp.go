@@ -44,6 +44,11 @@ type MLP struct {
 	batchCap int
 	bActs    []tensor.Vector
 	bDeltas  []tensor.Vector
+
+	// workers bounds the goroutines the batched GEMM kernels may tile
+	// over (0 or 1 = serial). Tiling is bit-identical, so the setting
+	// never changes results; Clone propagates it to per-node models.
+	workers int
 }
 
 // NewMLP builds an MLP with the given layer sizes (input, hidden...,
@@ -137,16 +142,29 @@ func (m *MLP) SetParams(v tensor.Vector) error {
 
 // Clone returns a model with the same architecture and a deep copy of the
 // parameters, with its own scratch buffers (safe to use from another
-// goroutine than the original).
+// goroutine than the original). The GEMM worker budget carries over.
 func (m *MLP) Clone() *MLP {
 	out := &MLP{
-		sizes:  append([]int(nil), m.sizes...),
-		params: m.params.Clone(),
-		wOff:   append([]int(nil), m.wOff...),
-		bOff:   append([]int(nil), m.bOff...),
+		sizes:   append([]int(nil), m.sizes...),
+		params:  m.params.Clone(),
+		wOff:    append([]int(nil), m.wOff...),
+		bOff:    append([]int(nil), m.bOff...),
+		workers: m.workers,
 	}
 	out.allocScratch()
 	return out
+}
+
+// SetWorkers bounds the goroutines the batched kernels (BatchGrad,
+// ScoreBatch) may tile their GEMMs over; 0 or 1 keeps them serial. The
+// tiled path is bit-identical to the serial one, so this knob never
+// changes results — it only engages above a matrix-size threshold, so
+// small minibatches keep the allocation-free serial kernels either way.
+func (m *MLP) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.workers = n
 }
 
 // forward runs the network on x, filling m.acts. The final activation is
@@ -334,10 +352,9 @@ func (m *MLP) BatchGrad(xs []tensor.Vector, ys []int, grad tensor.Vector) (float
 		return 0, fmt.Errorf("grad len %d != %d: %w", len(grad), len(m.params), tensor.ErrShape)
 	}
 	B := len(xs)
-	in0 := m.sizes[0]
 	for i, x := range xs {
-		if len(x) != in0 {
-			return 0, fmt.Errorf("input %d dim %d, model expects %d: %w", i, len(x), in0, tensor.ErrShape)
+		if len(x) != m.sizes[0] {
+			return 0, fmt.Errorf("input %d dim %d, model expects %d: %w", i, len(x), m.sizes[0], tensor.ErrShape)
 		}
 	}
 	for _, y := range ys {
@@ -348,29 +365,7 @@ func (m *MLP) BatchGrad(xs []tensor.Vector, ys []int, grad tensor.Vector) (float
 	m.ensureBatchScratch(B)
 	grad.Zero()
 	layers := len(m.sizes) - 1
-
-	// Forward: A_{l+1} = relu(A_l·W_lᵀ + b_l), batch-major rows.
-	a0 := m.bActs[0][:B*in0]
-	for r, x := range xs {
-		copy(a0[r*in0:(r+1)*in0], x)
-	}
-	for l := 0; l < layers; l++ {
-		in, out := m.sizes[l], m.sizes[l+1]
-		w, b := m.weight(l), m.bias(l)
-		src := m.bActs[l][:B*in]
-		dst := m.bActs[l+1][:B*out]
-		for r := 0; r < B; r++ {
-			copy(dst[r*out:(r+1)*out], b)
-		}
-		tensor.GemmNT(dst, src, w, B, out, in)
-		if l < layers-1 {
-			for i, v := range dst {
-				if v < 0 {
-					dst[i] = 0
-				}
-			}
-		}
-	}
+	m.batchForward(xs)
 
 	// Loss and output deltas: softmax rows, p - onehot(y).
 	classes := m.sizes[layers]
@@ -392,7 +387,7 @@ func (m *MLP) BatchGrad(xs []tensor.Vector, ys []int, grad tensor.Vector) (float
 		gb := grad[m.bOff[l] : m.bOff[l]+out]
 		delta := m.bDeltas[l][:B*out]
 		src := m.bActs[l][:B*in]
-		tensor.GemmTN(gw, delta, src, out, in, B)
+		tensor.GemmTNW(gw, delta, src, out, in, B, m.workers)
 		for r := 0; r < B; r++ {
 			drow := delta[r*out : (r+1)*out]
 			for o, d := range drow {
@@ -404,7 +399,7 @@ func (m *MLP) BatchGrad(xs []tensor.Vector, ys []int, grad tensor.Vector) (float
 		}
 		prev := m.bDeltas[l-1][:B*in]
 		prev.Zero()
-		tensor.GemmNN(prev, delta, m.weight(l), B, in, out)
+		tensor.GemmNNW(prev, delta, m.weight(l), B, in, out, m.workers)
 		hidden := m.bActs[l][:B*in]
 		for i, h := range hidden {
 			if h <= 0 {
@@ -415,6 +410,80 @@ func (m *MLP) BatchGrad(xs []tensor.Vector, ys []int, grad tensor.Vector) (float
 	inv := 1 / float64(B)
 	grad.Scale(inv)
 	return loss * inv, nil
+}
+
+// batchForward runs the blocked forward pass A_{l+1} = relu(A_l·W_lᵀ +
+// b_l) over the B examples in xs, filling m.bActs with batch-major
+// rows. Callers must have validated input dimensions and sized the
+// scratch with ensureBatchScratch(len(xs)). Each logit accumulates its
+// terms in increasing input-index order — the same chained sum as the
+// per-example forward — so the rows are bit-identical to calling
+// forward example by example.
+func (m *MLP) batchForward(xs []tensor.Vector) {
+	B := len(xs)
+	layers := len(m.sizes) - 1
+	in0 := m.sizes[0]
+	a0 := m.bActs[0][:B*in0]
+	for r, x := range xs {
+		copy(a0[r*in0:(r+1)*in0], x)
+	}
+	for l := 0; l < layers; l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		w, b := m.weight(l), m.bias(l)
+		src := m.bActs[l][:B*in]
+		dst := m.bActs[l+1][:B*out]
+		for r := 0; r < B; r++ {
+			copy(dst[r*out:(r+1)*out], b)
+		}
+		tensor.GemmNTW(dst, src, w, B, out, in, m.workers)
+		if l < layers-1 {
+			for i, v := range dst {
+				if v < 0 {
+					dst[i] = 0
+				}
+			}
+		}
+	}
+}
+
+// scoreChunk is the row count of one ScoreBatch forward pass: large
+// enough that the blocked GEMM kernels pay off, small enough that the
+// per-model scratch stays modest (scoreChunk × Σ widths floats).
+const scoreChunk = 64
+
+// ScoreBatch runs the model forward over xs in fixed-size chunks using
+// the same blocked GEMM kernels as BatchGrad and invokes score(i,
+// logits) once per example, in order, with example i's logit row. The
+// row aliases internal scratch and is only valid during the callback.
+//
+// The logits are bit-identical to the per-example forward pass
+// (Predict, ProbsInto), so scoring sweeps — accuracy, MIA attacks —
+// can batch without changing a single result bit. Steady-state calls
+// perform no allocation once the scratch has grown to scoreChunk rows.
+func (m *MLP) ScoreBatch(xs []tensor.Vector, score func(i int, logits tensor.Vector)) error {
+	in0 := m.sizes[0]
+	for i, x := range xs {
+		if len(x) != in0 {
+			return fmt.Errorf("input %d dim %d, model expects %d: %w", i, len(x), in0, tensor.ErrShape)
+		}
+	}
+	layers := len(m.sizes) - 1
+	classes := m.sizes[layers]
+	for start := 0; start < len(xs); start += scoreChunk {
+		end := start + scoreChunk
+		if end > len(xs) {
+			end = len(xs)
+		}
+		chunk := xs[start:end]
+		B := len(chunk)
+		m.ensureBatchScratch(B)
+		m.batchForward(chunk)
+		logits := m.bActs[layers][:B*classes]
+		for r := 0; r < B; r++ {
+			score(start+r, logits[r*classes:(r+1)*classes])
+		}
+	}
+	return nil
 }
 
 // ensureBatchScratch sizes the batch-major scratch matrices for batches

@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"gossipmia/internal/tensor"
+)
+
+// TestScoreBatchMatchesPerExampleForward pins the bit-identity contract
+// of the batched scoring path: for every example, the logits handed to
+// the callback must equal the per-example forward pass exactly — same
+// bits, not just same values — for any worker setting and for batch
+// sizes around the chunk boundary.
+func TestScoreBatchMatchesPerExampleForward(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	model, err := NewMLP([]int{19, 23, 7}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 5, scoreChunk - 1, scoreChunk, scoreChunk + 1, 3 * scoreChunk} {
+		xs := make([]tensor.Vector, n)
+		for i := range xs {
+			xs[i] = tensor.NewVector(19)
+			rng.FillNormal(xs[i], 0, 1)
+		}
+		want := make([]tensor.Vector, n)
+		for i, x := range xs {
+			lg, err := model.Logits(x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = lg
+		}
+		for _, workers := range []int{0, 4} {
+			model.SetWorkers(workers)
+			seen := 0
+			err := model.ScoreBatch(xs, func(i int, logits tensor.Vector) {
+				if i != seen {
+					t.Fatalf("callback order: got example %d, want %d", i, seen)
+				}
+				seen++
+				for j := range logits {
+					if math.Float64bits(logits[j]) != math.Float64bits(want[i][j]) {
+						t.Fatalf("n=%d workers=%d example %d logit %d = %x, per-example %x",
+							n, workers, i, j, logits[j], want[i][j])
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen != n {
+				t.Fatalf("scored %d of %d examples", seen, n)
+			}
+		}
+	}
+}
+
+// TestScoreBatchRejectsBadInput mirrors the forward pass's shape check.
+func TestScoreBatchRejectsBadInput(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	model, err := NewMLP([]int{4, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []tensor.Vector{tensor.NewVector(4), tensor.NewVector(5)}
+	if err := model.ScoreBatch(xs, func(int, tensor.Vector) {}); err == nil {
+		t.Fatal("expected shape error for mismatched input dim")
+	}
+}
+
+// TestCloneCarriesWorkers pins the propagation that lets the study set
+// one knob on the initial model and have every per-node clone inherit
+// it.
+func TestCloneCarriesWorkers(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	model, err := NewMLP([]int{4, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.SetWorkers(6)
+	if got := model.Clone().workers; got != 6 {
+		t.Fatalf("clone workers = %d, want 6", got)
+	}
+	model.SetWorkers(-3)
+	if model.workers != 0 {
+		t.Fatalf("negative workers should clamp to 0, got %d", model.workers)
+	}
+}

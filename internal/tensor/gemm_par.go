@@ -1,0 +1,87 @@
+package tensor
+
+import "gossipmia/internal/par"
+
+// Worker-tiled GEMM: the parallel row-block path of the blocked kernels.
+//
+// Each output row of C is a chain of fused accumulations that never
+// reads another row, so partitioning C into contiguous row blocks and
+// computing the blocks on separate goroutines performs exactly the same
+// floating-point operations in exactly the same per-element order as
+// the serial kernel — the results are bit-identical for every worker
+// count, which is what lets the simulator's determinism contract
+// ("byte-identical for any Workers setting") extend through the
+// minibatch and scoring hot paths.
+//
+// Tiling only pays above a size threshold: spawning a goroutine costs
+// on the order of a microsecond, so the tiny per-node minibatches of
+// the quick-scale experiments stay on the serial kernels (keeping the
+// local-update path allocation-free), while large evaluation and
+// paper-scale batches fan out.
+const (
+	// gemmParMinFlops is the minimum m*n*k before the parallel path
+	// engages; below it the goroutine hand-off dominates the arithmetic.
+	gemmParMinFlops = 1 << 18
+	// gemmParMinRows is the smallest row block worth a goroutine.
+	gemmParMinRows = 8
+)
+
+// gemmTiles resolves how many row blocks to cut m into for the given
+// worker budget; 1 means "use the serial kernel".
+func gemmTiles(m, n, k, workers int) int {
+	if workers <= 1 || m < 2*gemmParMinRows {
+		return 1
+	}
+	if m*n*k < gemmParMinFlops {
+		return 1
+	}
+	t := workers
+	if mx := m / gemmParMinRows; t > mx {
+		t = mx
+	}
+	return t
+}
+
+// GemmNTW is GemmNT (C += A·Bᵀ, A m×k, B n×k, C m×n) with a worker-tiled
+// row-block path: bit-identical to GemmNT for every worker count.
+func GemmNTW(c, a, b []float64, m, n, k, workers int) {
+	tiles := gemmTiles(m, n, k, workers)
+	if tiles <= 1 {
+		GemmNT(c, a, b, m, n, k)
+		return
+	}
+	par.ForEach(tiles, tiles, func(t int) {
+		lo, hi := m*t/tiles, m*(t+1)/tiles
+		GemmNT(c[lo*n:hi*n], a[lo*k:hi*k], b, hi-lo, n, k)
+	})
+}
+
+// GemmNNW is GemmNN (C += A·B, A m×k, B k×n, C m×n) with a worker-tiled
+// row-block path: bit-identical to GemmNN for every worker count.
+func GemmNNW(c, a, b []float64, m, n, k, workers int) {
+	tiles := gemmTiles(m, n, k, workers)
+	if tiles <= 1 {
+		GemmNN(c, a, b, m, n, k)
+		return
+	}
+	par.ForEach(tiles, tiles, func(t int) {
+		lo, hi := m*t/tiles, m*(t+1)/tiles
+		GemmNN(c[lo*n:hi*n], a[lo*k:hi*k], b, hi-lo, n, k)
+	})
+}
+
+// GemmTNW is GemmTN (C += Aᵀ·B, A k×m, B k×n, C m×n) with a worker-tiled
+// row-block path over the rows of C (the columns of A): each tile keeps
+// the serial kernel's four-wide blocking over k, so every C element
+// accumulates its terms in the same order — bit-identical to GemmTN for
+// every worker count.
+func GemmTNW(c, a, b []float64, m, n, k, workers int) {
+	tiles := gemmTiles(m, n, k, workers)
+	if tiles <= 1 {
+		GemmTN(c, a, b, m, n, k)
+		return
+	}
+	par.ForEach(tiles, tiles, func(t int) {
+		gemmTNRange(c, a, b, m, n, k, m*t/tiles, m*(t+1)/tiles)
+	})
+}

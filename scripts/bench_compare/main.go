@@ -1,0 +1,108 @@
+// Command bench_compare diffs two BENCH_*.json snapshots (the format
+// scripts/bench_smoke.sh emits) and fails on ns/op regressions beyond a
+// threshold, so perf can be gated per PR:
+//
+//	go run ./scripts/bench_compare -old BENCH_0003.json -new BENCH_0004.json
+//	make bench-compare OLD=BENCH_0003.json NEW=BENCH_0004.json
+//
+// Benchmarks present in only one snapshot are listed but never fail the
+// comparison (the matrix legitimately grows and gets deduplicated);
+// only a shared benchmark whose ns/op grew by more than -threshold
+// percent exits non-zero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type snapshot struct {
+	Generated  string  `json:"generated"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+type entry struct {
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (*snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// compare renders the regression table and returns the names of
+// benchmarks regressing beyond thresholdPct.
+func compare(oldSnap, newSnap *snapshot, thresholdPct float64) (table string, regressions []string) {
+	oldByName := make(map[string]entry, len(oldSnap.Benchmarks))
+	for _, e := range oldSnap.Benchmarks {
+		oldByName[e.Name] = e
+	}
+	seen := make(map[string]bool, len(newSnap.Benchmarks))
+	out := fmt.Sprintf("%-55s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, e := range newSnap.Benchmarks {
+		seen[e.Name] = true
+		o, ok := oldByName[e.Name]
+		if !ok {
+			out += fmt.Sprintf("%-55s %14s %14.1f %8s\n", e.Name, "-", e.NsPerOp, "new")
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (e.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		mark := ""
+		if delta > thresholdPct {
+			mark = "  REGRESSION"
+			regressions = append(regressions, e.Name)
+		}
+		out += fmt.Sprintf("%-55s %14.1f %14.1f %+7.1f%%%s\n", e.Name, o.NsPerOp, e.NsPerOp, delta, mark)
+	}
+	for _, e := range oldSnap.Benchmarks {
+		if !seen[e.Name] {
+			out += fmt.Sprintf("%-55s %14.1f %14s %8s\n", e.Name, e.NsPerOp, "-", "removed")
+		}
+	}
+	return out, regressions
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH_*.json")
+	newPath := flag.String("new", "", "candidate BENCH_*.json")
+	threshold := flag.Float64("threshold", 15, "max tolerated ns/op growth, percent")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: bench_compare -old OLD.json -new NEW.json [-threshold PCT]")
+		os.Exit(2)
+	}
+	oldSnap, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(2)
+	}
+	newSnap, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(2)
+	}
+	table, regressions := compare(oldSnap, newSnap, *threshold)
+	fmt.Print(table)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "bench_compare: %d benchmark(s) regressed more than %.0f%% ns/op: %v\n",
+			len(regressions), *threshold, regressions)
+		os.Exit(1)
+	}
+	fmt.Printf("bench_compare: no ns/op regression beyond %.0f%% (old %s, new %s)\n",
+		*threshold, oldSnap.Generated, newSnap.Generated)
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func snap(entries ...entry) *snapshot { return &snapshot{Benchmarks: entries} }
+
+func TestCompareFlagsOnlyThresholdBreaches(t *testing.T) {
+	oldSnap := snap(
+		entry{Name: "BenchmarkA", NsPerOp: 100},
+		entry{Name: "BenchmarkB", NsPerOp: 100},
+		entry{Name: "BenchmarkGone", NsPerOp: 50},
+	)
+	newSnap := snap(
+		entry{Name: "BenchmarkA", NsPerOp: 114}, // +14%: inside threshold
+		entry{Name: "BenchmarkB", NsPerOp: 130}, // +30%: regression
+		entry{Name: "BenchmarkNew", NsPerOp: 10},
+	)
+	table, regs := compare(oldSnap, newSnap, 15)
+	if len(regs) != 1 || regs[0] != "BenchmarkB" {
+		t.Fatalf("regressions = %v, want [BenchmarkB]", regs)
+	}
+	for _, want := range []string{"REGRESSION", "new", "removed", "+14.0%", "+30.0%"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestCompareImprovementsAndExactMatchPass(t *testing.T) {
+	oldSnap := snap(entry{Name: "BenchmarkA", NsPerOp: 100}, entry{Name: "BenchmarkC", NsPerOp: 200})
+	newSnap := snap(entry{Name: "BenchmarkA", NsPerOp: 40}, entry{Name: "BenchmarkC", NsPerOp: 200})
+	if _, regs := compare(oldSnap, newSnap, 15); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}

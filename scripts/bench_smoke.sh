@@ -14,11 +14,18 @@ trap 'rm -f "$RAW"' EXIT
 # their allocs/op reflect the per-message discipline (0 on the Instant
 # send path), not one-time pool warm-up.
 go test -run=NONE \
-  -bench='BenchmarkStudyRunSAMO|BenchmarkParallelSpeedup' \
+  -bench='BenchmarkParallelSpeedup|BenchmarkIntraArmSpeedup' \
   -benchmem -benchtime=2x . | tee "$RAW"
+go test -run=NONE \
+  -bench='BenchmarkStudyRunSAMO' \
+  -benchmem -benchtime=100x . | tee -a "$RAW"
 go test -run=NONE \
   -bench='BenchmarkSimulatorSend|BenchmarkTrainerEpoch|BenchmarkMPEAttack|BenchmarkMLPExampleGrad' \
   -benchmem -benchtime=500x . | tee -a "$RAW"
+# The evaluation hot path lives behind core's white-box scratch; its
+# benchmark is part of the zero-alloc gate below.
+go test -run=NONE -bench='BenchmarkEvalRound' \
+  -benchmem -benchtime=200x ./internal/core | tee -a "$RAW"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { n = 0 }
@@ -42,3 +49,21 @@ END {
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+# Zero-allocation gate: the per-message send path, the local-update
+# trainer path, and the evaluation scratch path must report 0 allocs/op
+# at steady state; a single stray allocation fails the smoke so the
+# invariants cannot silently rot.
+awk '
+/^Benchmark(SimulatorSend|TrainerEpoch|EvalRound)/ {
+    allocs = ""
+    for (i = 2; i <= NF; i++) if ($(i+1) == "allocs/op") allocs = $i
+    if (allocs == "") { printf "bench_smoke: %s reported no allocs/op\n", $1; bad = 1 }
+    else if (allocs + 0 != 0) { printf "bench_smoke: %s allocates (%s allocs/op, want 0)\n", $1, allocs; bad = 1 }
+    gated++
+}
+END {
+    if (gated < 4) { printf "bench_smoke: zero-alloc gate saw only %d benchmarks (want send x2, trainer, eval)\n", gated; bad = 1 }
+    if (bad) exit 1
+    printf "zero-alloc gate ok (%d benchmarks)\n", gated
+}' "$RAW"
