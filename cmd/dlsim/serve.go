@@ -5,12 +5,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"time"
 
+	"gossipmia/internal/faultinject"
 	"gossipmia/internal/server"
+	"gossipmia/internal/server/middleware"
 )
 
 // serveCmd runs the HTTP/JSON scenario service until interrupted.
@@ -20,6 +23,18 @@ func serveCmd(args []string) error {
 	jobs := fs.Int("jobs", 1, "scenarios executing concurrently; everything else waits in the queue")
 	queue := fs.Int("queue", 16, "bounded pending-queue depth; submissions beyond it get HTTP 503")
 	scale := fs.String("scale", "quick", "default scale for submissions that do not set one: tiny, quick, or paper")
+	tokens := fs.String("tokens", "", "bearer tokens as comma-separated token[:tenant] entries; empty disables auth")
+	rate := fs.Float64("rate", 0, "per-tenant request rate limit in req/s; 0 disables")
+	burst := fs.Int("burst", 10, "per-tenant rate-limit burst")
+	quota := fs.Int("quota", 0, "max queued+running jobs per tenant; 0 disables")
+	timeout := fs.Duration("timeout", 0, "per-request handling timeout for non-streaming endpoints; 0 disables")
+	maxBody := fs.Int64("max-body", 1<<20, "request body size limit in bytes")
+	retries := fs.Int("retries", 1, "execution attempts per job; transient failures retry with backoff up to this budget")
+	retryBase := fs.Duration("retry-base", 100*time.Millisecond, "base delay of the job retry backoff")
+	checkpoint := fs.String("checkpoint", "", "directory for per-job checkpoint caches; retries and restarts resume from it")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-drain window on SIGTERM/SIGINT before running jobs are checkpointed and aborted")
+	inject := fs.String("inject", "", `fault-injection spec for chaos testing, e.g. "arm-error=2,errors=3,arm-panic=5,panics=1,event-delay=10ms"`)
+	logLevel := fs.String("log", "info", "log level: debug, info, warn, or error")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -29,15 +44,41 @@ func serveCmd(args []string) error {
 	if *jobs < 1 || *queue < 1 {
 		return fmt.Errorf("serve needs -jobs >= 1 and -queue >= 1")
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log level %q: %w", *logLevel, err)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	var injector *faultinject.Injector
+	if *inject != "" {
+		cfg, err := faultinject.Parse(*inject)
+		if err != nil {
+			return fmt.Errorf("bad -inject spec: %w", err)
+		}
+		injector = faultinject.New(cfg)
+		log.Warn("fault injection armed", "spec", *inject)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", *addr, err)
 	}
+	limiter := middleware.NewLimiter(*rate, *burst)
 	svc := server.New(server.Config{
-		Jobs:         *jobs,
-		QueueDepth:   *queue,
-		DefaultScale: *scale,
+		Jobs:                   *jobs,
+		QueueDepth:             *queue,
+		DefaultScale:           *scale,
+		MaxBodyBytes:           *maxBody,
+		AuthTokens:             middleware.ParseTokens(*tokens),
+		RateLimit:              *rate,
+		RateBurst:              *burst,
+		MaxActiveJobsPerTenant: *quota,
+		RequestTimeout:         *timeout,
+		Retry:                  server.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase},
+		CheckpointDir:          *checkpoint,
+		Fault:                  injector,
+		Log:                    log,
 	})
 	httpSrv := &http.Server{Handler: svc}
 
@@ -45,6 +86,10 @@ func serveCmd(args []string) error {
 	// parse (ci.sh starts serve on :0 and reads the port from here).
 	fmt.Printf("dlsim: serving on http://%s (jobs=%d queue=%d scale=%s)\n",
 		ln.Addr(), *jobs, *queue, *scale)
+	log.Info("service configured",
+		"auth", len(middleware.ParseTokens(*tokens)) > 0,
+		"rate", limiter.String(), "quota", *quota,
+		"retries", *retries, "checkpoint", *checkpoint, "drain", *drain)
 
 	ctx, stop := signalContext()
 	defer stop()
@@ -57,14 +102,21 @@ func serveCmd(args []string) error {
 		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "dlsim: shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Graceful drain: stop accepting submissions (503 + Retry-After),
+	// let running jobs finish inside the drain window, then checkpoint
+	// and abort whatever remains. Event streams end when their jobs
+	// reach a terminal status, so Shutdown completes right after.
+	log.Info("draining", "window", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	// Stop accepting, then abort jobs: in-flight event streams end when
-	// their jobs reach a terminal status.
-	svc.Close()
+	if err := svc.Drain(drainCtx); err != nil {
+		log.Warn("drain window expired; running jobs checkpointed and aborted", "err", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	log.Info("stopped")
 	return nil
 }

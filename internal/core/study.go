@@ -27,6 +27,33 @@ import (
 // ErrStudy is returned for invalid study configurations.
 var ErrStudy = errors.New("core: invalid study config")
 
+// ErrTransient marks an error as transient: the run failed for a reason
+// that is expected to clear on its own (an I/O hiccup in a record sink,
+// an injected fault, a remote dependency blip) rather than a property of
+// the study itself. Callers holding a retry budget — the job service,
+// sweep drivers — test errors.Is(err, ErrTransient) to decide whether a
+// re-execution can possibly succeed; everything else is fatal and must
+// surface immediately. Determinism makes retries safe: a re-run of the
+// same arm yields byte-identical records.
+var ErrTransient = errors.New("transient")
+
+// Transient wraps err so it classifies as transient (errors.Is
+// ErrTransient). A nil err stays nil; context cancellation is never
+// transient — retrying a cancelled run would override the caller's
+// explicit abort — so cancellation errors pass through unwrapped.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrTransient, err)
+}
+
+// IsTransient reports whether err carries the transient marker.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
 // TrainConfig carries the Table 2 hyperparameters plus the MLP
 // architecture used for the corpus. LRDecay in (0,1) enables the
 // per-epoch learning-rate decay mitigation of Section 5.
@@ -286,8 +313,10 @@ func (s *Study) RunContext(ctx context.Context) (*Result, error) {
 			return err
 		}
 		if cfg.OnRecord != nil {
+			// A sink failure is an I/O problem, not a science problem:
+			// mark it transient so a retrying caller re-runs the arm.
 			if err := cfg.OnRecord(rec); err != nil {
-				return fmt.Errorf("core: record sink at round %d: %w", round, err)
+				return fmt.Errorf("core: record sink at round %d: %w", round, Transient(err))
 			}
 		}
 		if !cfg.DiscardSeries {

@@ -5,14 +5,17 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strings"
 	"time"
 
 	"gossipmia/internal/core"
 	"gossipmia/internal/data"
+	"gossipmia/internal/faultinject"
 	"gossipmia/internal/gossip"
 	"gossipmia/internal/metrics"
 	"gossipmia/internal/netmodel"
@@ -20,6 +23,19 @@ import (
 	"gossipmia/internal/sink"
 	"gossipmia/internal/spec"
 )
+
+// ErrArmPanic marks an arm execution that panicked. The executor
+// converts the panic — wherever it happened, nested worker pools
+// included — into this error carrying the panic value and stack, so one
+// broken arm fails its own run instead of killing the process (and
+// every sibling job riding in it).
+var ErrArmPanic = errors.New("experiment: arm panicked")
+
+// IsTransient reports whether err is worth retrying: the run failed on
+// something expected to clear (sink I/O, injected faults) rather than
+// on the scenario itself. Panics and validation errors are never
+// transient. See core.ErrTransient for the taxonomy.
+func IsTransient(err error) bool { return core.IsTransient(err) }
 
 // RunSpec is the one generic executor every figure and scenario routes
 // through: it expands and validates the spec's arms, runs each as a
@@ -92,7 +108,7 @@ func runSpecHooked(ctx context.Context, sp *spec.Spec, sc Scale, h specHooks) (*
 			snk = s
 		}
 		start := time.Now()
-		arm, err := runSpecArm(ctx, scArm, a, snk)
+		arm, err := runSpecArmSafe(ctx, scArm, a, snk)
 		if snk != nil {
 			if cerr := snk.Close(); cerr != nil && err == nil {
 				err = cerr
@@ -113,6 +129,28 @@ func runSpecHooked(ctx context.Context, sp *spec.Spec, sc Scale, h specHooks) (*
 		return nil, err
 	}
 	return fig, nil
+}
+
+// runSpecArmSafe is runSpecArm behind the resilience boundary: it fires
+// the context's fault-injection hook (if any) and converts a panic
+// anywhere in the arm's execution into an ErrArmPanic carrying the
+// panic value and stack. par pools re-raise worker panics on their
+// caller with the worker's own stack preserved, so the recovery here
+// covers the node-parallel tick engine and the evaluation fan-out too.
+func runSpecArmSafe(ctx context.Context, sc Scale, a spec.Arm, snk sink.Sink) (arm Arm, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			if wp, ok := r.(*par.WorkerPanic); ok {
+				r, stack = wp.Value, wp.Stack
+			}
+			err = fmt.Errorf("%w: %v\n%s", ErrArmPanic, r, stack)
+		}
+	}()
+	if err := faultinject.FromContext(ctx).ArmStart(a.Label); err != nil {
+		return Arm{}, err
+	}
+	return runSpecArm(ctx, sc, a, snk)
 }
 
 // runSpecArm interprets one declarative arm against a scale: it
@@ -201,6 +239,12 @@ func runSpecArm(ctx context.Context, sc Scale, a spec.Arm, snk sink.Sink) (Arm, 
 	}
 	if snk != nil {
 		cfg.OnRecord = snk.Record
+		if inj := faultinject.FromContext(ctx); inj != nil {
+			cfg.OnRecord = func(rec metrics.RoundRecord) error {
+				inj.EventDelay(ctx)
+				return snk.Record(rec)
+			}
+		}
 	}
 	study, err := core.NewStudy(cfg)
 	if err != nil {

@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gossipmia/internal/core"
+)
+
+// TestParse decodes the CLI spec grammar and rejects malformed input.
+func TestParse(t *testing.T) {
+	cfg, err := Parse("arm-error=2,errors=3,arm-panic=5,panics=1,event-delay=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{ArmErrorEvery: 2, ArmErrorBudget: 3, ArmPanicEvery: 5, ArmPanicBudget: 1, EventDelay: 10 * time.Millisecond}
+	if cfg != want {
+		t.Fatalf("Parse = %+v, want %+v", cfg, want)
+	}
+	if cfg, err := Parse(""); err != nil || cfg.Enabled() {
+		t.Fatalf("empty spec = %+v, %v; want disabled, nil", cfg, err)
+	}
+	for _, bad := range []string{"arm-error", "arm-error=x", "arm-error=-1", "event-delay=fast", "tornado=5"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestNilInjector: the zero config builds no injector and every method
+// on the nil injector is a no-op — the production fast path.
+func TestNilInjector(t *testing.T) {
+	var i *Injector = New(Config{})
+	if i != nil {
+		t.Fatal("zero config built an injector")
+	}
+	if err := i.ArmStart("x"); err != nil {
+		t.Fatalf("nil ArmStart = %v", err)
+	}
+	i.EventDelay(context.Background()) // must not block or panic
+	if got := FromContext(With(context.Background(), nil)); got != nil {
+		t.Fatalf("nil injector attached: %v", got)
+	}
+}
+
+// TestArmErrorSchedule: every-Nth errors fire on the deterministic
+// counter, stop at the budget, and carry the transient marker so the
+// retry layer picks them up.
+func TestArmErrorSchedule(t *testing.T) {
+	i := New(Config{ArmErrorEvery: 2, ArmErrorBudget: 2})
+	var errs int
+	for n := 1; n <= 10; n++ {
+		err := i.ArmStart("arm")
+		fire := n%2 == 0 && errs < 2
+		if fire {
+			errs++
+			if !errors.Is(err, ErrInjected) || !core.IsTransient(err) {
+				t.Fatalf("start #%d: err = %v, want injected transient", n, err)
+			}
+		} else if err != nil {
+			t.Fatalf("start #%d: unexpected %v", n, err)
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("fired %d errors, want 2 (budget)", errs)
+	}
+}
+
+// TestArmPanicSchedule: the panic schedule panics on the Nth start and
+// respects its budget.
+func TestArmPanicSchedule(t *testing.T) {
+	i := New(Config{ArmPanicEvery: 3, ArmPanicBudget: 1})
+	panicked := func(n int) (p bool) {
+		defer func() { p = recover() != nil }()
+		if err := i.ArmStart("arm"); err != nil {
+			t.Fatalf("start #%d: unexpected error %v", n, err)
+		}
+		return false
+	}
+	for n := 1; n <= 9; n++ {
+		if got, want := panicked(n), n == 3; got != want {
+			t.Fatalf("start #%d: panicked = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestEventDelayHonorsContext: a cancelled run is not pinned down by
+// its own injected latency.
+func TestEventDelayHonorsContext(t *testing.T) {
+	i := New(Config{EventDelay: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	i.EventDelay(ctx)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("EventDelay ignored cancelled context (%v)", elapsed)
+	}
+}
+
+// TestContextRoundTrip: the injector rides the context to the engine.
+func TestContextRoundTrip(t *testing.T) {
+	i := New(Config{ArmErrorEvery: 1})
+	if got := FromContext(With(context.Background(), i)); got != i {
+		t.Fatalf("FromContext = %v, want %v", got, i)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext(empty) = %v", got)
+	}
+}

@@ -7,10 +7,25 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// WorkerPanic is the value re-raised on the calling goroutine when a
+// work item panics on a pool goroutine. It preserves the original panic
+// value and the stack of the panicking worker, so a recover() above the
+// fork-join call sees the true failure site rather than the scheduler's.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("par: worker panic: %v\n%s", p.Value, p.Stack)
+}
 
 // Workers resolves a requested worker count: values above zero are taken
 // as-is, anything else means "one worker per available CPU" (GOMAXPROCS).
@@ -33,6 +48,12 @@ func ForEach(workers, n int, fn func(i int)) {
 // cancelled no further index is started. Indices already running are
 // never interrupted — a work item either runs to completion or does not
 // run at all, which is what lets the sweep cache stay atomic on abort.
+//
+// A panic on a pool goroutine does not kill the process behind the
+// caller's back: the first panicking item is captured (with its stack),
+// the remaining workers wind down, and the panic is re-raised on the
+// calling goroutine as a *WorkerPanic — so a recover() around the
+// fork-join call observes every failure mode, nested pools included.
 func forEach(ctx context.Context, workers, n int, fn func(i int)) {
 	w := Workers(workers)
 	if w > n {
@@ -49,13 +70,26 @@ func forEach(ctx context.Context, workers, n int, fn func(i int)) {
 		return
 	}
 	var next atomic.Int64
+	var panicked atomic.Pointer[WorkerPanic]
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					wp, ok := r.(*WorkerPanic) // nested pool: keep the innermost stack
+					if !ok {
+						wp = &WorkerPanic{Value: r, Stack: debug.Stack()}
+					}
+					panicked.CompareAndSwap(nil, wp)
+				}
+			}()
 			for {
 				if done != nil && ctx.Err() != nil {
+					return
+				}
+				if panicked.Load() != nil {
 					return
 				}
 				i := int(next.Add(1)) - 1
@@ -67,6 +101,9 @@ func forEach(ctx context.Context, workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
 }
 
 // ForEachErr runs fn(i) for every i in [0, n) like ForEach and returns

@@ -3,14 +3,17 @@ package server
 import (
 	"context"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"gossipmia/internal/experiment"
+	"gossipmia/internal/faultinject"
 	"gossipmia/pkg/dlsim"
 )
 
@@ -27,9 +30,14 @@ type job struct {
 	// seed/workers fields. Execution goes through the public SDK Runner.
 	scale     experiment.Scale
 	scaleName string
+	// tenant is the authenticated submitter; quotas count by it.
+	tenant string
 
-	status    string
-	errMsg    string
+	status string
+	errMsg string
+	// attempts counts execution tries; > 1 means transient failures
+	// were retried.
+	attempts  int
 	result    *dlsim.Result
 	submitted time.Time
 	started   time.Time
@@ -118,8 +126,9 @@ func jobKey(specHash string, sc experiment.Scale) (string, error) {
 
 // submit registers a new job (or returns the existing job with the
 // same dedup key) and enqueues it. The bool reports dedup; the error
-// is ErrQueueFull when the bounded queue cannot accept the job.
-func (s *Server) submit(sp *dlsim.Spec, sc experiment.Scale, scaleName string) (*job, bool, error) {
+// is ErrQueueFull when the bounded queue cannot accept the job and
+// ErrQuotaExceeded when the tenant is at its active-job cap.
+func (s *Server) submit(sp *dlsim.Spec, sc experiment.Scale, scaleName, tenant string) (*job, bool, error) {
 	specHash, err := sp.Hash()
 	if err != nil {
 		return nil, false, err
@@ -134,6 +143,20 @@ func (s *Server) submit(sp *dlsim.Spec, sc experiment.Scale, scaleName string) (
 	if existing, ok := s.byKey[key]; ok {
 		return existing, true, nil
 	}
+	// The quota counts live (queued + running) jobs per tenant. It sits
+	// after dedup on purpose: attaching to an existing execution costs
+	// the tenant nothing.
+	if limit := s.cfg.MaxActiveJobsPerTenant; limit > 0 {
+		live := 0
+		for _, j := range s.jobs {
+			if j.tenant == tenant && !dlsim.TerminalStatus(j.status) {
+				live++
+			}
+		}
+		if live >= limit {
+			return nil, false, ErrQuotaExceeded
+		}
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	s.seq++
 	j := &job{
@@ -142,6 +165,7 @@ func (s *Server) submit(sp *dlsim.Spec, sc experiment.Scale, scaleName string) (
 		spec:      sp,
 		scale:     sc,
 		scaleName: scaleName,
+		tenant:    tenant,
 		status:    dlsim.StatusQueued,
 		submitted: s.now(),
 		cancel:    cancel,
@@ -208,10 +232,53 @@ func (s *Server) signalLocked() {
 	}
 }
 
-// runJob executes one dequeued job through the public SDK Runner —
-// the service is itself a pkg/dlsim consumer, so the wire result and
-// streamed events are the SDK's types by construction — appending
-// every evaluated round to the job's event log.
+// retrySeed derives the deterministic jitter seed of a job from its
+// dedup key, so two jobs never share a retry schedule yet each job's
+// schedule is reproducible.
+func retrySeed(key string) uint64 {
+	raw, err := hex.DecodeString(key)
+	if err != nil || len(raw) < 8 {
+		return uint64(len(key))
+	}
+	return binary.BigEndian.Uint64(raw[:8])
+}
+
+// runAttempt executes the job once through the public SDK Runner — the
+// service is itself a pkg/dlsim consumer, so the wire result and
+// streamed events are the SDK's types by construction. With a
+// checkpoint directory configured the attempt runs directory-backed
+// with resume on: completed arms are served from their caches (and do
+// not re-stream), so a retry — or a resubmission after a restart —
+// pays only for the arms that never finished.
+func (s *Server) runAttempt(ctx context.Context, j *job) (*dlsim.Result, error) {
+	runner, err := dlsim.NewRunner(
+		dlsim.WithScale(j.scaleName),
+		dlsim.WithSeed(j.scale.Seed),
+		dlsim.WithWorkers(j.scale.Workers),
+		dlsim.WithSink(&jobSink{log: j.events}),
+	)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.CheckpointDir != "" {
+		res, _, err := runner.RunDir(ctx, j.spec, dlsim.DirOptions{
+			OutDir: filepath.Join(s.cfg.CheckpointDir, j.key[:16]),
+			Resume: true,
+			Events: "none", // the event log is the stream; no second copy
+		})
+		return res, err
+	}
+	return runner.Run(ctx, j.spec)
+}
+
+// runJob executes one dequeued job, retrying transient failures under
+// the server's retry policy with exponential backoff and deterministic
+// jitter. Fatal errors — panics recovered into ErrArmPanic, validation
+// failures, cancellation — terminate immediately. Every evaluated
+// round lands in the job's event log as it is produced; retried arms
+// re-stream rounds they had already produced, which is safe because the
+// engine is deterministic (the re-streamed lines are byte-identical)
+// and the SDK client drops the duplicates by round order.
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	if j.status != dlsim.StatusQueued { // cancelled while queued
@@ -222,19 +289,32 @@ func (s *Server) runJob(j *job) {
 	j.started = s.now()
 	s.mu.Unlock()
 
+	// The fault injector rides the context into the engine's execution
+	// path; production runs carry a nil injector at zero cost.
+	ctx := faultinject.With(j.ctx, s.cfg.Fault)
+	seed := retrySeed(j.key)
 	var res *dlsim.Result
-	runner, err := dlsim.NewRunner(
-		dlsim.WithScale(j.scaleName),
-		dlsim.WithSeed(j.scale.Seed),
-		dlsim.WithWorkers(j.scale.Workers),
-		dlsim.WithSink(&jobSink{log: j.events}),
-	)
-	if err == nil {
-		res, err = runner.Run(j.ctx, j.spec)
+	var err error
+	attempts := 0
+	for {
+		attempts++
+		res, err = s.runAttempt(ctx, j)
+		if err == nil || j.ctx.Err() != nil || !experiment.IsTransient(err) ||
+			attempts >= s.cfg.Retry.MaxAttempts {
+			break
+		}
+		wait := s.cfg.Retry.backoff(attempts, seed)
+		s.log.Warn("job attempt failed on a transient error; backing off",
+			"job", j.id, "attempt", attempts, "backoff", wait, "error", err)
+		select {
+		case <-j.ctx.Done():
+		case <-time.After(wait):
+		}
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	j.attempts = attempts
 	j.finished = s.now()
 	switch {
 	case err == nil:
@@ -257,6 +337,10 @@ func (s *Server) runJob(j *job) {
 	}
 	j.events.finish()
 	s.pruneLocked()
+	s.log.Info("job finished",
+		"job", j.id, "tenant", j.tenant, "status", j.status,
+		"attempts", j.attempts, "error", j.errMsg,
+		"elapsed", j.finished.Sub(j.started).Round(time.Millisecond))
 }
 
 // cancelJob requests cancellation. A queued job transitions to
@@ -342,6 +426,8 @@ func (s *Server) statusOf(j *job, deduped bool) *dlsim.JobStatus {
 		Scale:       j.scaleName,
 		Seed:        j.scale.Seed,
 		Workers:     j.scale.Workers,
+		Tenant:      j.tenant,
+		Attempts:    j.attempts,
 		Events:      j.events.len(),
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
 	}

@@ -1,0 +1,111 @@
+// Package middleware is the request-hardening layer of the dlsim job
+// service: small, composable http.Handler interceptors assembled into
+// one chain wrapped around every /v1 endpoint. The canonical order is
+//
+//	Recover → RequestID → Log → BodyLimit → Auth → RateLimit → Timeout
+//
+// outermost first: panic recovery must observe everything (including a
+// panicking logger), identity must exist before logging, the request
+// must be authenticated before it can consume a tenant's rate budget,
+// and the timeout binds only the work the request was admitted to do.
+// Each middleware is independent and testable on its own; the service
+// composes them with Chain.
+package middleware
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Middleware wraps an http.Handler with one concern.
+type Middleware func(http.Handler) http.Handler
+
+// Chain composes middlewares into one. Chain(a, b, c) applies a
+// outermost: the request traverses a, then b, then c, then the handler.
+func Chain(mws ...Middleware) Middleware {
+	return func(next http.Handler) http.Handler {
+		for i := len(mws) - 1; i >= 0; i-- {
+			next = mws[i](next)
+		}
+		return next
+	}
+}
+
+// writeError emits the service's JSON error envelope. It is shared by
+// every middleware so interceptor rejections are indistinguishable in
+// shape from handler rejections.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// statusWriter records the status code and first-byte fact of a
+// response while passing Flush through — event streams must keep
+// flushing NDJSON lines through the wrapped writer.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+	// tenant is filled in by Auth for the access log: context values
+	// set deeper in the chain are invisible to outer middlewares, so
+	// the shared writer doubles as request-scoped scratch space.
+	tenant string
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.status = code
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if !sw.wrote {
+		sw.status = http.StatusOK
+		sw.wrote = true
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// BodyLimit bounds every request body to n bytes using the standard
+// MaxBytesReader, so an oversized submission fails with a decode error
+// the handler maps to 413 instead of buffering without limit.
+func BodyLimit(n int64) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Body != nil && n > 0 {
+				r.Body = http.MaxBytesReader(w, r.Body, n)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// Timeout bounds a request's handling time by deriving a deadline
+// context. It must not wrap streaming endpoints (event follows are
+// long-lived by design); the service applies it to the non-streaming
+// routes only. d <= 0 disables the middleware.
+func Timeout(d time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		if d <= 0 {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}

@@ -1,0 +1,219 @@
+package middleware
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// discard is a quiet structured logger for the chain under test.
+var discard = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+// TestChainOrder: Chain(a, b) runs a outermost.
+func TestChainOrder(t *testing.T) {
+	var trace []string
+	mark := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				trace = append(trace, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(mark("outer"), mark("inner"))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace = append(trace, "handler")
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if got := strings.Join(trace, ","); got != "outer,inner,handler" {
+		t.Fatalf("traversal = %s", got)
+	}
+}
+
+// TestRecoverContainsPanic: a panicking handler produces a 500 error
+// envelope and the process survives.
+func TestRecoverContainsPanic(t *testing.T) {
+	h := Chain(Recover(discard), RequestID())(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rr.Code)
+	}
+	var env map[string]string
+	if err := json.Unmarshal(rr.Body.Bytes(), &env); err != nil || env["error"] == "" {
+		t.Fatalf("body = %q, want error envelope", rr.Body.String())
+	}
+}
+
+// TestRecoverAfterFirstByte: once the response started, Recover must
+// not write a second status line.
+func TestRecoverAfterFirstByte(t *testing.T) {
+	h := Recover(discard)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("partial"))
+		panic("mid-stream")
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusOK || rr.Body.String() != "partial" {
+		t.Fatalf("post-panic response mutated: %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+// TestRequestID: the ID lands on the header and in the context.
+func TestRequestID(t *testing.T) {
+	var seen string
+	h := RequestID()(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if seen == "" || rr.Header().Get("X-Request-Id") != seen {
+		t.Fatalf("context ID %q, header %q", seen, rr.Header().Get("X-Request-Id"))
+	}
+}
+
+// TestAuth covers the three auth outcomes: open service, valid token,
+// rejected token.
+func TestAuth(t *testing.T) {
+	var tenant string
+	record := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tenant = TenantFrom(r.Context())
+	})
+
+	open := Auth(nil)(record)
+	open.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if tenant != AnonymousTenant {
+		t.Fatalf("open-service tenant = %q", tenant)
+	}
+
+	locked := Auth(map[string]string{"sekrit": "alice"})(record)
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("Authorization", "Bearer sekrit")
+	locked.ServeHTTP(httptest.NewRecorder(), req)
+	if tenant != "alice" {
+		t.Fatalf("authenticated tenant = %q", tenant)
+	}
+
+	for _, header := range []string{"", "Bearer wrong", "Basic sekrit"} {
+		tenant = "untouched"
+		req := httptest.NewRequest("GET", "/", nil)
+		if header != "" {
+			req.Header.Set("Authorization", header)
+		}
+		rr := httptest.NewRecorder()
+		locked.ServeHTTP(rr, req)
+		if rr.Code != http.StatusUnauthorized || tenant != "untouched" {
+			t.Fatalf("header %q: status %d, tenant %q; want 401, handler unreached", header, rr.Code, tenant)
+		}
+		if rr.Header().Get("WWW-Authenticate") == "" {
+			t.Fatalf("header %q: 401 without WWW-Authenticate", header)
+		}
+	}
+}
+
+// TestParseTokens decodes the CLI token table grammar.
+func TestParseTokens(t *testing.T) {
+	got := ParseTokens("tok-alice:alice, tok-bob-long-token ,")
+	want := map[string]string{"tok-alice": "alice", "tok-bob-long-token": "tok-bob-"}
+	if len(got) != len(want) {
+		t.Fatalf("ParseTokens = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("ParseTokens[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+// TestRateLimit: the burst admits, the empty bucket rejects with 429 +
+// Retry-After, and tenants do not share buckets.
+func TestRateLimit(t *testing.T) {
+	lim := NewLimiter(1, 2)
+	now := time.Now()
+	lim.now = func() time.Time { return now } // frozen: no refill mid-test
+	h := Chain(Auth(map[string]string{"ta": "a", "tb": "b"}), RateLimit(lim))(
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	get := func(token string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", "/", nil)
+		req.Header.Set("Authorization", "Bearer "+token)
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		return rr
+	}
+	for i := 0; i < 2; i++ {
+		if rr := get("ta"); rr.Code != http.StatusOK {
+			t.Fatalf("burst request %d = %d", i, rr.Code)
+		}
+	}
+	rr := get("ta")
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-burst = %d, want 429", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Tenant b's bucket is untouched by a's exhaustion.
+	if rr := get("tb"); rr.Code != http.StatusOK {
+		t.Fatalf("tenant isolation broken: %d", rr.Code)
+	}
+	// Refill: one second at 1 req/s buys one token back.
+	now = now.Add(time.Second)
+	if rr := get("ta"); rr.Code != http.StatusOK {
+		t.Fatalf("post-refill = %d", rr.Code)
+	}
+}
+
+// TestNilLimiter: rate <= 0 disables the middleware entirely.
+func TestNilLimiter(t *testing.T) {
+	if NewLimiter(0, 5) != nil {
+		t.Fatal("zero rate built a limiter")
+	}
+	h := RateLimit(nil)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	for i := 0; i < 100; i++ {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("request %d through nil limiter = %d", i, rr.Code)
+		}
+	}
+}
+
+// TestBodyLimit: a body beyond the bound surfaces http.MaxBytesError
+// to the reading handler.
+func TestBodyLimit(t *testing.T) {
+	var readErr error
+	h := BodyLimit(8)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, readErr = io.ReadAll(r.Body)
+	}))
+	req := httptest.NewRequest("POST", "/", strings.NewReader(strings.Repeat("x", 64)))
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	var tooBig *http.MaxBytesError
+	if !errors.As(readErr, &tooBig) {
+		t.Fatalf("read error = %v, want MaxBytesError", readErr)
+	}
+}
+
+// TestTimeout: the handler's context carries the deadline; zero
+// disables.
+func TestTimeout(t *testing.T) {
+	var hasDeadline bool
+	probe := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, hasDeadline = r.Context().Deadline()
+	})
+	Timeout(time.Minute)(probe).ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if !hasDeadline {
+		t.Fatal("Timeout(1m) set no deadline")
+	}
+	Timeout(0)(probe).ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if hasDeadline {
+		t.Fatal("Timeout(0) set a deadline")
+	}
+}

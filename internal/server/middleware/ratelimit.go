@@ -1,0 +1,113 @@
+package middleware
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// bucket is one tenant's token bucket. Tokens refill continuously at
+// rate/sec up to burst; a request spends one token or is rejected.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Limiter is a per-tenant token-bucket rate limiter. The zero rate
+// disables it. Limiter is safe for concurrent use.
+type Limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// NewLimiter builds a limiter granting rate requests/second with the
+// given burst per tenant. rate <= 0 returns a nil limiter, which allows
+// everything.
+func NewLimiter(rate float64, burst int) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{rate: rate, burst: float64(burst), now: time.Now, buckets: map[string]*bucket{}}
+}
+
+// Allow spends one token from tenant's bucket. When the bucket is
+// empty it returns false and the wait until the next token accrues.
+func (l *Limiter) Allow(tenant string) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// RateLimit rejects requests beyond a tenant's token-bucket budget with
+// 429 and a Retry-After header telling the client when the next token
+// accrues. It must sit inside Auth: the tenant identity is the bucket
+// key, so an unauthenticated caller cannot drain another tenant's
+// budget. A nil limiter disables the middleware.
+func RateLimit(l *Limiter) Middleware {
+	return func(next http.Handler) http.Handler {
+		if l == nil {
+			return next
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			tenant := TenantFrom(r.Context())
+			ok, wait := l.Allow(tenant)
+			if !ok {
+				w.Header().Set("Retry-After", retryAfterSeconds(wait))
+				writeError(w, http.StatusTooManyRequests,
+					"rate limit exceeded for tenant %q: retry in %s", tenant, wait.Round(time.Millisecond))
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// retryAfterSeconds renders a wait as the integral seconds value the
+// Retry-After header requires, rounding up so "retry after 0s" never
+// invites an immediate re-spin. Shared by every 429/503 writer.
+func retryAfterSeconds(wait time.Duration) string {
+	secs := int64(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// RetryAfter formats wait for a Retry-After header and sets it on h.
+func RetryAfter(h http.Header, wait time.Duration) {
+	h.Set("Retry-After", retryAfterSeconds(wait))
+}
+
+// String renders the limiter configuration for startup logs.
+func (l *Limiter) String() string {
+	if l == nil {
+		return "off"
+	}
+	return fmt.Sprintf("%g req/s burst %g", l.rate, l.burst)
+}

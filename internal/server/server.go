@@ -5,6 +5,15 @@
 // as NDJSON, and cancellable at any time. Identical submissions (same
 // spec content hash, scale, and seed) dedup onto one execution.
 //
+// Every /v1 endpoint sits behind the hardening chain of
+// internal/server/middleware (panic recovery → request ID → structured
+// logging → body-size limit → token auth → per-tenant rate limit →
+// request timeout), and job execution is resilient by construction:
+// transient failures retry with exponential backoff and deterministic
+// jitter, arm panics become failed jobs instead of a dead process, and
+// Drain stops intake and finishes — or, with a checkpoint directory,
+// checkpoints — the work in flight before shutting down.
+//
 // v1 endpoints:
 //
 //	POST   /v1/jobs             submit {spec, scale, seed, workers}
@@ -12,6 +21,7 @@
 //	GET    /v1/jobs/{id}        job status (result embedded once done)
 //	DELETE /v1/jobs/{id}        cancel (frees the queue slot)
 //	GET    /v1/jobs/{id}/events NDJSON round records: replay + follow
+//	                            (?offset=N resumes after N lines)
 //	GET    /v1/catalog          scenario catalog and scales
 //	GET    /v1/version          build identity + spec-schema hash
 //	GET    /v1/healthz          liveness + queue stats
@@ -22,19 +32,80 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gossipmia/internal/experiment"
+	"gossipmia/internal/faultinject"
+	"gossipmia/internal/server/middleware"
 	"gossipmia/pkg/dlsim"
 )
 
 // ErrQueueFull is returned when the bounded job queue cannot accept a
-// submission; it maps to HTTP 503.
+// submission; it maps to HTTP 503 with a Retry-After header.
 var ErrQueueFull = errors.New("server: job queue full")
 
-// Config sizes the service.
+// ErrDraining is returned for submissions while the server drains; it
+// maps to HTTP 503 with a Retry-After header.
+var ErrDraining = errors.New("server: draining, not accepting jobs")
+
+// ErrQuotaExceeded is returned when a tenant already has its maximum
+// number of active jobs; it maps to HTTP 429 with a Retry-After header.
+var ErrQuotaExceeded = errors.New("server: active-job quota exceeded")
+
+// RetryPolicy bounds how job execution retries transient failures:
+// MaxAttempts total tries with exponential backoff from BaseDelay,
+// capped at MaxDelay, jittered deterministically per job so a thundering
+// herd of identical retries spreads without a randomness source.
+type RetryPolicy struct {
+	// MaxAttempts is the total execution budget per job (first try
+	// included). <= 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; attempt k waits
+	// BaseDelay * 2^(k-1), jittered. Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 5s.
+	MaxDelay time.Duration
+}
+
+// withDefaults resolves unset fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// backoff returns the wait before retry attempt k (k >= 1), with
+// deterministic jitter in [50%, 100%] of the exponential step derived
+// from seed — typically the job's dedup key — so the schedule is
+// reproducible run to run yet distinct across jobs.
+func (p RetryPolicy) backoff(k int, seed uint64) time.Duration {
+	d := p.BaseDelay << (k - 1)
+	if d > p.MaxDelay || d <= 0 { // <= 0: shift overflow
+		d = p.MaxDelay
+	}
+	// splitmix64: one multiply-xor round is plenty for jitter.
+	z := seed + uint64(k)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	frac := float64(z%1024) / 1024
+	return time.Duration(float64(d) * (0.5 + 0.5*frac))
+}
+
+// Config sizes and hardens the service.
 type Config struct {
 	// Jobs is the number of scenarios executing concurrently (worker
 	// goroutines). Default 1: one scenario at a time, everything else
@@ -46,13 +117,44 @@ type Config struct {
 	// DefaultScale names the scale used by submissions that do not set
 	// one. Default "quick".
 	DefaultScale string
-	// MaxBodyBytes bounds a submission body. Default 1 MiB.
+	// MaxBodyBytes bounds a request body (enforced by the middleware
+	// chain). Default 1 MiB.
 	MaxBodyBytes int64
 	// MaxJobs caps how many jobs (with their results and event logs)
 	// the service retains; beyond it the oldest terminal jobs are
 	// evicted so a long-running instance's memory stays bounded.
 	// Queued and running jobs are never evicted. Default 256.
 	MaxJobs int
+
+	// AuthTokens maps bearer tokens to tenant names. Empty disables
+	// authentication (every caller is the anonymous tenant).
+	AuthTokens map[string]string
+	// RateLimit grants each tenant this many requests/second (token
+	// bucket of RateBurst). <= 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket burst per tenant. Default 10.
+	RateBurst int
+	// MaxActiveJobsPerTenant caps a tenant's queued+running jobs; the
+	// excess submission gets 429. <= 0 disables the quota.
+	MaxActiveJobsPerTenant int
+	// RequestTimeout bounds non-streaming request handling. <= 0
+	// disables it; the events stream is never subject to it.
+	RequestTimeout time.Duration
+
+	// Retry is the transient-failure retry policy for job execution.
+	Retry RetryPolicy
+	// CheckpointDir, when set, persists per-job run directories keyed
+	// by dedup key under it: retries and post-restart resubmissions
+	// resume from the per-arm caches instead of recomputing, and a
+	// drained-with-deadline job leaves its completed arms behind.
+	CheckpointDir string
+	// Fault injects failures into job execution (chaos testing); nil
+	// injects nothing.
+	Fault *faultinject.Injector
+	// Log receives the structured request and job logs. Default: a
+	// discard logger, keeping embedded/test use quiet.
+	Log *slog.Logger
+
 	// now stamps job transitions; tests may pin it.
 	now func() time.Time
 }
@@ -74,23 +176,32 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 256
 	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = 10
+	}
+	c.Retry = c.Retry.withDefaults()
+	if c.Log == nil {
+		c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
 	return c
 }
 
-// Server is the scenario service. It implements http.Handler; Close
-// stops the workers and aborts running jobs.
+// Server is the scenario service. It implements http.Handler; Drain
+// winds it down gracefully, Close stops it immediately.
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
 	now func() time.Time
+	log *slog.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 	notify     chan struct{}
+	draining   atomic.Bool
 
 	mu      sync.Mutex
 	seq     int64
@@ -107,21 +218,39 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		now:        cfg.now,
+		log:        cfg.Log,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		notify:     make(chan struct{}, 1),
 		jobs:       map[string]*job{},
 		byKey:      map[string]*job{},
 	}
+	// The hardening chain around every /v1 route, outermost first:
+	// recovery must see everything, identity must exist before logging,
+	// auth must resolve the tenant before rate limiting can meter it.
+	base := middleware.Chain(
+		middleware.Recover(cfg.Log),
+		middleware.RequestID(),
+		middleware.Log(cfg.Log),
+		middleware.BodyLimit(cfg.MaxBodyBytes),
+		middleware.Auth(cfg.AuthTokens),
+		middleware.RateLimit(middleware.NewLimiter(cfg.RateLimit, cfg.RateBurst)),
+	)
+	// The timeout applies to request/response endpoints only: an events
+	// follow is long-lived by design and must outlive any such bound.
+	std := middleware.Chain(base, middleware.Timeout(cfg.RequestTimeout))
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
-	mux.HandleFunc("GET /v1/version", s.handleVersion)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	handle := func(pattern string, mw middleware.Middleware, h http.HandlerFunc) {
+		mux.Handle(pattern, mw(h))
+	}
+	handle("POST /v1/jobs", std, s.handleSubmit)
+	handle("GET /v1/jobs", std, s.handleList)
+	handle("GET /v1/jobs/{id}", std, s.handleJob)
+	handle("DELETE /v1/jobs/{id}", std, s.handleCancel)
+	handle("GET /v1/jobs/{id}/events", base, s.handleEvents)
+	handle("GET /v1/catalog", std, s.handleCatalog)
+	handle("GET /v1/version", std, s.handleVersion)
+	handle("GET /v1/healthz", std, s.handleHealthz)
 	s.mux = mux
 	s.wg.Add(cfg.Jobs)
 	for i := 0; i < cfg.Jobs; i++ {
@@ -137,8 +266,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Close aborts every queued and running job and waits for the workers
 // to drain. The HTTP listener (owned by the caller) must be shut down
-// separately.
+// separately. For a graceful wind-down use Drain.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.baseCancel()
 	s.mu.Lock()
 	pending := append([]*job(nil), s.pending...)
@@ -147,6 +277,48 @@ func (s *Server) Close() {
 		s.cancelJob(j)
 	}
 	s.wg.Wait()
+}
+
+// Drain winds the service down gracefully: new submissions are refused
+// with 503 + Retry-After immediately, then Drain waits for every queued
+// and running job to reach a terminal state before stopping the
+// workers. If ctx expires first the remaining jobs are cancelled — with
+// a checkpoint directory configured each aborts at an arm boundary
+// leaving atomically-written caches, so a resubmission after restart
+// resumes instead of recomputing — and Drain returns ctx.Err().
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.log.Info("drain started", "live", s.liveJobs())
+	t := time.NewTicker(20 * time.Millisecond)
+	defer t.Stop()
+	for s.liveJobs() > 0 {
+		select {
+		case <-ctx.Done():
+			s.log.Warn("drain deadline: aborting remaining jobs", "live", s.liveJobs())
+			s.Close()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	s.Close()
+	s.log.Info("drain complete")
+	return nil
+}
+
+// Draining reports whether the server has stopped accepting jobs.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// liveJobs counts jobs that are not yet terminal.
+func (s *Server) liveJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if !dlsim.TerminalStatus(j.status) {
+			n++
+		}
+	}
+	return n
 }
 
 // writeJSON writes one JSON response.
@@ -165,10 +337,20 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 
 // handleSubmit is POST /v1/jobs.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		middleware.RetryAfter(w.Header(), 5*time.Second)
+		writeErr(w, http.StatusServiceUnavailable, "%v", ErrDraining)
+		return
+	}
 	var req dlsim.JobRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "bad job request: %v", err)
 		return
 	}
@@ -198,10 +380,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	sc.Workers = req.Workers
 
-	j, deduped, err := s.submit(req.Spec, sc, scaleName)
+	j, deduped, err := s.submit(req.Spec, sc, scaleName, middleware.TenantFrom(r.Context()))
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		// Retry-After makes the back-off machine-readable: clients must
+		// not have to parse the error string to know to come back.
+		middleware.RetryAfter(w.Header(), 2*time.Second)
 		writeErr(w, http.StatusServiceUnavailable, "job queue full (depth %d): retry later", s.cfg.QueueDepth)
+		return
+	case errors.Is(err, ErrQuotaExceeded):
+		middleware.RetryAfter(w.Header(), 2*time.Second)
+		writeErr(w, http.StatusTooManyRequests,
+			"tenant %q already has %d active jobs: wait for one to finish",
+			middleware.TenantFrom(r.Context()), s.cfg.MaxActiveJobsPerTenant)
 		return
 	case err != nil:
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
@@ -268,17 +459,27 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents is GET /v1/jobs/{id}/events: an NDJSON stream replaying
 // every round record already produced, then following the job live
-// until it reaches a terminal status or the client disconnects.
+// until it reaches a terminal status or the client disconnects. The
+// optional ?offset=N query parameter skips the first N lines — the
+// resume hook for clients reconnecting after a dropped stream.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.jobByID(w, r)
 	if j == nil {
 		return
 	}
+	cursor := 0
+	if off := r.URL.Query().Get("offset"); off != "" {
+		n, err := strconv.Atoi(off)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad offset %q", off)
+			return
+		}
+		cursor = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	cursor := 0
 	for {
 		lines, done, wake := j.events.next(cursor)
 		for _, line := range lines {
@@ -331,8 +532,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	total := len(s.jobs)
 	s.mu.Unlock()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
+		"status":     status,
 		"jobs":       total,
 		"queued":     queued,
 		"running":    running,

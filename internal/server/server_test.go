@@ -282,17 +282,7 @@ func TestQueueBoundAndQueuedCancel(t *testing.T) {
 }
 
 func errorsIsQueueFull(err error) bool {
-	for e := err; e != nil; {
-		if e == dlsim.ErrJobQueueFull {
-			return true
-		}
-		u, ok := e.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		e = u.Unwrap()
-	}
-	return false
+	return errors.Is(err, dlsim.ErrJobQueueFull)
 }
 
 // TestRequestValidation exercises the HTTP error surface with raw

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -60,6 +61,12 @@ type JobStatus struct {
 	Scale   string `json:"scale"`
 	Seed    int64  `json:"seed"`
 	Workers int    `json:"workers"`
+	// Tenant is the authenticated submitter ("anonymous" on an open
+	// service).
+	Tenant string `json:"tenant,omitempty"`
+	// Attempts counts execution tries; a value above 1 means the
+	// service retried transient failures before this outcome.
+	Attempts int `json:"attempts,omitempty"`
 	// Events counts the round records streamed so far.
 	Events      int    `json:"events"`
 	SubmittedAt string `json:"submittedAt"`
@@ -69,11 +76,102 @@ type JobStatus struct {
 	Result *Result `json:"result,omitempty"`
 }
 
+// APIError is the typed form of a non-2xx service response: the HTTP
+// status, the server's error message, and the parsed Retry-After hint
+// when the server sent one. Callers distinguish retryable congestion
+// (429, 503) from fatal errors with Retryable, or errors.As for the
+// details; errors.Is against ErrJobQueueFull and ErrNotFound keeps
+// working on top.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error envelope text (may be empty).
+	Message string
+	// RetryAfter is the server's Retry-After hint, 0 when absent.
+	RetryAfter time.Duration
+	// Method and Path identify the failed call.
+	Method, Path string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("dlsim: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.Status)
+	}
+	return fmt.Sprintf("dlsim: %s %s: HTTP %d", e.Method, e.Path, e.Status)
+}
+
+// Retryable reports whether the failure is congestion that a backoff
+// can outwait (429 rate limit/quota, 503 queue full or draining, 502/504
+// intermediary trouble) rather than a property of the request.
+func (e *APIError) Retryable() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Is maps the typed error onto the package's sentinel errors, so
+// errors.Is(err, ErrJobQueueFull) and errors.Is(err, ErrNotFound) hold
+// for the statuses those sentinels describe.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrJobQueueFull:
+		return e.Status == http.StatusServiceUnavailable
+	case ErrNotFound:
+		return e.Status == http.StatusNotFound
+	}
+	return false
+}
+
+// RetryPolicy bounds the client's retries: MaxAttempts total tries per
+// call with exponential backoff from BaseDelay capped at MaxDelay,
+// deterministically jittered. The server's Retry-After hint, when
+// present and longer, wins over the computed backoff.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per call (first included). <= 1
+	// disables retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff. Default 200ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 10s.
+	MaxDelay time.Duration
+}
+
+// withDefaults resolves unset fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 200 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 10 * time.Second
+	}
+	return p
+}
+
+// backoff returns the wait before retry attempt k (k >= 1) with
+// deterministic jitter in [50%, 100%] of the exponential step.
+func (p RetryPolicy) backoff(k int) time.Duration {
+	d := p.BaseDelay << (k - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	z := uint64(k) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return time.Duration(float64(d) * (0.5 + 0.5*float64(z%1024)/1024))
+}
+
 // Client talks to a `dlsim serve` instance over its HTTP/JSON v1 API.
 // The zero Client is not usable; build one with NewClient.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	token string
+	retry RetryPolicy
 }
 
 // ClientOption configures a Client.
@@ -84,6 +182,25 @@ type ClientOption func(*Client)
 // streams are long-lived, so deadlines belong on the per-call context.
 func WithHTTPClient(hc *http.Client) ClientOption {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithToken attaches a bearer token to every request — required against
+// a service running with -tokens.
+func WithToken(token string) ClientOption {
+	return func(c *Client) { c.token = token }
+}
+
+// WithClientRetry retries failed calls under p: transport errors and
+// retryable statuses (429, 502, 503, 504) back off exponentially with
+// deterministic jitter, honoring the server's Retry-After hint when it
+// is longer. Every v1 call is safe to retry — GET/DELETE by HTTP
+// semantics, and Submit because the service dedups identical
+// submissions onto one job, so a retried POST whose first try actually
+// landed converges onto the same execution. Events additionally
+// auto-reconnects dropped streams under the same budget, resuming from
+// the replay offset already consumed.
+func WithClientRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p.withDefaults() }
 }
 
 // NewClient builds a client for a service base URL such as
@@ -102,8 +219,8 @@ type apiError struct {
 }
 
 // ErrJobQueueFull is returned by Submit when the service's bounded job
-// queue cannot accept another submission; retry later or raise the
-// service's -queue depth.
+// queue cannot accept another submission (or the service is draining);
+// retry later or raise the service's -queue depth.
 var ErrJobQueueFull = errors.New("dlsim: job queue full")
 
 // ErrNotFound is returned when the service does not know the requested
@@ -111,41 +228,110 @@ var ErrJobQueueFull = errors.New("dlsim: job queue full")
 // job retention.
 var ErrNotFound = errors.New("dlsim: not found")
 
-// do issues one JSON request and decodes the response into out (when
-// non-nil), translating non-2xx responses into errors.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+// newRequest assembles one API request with auth attached.
+func (c *Client) newRequest(ctx context.Context, method, path string, raw []byte) (*http.Request, error) {
 	var rd io.Reader
-	if body != nil {
-		raw, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("dlsim: encode request: %w", err)
-		}
+	if raw != nil {
 		rd = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return fmt.Errorf("dlsim: %w", err)
+		return nil, fmt.Errorf("dlsim: %w", err)
 	}
-	if body != nil {
+	if raw != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	return req, nil
+}
+
+// errorOf translates a non-2xx response into a typed *APIError.
+func errorOf(resp *http.Response, method, path string) *APIError {
+	ae := &APIError{Status: resp.StatusCode, Method: method, Path: path}
+	var env apiError
+	if err := json.NewDecoder(resp.Body).Decode(&env); err == nil {
+		ae.Message = env.Error
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
+}
+
+// shouldRetry decides whether err is worth another attempt under the
+// client's policy, and how long to wait before it.
+func (c *Client) shouldRetry(err error, attempt int, ctx context.Context) (time.Duration, bool) {
+	if c.retry.MaxAttempts <= 1 || attempt >= c.retry.MaxAttempts || ctx.Err() != nil {
+		return 0, false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		if !ae.Retryable() {
+			return 0, false
+		}
+		wait := c.retry.backoff(attempt)
+		if ae.RetryAfter > wait {
+			wait = ae.RetryAfter
+		}
+		return wait, true
+	}
+	// Anything else at this layer is a transport-level failure
+	// (connection refused/reset, unexpected EOF): retryable.
+	return c.retry.backoff(attempt), true
+}
+
+// sleep waits for d, cancellably.
+func sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// do issues one JSON request and decodes the response into out (when
+// non-nil), translating non-2xx responses into *APIError and retrying
+// under the client's retry policy.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var raw []byte
+	if body != nil {
+		var err error
+		raw, err = json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("dlsim: encode request: %w", err)
+		}
+	}
+	for attempt := 1; ; attempt++ {
+		err := c.doOnce(ctx, method, path, raw, out)
+		if err == nil {
+			return nil
+		}
+		wait, retry := c.shouldRetry(err, attempt, ctx)
+		if !retry {
+			return err
+		}
+		sleep(ctx, wait)
+	}
+}
+
+// doOnce is a single request/response cycle.
+func (c *Client) doOnce(ctx context.Context, method, path string, raw []byte, out any) error {
+	req, err := c.newRequest(ctx, method, path, raw)
+	if err != nil {
+		return err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("dlsim: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusServiceUnavailable {
-		return fmt.Errorf("%w (%s %s)", ErrJobQueueFull, method, path)
-	}
-	if resp.StatusCode == http.StatusNotFound {
-		return fmt.Errorf("%w (%s %s)", ErrNotFound, method, path)
-	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var ae apiError
-		if err := json.NewDecoder(resp.Body).Decode(&ae); err == nil && ae.Error != "" {
-			return fmt.Errorf("dlsim: %s %s: %s (HTTP %d)", method, path, ae.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("dlsim: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return errorOf(resp, method, path)
 	}
 	if out == nil {
 		return nil
@@ -203,27 +389,73 @@ func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
 	return &job, nil
 }
 
+// errStreamDropped marks a stream that ended without the job being
+// terminal — the retryable failure mode of Events.
+type errStreamDropped struct{ err error }
+
+func (e *errStreamDropped) Error() string { return e.err.Error() }
+func (e *errStreamDropped) Unwrap() error { return e.err }
+
 // Events streams a job's round records: every event already produced
 // is replayed in order, then the stream follows the job live until it
-// reaches a terminal status, fn returns an error, or ctx is
-// cancelled. fn runs on the calling goroutine.
+// reaches a terminal status, fn returns an error, or ctx is cancelled.
+// fn runs on the calling goroutine.
+//
+// With WithClientRetry configured, a dropped stream (transport error or
+// a connection an intermediary closed while the job was still live)
+// reconnects automatically under the retry budget, resuming from the
+// replay offset already consumed via the server's ?offset parameter.
+// Records of an arm are delivered to fn exactly once in round order
+// even across reconnects and server-side retries: the engine is
+// deterministic, so a re-streamed round is byte-identical and the
+// client drops it by its round number.
 func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	offset := 0
+	lastRound := map[string]int{}
+	for attempt := 1; ; attempt++ {
+		err := c.streamEvents(ctx, id, &offset, lastRound, fn)
+		if err == nil {
+			return nil
+		}
+		var dropped *errStreamDropped
+		retryable := errors.As(err, &dropped)
+		var ae *APIError
+		if errors.As(err, &ae) {
+			retryable = ae.Retryable()
+		}
+		if !retryable {
+			return err
+		}
+		wait, retry := c.shouldRetry(err, attempt, ctx)
+		if !retry {
+			if dropped != nil {
+				return dropped.err
+			}
+			return err
+		}
+		sleep(ctx, wait)
+	}
+}
+
+// streamEvents consumes one events connection from *offset, advancing
+// the offset per raw line and filtering per-arm round duplicates, so a
+// resumed or retried stream delivers each record exactly once.
+func (c *Client) streamEvents(ctx context.Context, id string, offset *int, lastRound map[string]int, fn func(Event) error) error {
+	path := "/v1/jobs/" + url.PathEscape(id) + "/events"
+	if *offset > 0 {
+		path += "?offset=" + strconv.Itoa(*offset)
+	}
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
 	if err != nil {
-		return fmt.Errorf("dlsim: %w", err)
+		return err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("dlsim: events: %w", err)
+		return &errStreamDropped{fmt.Errorf("dlsim: events: %w", err)}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var ae apiError
-		if err := json.NewDecoder(resp.Body).Decode(&ae); err == nil && ae.Error != "" {
-			return fmt.Errorf("dlsim: events: %s (HTTP %d)", ae.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("dlsim: events: HTTP %d", resp.StatusCode)
+		return errorOf(resp, http.MethodGet, path)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -232,16 +464,21 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 		if len(line) == 0 {
 			continue
 		}
+		*offset++
 		var ev Event
 		if err := json.Unmarshal(line, &ev); err != nil {
 			return fmt.Errorf("dlsim: events: bad line %q: %w", line, err)
 		}
+		if last, seen := lastRound[ev.Arm]; seen && ev.Round <= last {
+			continue // re-streamed by a server-side retry: drop
+		}
+		lastRound[ev.Arm] = ev.Round
 		if err := fn(ev); err != nil {
 			return err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("dlsim: events: %w", err)
+		return &errStreamDropped{fmt.Errorf("dlsim: events: %w", err)}
 	}
 	// The server ends the stream only when the job is terminal; a clean
 	// EOF on a still-live job means an intermediary dropped the
@@ -256,7 +493,7 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 		return fmt.Errorf("dlsim: events: stream ended, status check failed: %w", err)
 	}
 	if !TerminalStatus(job.Status) {
-		return fmt.Errorf("dlsim: events: stream for job %s ended while the job is still %s (connection dropped?)", id, job.Status)
+		return &errStreamDropped{fmt.Errorf("dlsim: events: stream for job %s ended while the job is still %s (connection dropped?)", id, job.Status)}
 	}
 	return nil
 }

@@ -18,6 +18,14 @@ fi
 
 go build ./...
 go vet ./...
+# staticcheck is advisory-but-enforced where available: the container
+# image may not ship it, so the gate activates only when installed.
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+    echo "staticcheck ok"
+else
+    echo "staticcheck not installed; skipping"
+fi
 go test -race ./...
 go test -run='^Fuzz' ./internal/wire
 
@@ -91,3 +99,57 @@ kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
 echo "service smoke ok"
+
+# Chaos smoke, race-enabled: serve with injected transient faults, a
+# retry budget, and a checkpoint directory; submit the example spec;
+# SIGTERM mid-run (graceful drain checkpoints at an arm boundary);
+# restart clean and resubmit. The resumed run must finish and its
+# results.csv must be byte-identical to the fault-free sweep's from the
+# spec smoke above (same spec, scale, and seed).
+ckpt="$specout/ckpt"
+"$specout/dlsim" serve -addr 127.0.0.1:0 -scale tiny \
+    -checkpoint "$ckpt" -inject "arm-error=3,errors=1" -retries 3 -retry-base 10ms \
+    -drain 50ms >"$specout/chaos1.log" 2>&1 &
+serve_pid=$!
+base=""
+i=0
+while [ $i -lt 100 ]; do
+    base=$(sed -n 's|^dlsim: serving on \(http://[^ ]*\).*|\1|p' "$specout/chaos1.log")
+    [ -n "$base" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$specout/chaos1.log" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$base" ] || { echo "chaos serve never printed its address" >&2; cat "$specout/chaos1.log" >&2; exit 1; }
+printf '{"scale":"tiny","spec":%s}' "$(cat examples/specs/latency_churn_dp.json)" >"$specout/chaosreq.json"
+curl -sf -X POST -H 'Content-Type: application/json' --data-binary @"$specout/chaosreq.json" "$base/v1/jobs" >/dev/null
+sleep 0.5
+kill -TERM "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+"$specout/dlsim" serve -addr 127.0.0.1:0 -scale tiny -checkpoint "$ckpt" >"$specout/chaos2.log" 2>&1 &
+serve_pid=$!
+base=""
+i=0
+while [ $i -lt 100 ]; do
+    base=$(sed -n 's|^dlsim: serving on \(http://[^ ]*\).*|\1|p' "$specout/chaos2.log")
+    [ -n "$base" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$specout/chaos2.log" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$base" ] || { echo "chaos restart never printed its address" >&2; cat "$specout/chaos2.log" >&2; exit 1; }
+# The CLI thin client blocks until the resubmitted job is terminal.
+"$specout/dlsim" run -spec examples/specs/latency_churn_dp.json -scale tiny -remote "$base" >"$specout/chaos-run.log"
+chaos_csv=$(find "$ckpt" -name results.csv | head -n 1)
+[ -n "$chaos_csv" ] || { echo "chaos run left no results.csv in the checkpoint dir" >&2; exit 1; }
+cmp -s "$chaos_csv" "$specout/run/results.csv" || {
+    echo "chaos-resumed results.csv diverges from the fault-free run:" >&2
+    diff "$chaos_csv" "$specout/run/results.csv" >&2 || true
+    exit 1
+}
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+echo "chaos smoke ok"
