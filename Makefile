@@ -6,7 +6,7 @@ OLD ?= BENCH_0003.json
 NEW ?= BENCH_0004.json
 THRESHOLD ?= 15
 
-.PHONY: all build vet test race ci bench bench-smoke bench-compare
+.PHONY: all build vet test race ci bench bench-smoke bench-compare profile
 
 all: ci
 
@@ -36,6 +36,13 @@ bench-smoke:
 	./scripts/bench_smoke.sh
 
 # Diff two BENCH_*.json snapshots and fail on >$(THRESHOLD)% ns/op
-# regressions: make bench-compare OLD=BENCH_0003.json NEW=BENCH_0004.json
+# regressions or intra-family speedup losses:
+# make bench-compare OLD=BENCH_0003.json NEW=BENCH_0004.json
 bench-compare:
 	$(GO) run ./scripts/bench_compare -old $(OLD) -new $(NEW) -threshold $(THRESHOLD)
+
+# Capture pprof CPU+alloc profiles (figure2 run + dense-wake arm) and
+# their top-20 summaries under profiles/ — the input for DESIGN.md's
+# "Where the time goes" section.
+profile:
+	./scripts/profile.sh

@@ -529,7 +529,10 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 // enough that several nodes wake in the same tick. The scaling of
 // these rows is intra-arm: concurrent wake compute (merge + local SGD)
 // plus the parallel per-node evaluation; results are byte-identical
-// across rows.
+// across rows. Besides wall clock, workers>1 rows report the engine's
+// schedule occupancy (average wakes per conflict-free batch) — the
+// machine-independent speedup ceiling, readable even on a host whose
+// GOMAXPROCS caps the wall-clock ratio at 1.0x.
 func BenchmarkIntraArmSpeedup(b *testing.B) {
 	for _, workers := range parallelWorkerMatrix() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
@@ -557,8 +560,12 @@ func BenchmarkIntraArmSpeedup(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := study.Run(); err != nil {
+				res, err := study.Run()
+				if err != nil {
 					b.Fatal(err)
+				}
+				if occ := res.Sched.Occupancy(); occ > 0 {
+					b.ReportMetric(occ, "occupancy")
 				}
 			}
 		})

@@ -95,12 +95,14 @@ func signalContext() (context.Context, context.CancelFunc) {
 // (cmd ""). All three share one flag set so every pre-subcommand flag
 // keeps working in its new home; sweep additionally requires -spec and
 // -out.
-func runAndSweep(cmd string, args []string) error {
+func runAndSweep(cmd string, args []string) (retErr error) {
 	name := cmd
 	if name == "" {
 		name = "dlsim"
 	}
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	var diag diagFlags
+	diag.register(fs)
 	figure := fs.String("figure", "all", `figure or scenario to run (see dlsim list): 2..9, "latency", "churn", "dynamics", "tables", "attacks", or "all"`)
 	specPath := fs.String("spec", "", "run a declarative scenario spec (JSON file) instead of a catalog figure")
 	outDir := fs.String("out", "", "result directory: manifest, per-arm caches, streamed events, results.csv (requires -spec)")
@@ -131,6 +133,16 @@ func runAndSweep(cmd string, args []string) error {
 		printCatalog(os.Stdout)
 		return nil
 	}
+
+	stopDiag, err := diag.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopDiag(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 
 	sc, err := scaleByName(*scaleName)
 	if err != nil {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// diagFlags is the profiling flag set shared by run and sweep:
+// -cpuprofile/-memprofile/-trace mirror `go test`'s flags so the same
+// pprof workflow covers CLI runs and benchmarks.
+type diagFlags struct {
+	cpuProfile string
+	memProfile string
+	traceFile  string
+}
+
+func (d *diagFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&d.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	fs.StringVar(&d.memProfile, "memprofile", "", "write a pprof allocation profile (taken at exit) to this file")
+	fs.StringVar(&d.traceFile, "trace", "", "write a runtime execution trace of the run to this file")
+}
+
+// start begins the requested collectors and returns a stop function
+// that finishes them — flushing the CPU profile and trace, and taking
+// the heap snapshot for -memprofile. stop is safe to call when nothing
+// was requested.
+func (d *diagFlags) start() (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+	}
+	if d.cpuProfile != "" {
+		cpuF, err = os.Create(d.cpuProfile)
+		if err != nil {
+			return nil, fmt.Errorf("create -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			cpuF = nil
+			cleanup()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	if d.traceFile != "" {
+		traceF, err = os.Create(d.traceFile)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("create -trace: %w", err)
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("start execution trace: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if d.memProfile == "" {
+			return nil
+		}
+		f, err := os.Create(d.memProfile)
+		if err != nil {
+			return fmt.Errorf("create -memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the snapshot shows live + cumulative allocs
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			return fmt.Errorf("write -memprofile: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -216,6 +216,13 @@ type Result struct {
 	// Final holds per-node end-of-run snapshots when
 	// StudyConfig.KeepFinalModels is set.
 	Final []NodeSnapshot
+	// Sched describes the schedule the node-parallel tick engine
+	// executed (zero-valued when the run took the serial path). Its
+	// Occupancy is the machine-independent packing quality of the
+	// conflict-batch scheduler — what the speedup benchmarks report
+	// alongside wall clock, since the latter saturates at 1.0x on a
+	// single-P runtime no matter how good the schedule is.
+	Sched gossip.SchedStats
 }
 
 // Study is a configured, reproducible experimental arm.
@@ -336,6 +343,7 @@ func (s *Study) RunContext(ctx context.Context) (*Result, error) {
 		MessagesDelayed:     sim.MessagesDelayed(),
 		MessagesUndelivered: sim.PendingDeliveries(),
 		NoiseMultiplier:     sigma,
+		Sched:               sim.SchedStats(),
 	}
 	if cfg.KeepFinalModels {
 		for _, node := range sim.Nodes() {

@@ -118,8 +118,14 @@ func (f *FigureResult) GenErrorPlot() (string, error) {
 
 // innerWorkers divides a worker budget across n concurrently running
 // outer tasks, so nested fan-outs (repeats > arms > per-node eval)
-// share one bound instead of multiplying it. Worker counts never affect
-// results, only scheduling.
+// share one bound instead of multiplying it. The division rounds up:
+// with 8 workers over 3 arms each arm gets 3, not 2, so once the short
+// arms drain, the stragglers still use most of the budget rather than
+// a floor that leaves workers parked for the whole tail. The budget is
+// a bound on useful concurrency, not an allocation — transient
+// oversubscription (3×3 > 8) just time-shares, which costs far less
+// than a straggler running underparallelized for half the wall clock.
+// Worker counts never affect results, only scheduling.
 func innerWorkers(budget, n int) int {
 	w := par.Workers(budget)
 	if n < 1 {
@@ -128,11 +134,7 @@ func innerWorkers(budget, n int) int {
 	if n > w {
 		n = w
 	}
-	inner := w / n
-	if inner < 1 {
-		inner = 1
-	}
-	return inner
+	return (w + n - 1) / n
 }
 
 // Figure2Spec (RQ1): SAMO vs Base Gossip on a static 5-regular graph,

@@ -73,3 +73,27 @@ func TestReplicateIdenticalAcrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestInnerWorkersCeilDivision pins the budget split: the division
+// rounds up so straggler arms keep most of the budget once short arms
+// drain, and a budget smaller than the task count still hands every
+// task one worker.
+func TestInnerWorkersCeilDivision(t *testing.T) {
+	cases := []struct {
+		budget, n, want int
+	}{
+		{8, 3, 3}, // ceil(8/3), not floor
+		{8, 2, 4}, // even split unchanged
+		{4, 4, 1}, // exact cover
+		{2, 5, 1}, // more tasks than workers: one each
+		{1, 3, 1}, // serial budget stays serial
+		{6, 0, 6}, // degenerate task count clamps to 1
+		{6, 1, 6}, // single task gets the whole budget
+		{3, 2, 2}, // ceil(3/2)
+	}
+	for _, c := range cases {
+		if got := innerWorkers(c.budget, c.n); got != c.want {
+			t.Errorf("innerWorkers(%d, %d) = %d, want %d", c.budget, c.n, got, c.want)
+		}
+	}
+}

@@ -16,7 +16,7 @@ import (
 //
 //  1. Churn transitions (serial, unchanged).
 //  2. Due queued deliveries, grouped by receiver and handed to the
-//     protocol concurrently — one goroutine per receiver, per-receiver
+//     protocol concurrently on the engine's worker pool — per-receiver
 //     drain order preserved. OnReceive touches only receiver-local
 //     state (model, inbox, the node's own RNG), so receivers commute.
 //  3. Wake-ups, in one or more stages. Every stage is a serial
@@ -32,22 +32,31 @@ import (
 //     serial send order (ascending waker ID, view order within a
 //     wake).
 //
-//     Compute runs the planned wakes concurrently in conflict-free
-//     batches: each wake's local work (WakePlanner.ComputeWake — merge
-//     pending models, train) plus its inline deliveries
-//     (protocol.OnReceive on the target, for transports that deliver
-//     at the send tick). Two wakes conflict when their touched node
-//     sets — the waker plus its inline targets — intersect; batches
-//     are contiguous runs of the node-ID order, so conflicting wakes
-//     execute in serial order with a barrier between them.
+//     Compute packs the planned wakes into conflict-free batches by
+//     greedy precedence coloring over the touch-set interference
+//     graph (see computeStage) and runs each batch's wakes
+//     concurrently on the engine's persistent worker pool: each
+//     wake's local work (WakePlanner.ComputeWake — merge pending
+//     models, train) plus its inline deliveries (protocol.OnReceive
+//     on the target, for transports that deliver at the send tick).
+//     Two wakes conflict when their touched node sets — the waker
+//     plus its inline targets — intersect; conflicting wakes are
+//     assigned strictly increasing colors, so they execute in serial
+//     order with a barrier between their batches, while
+//     non-conflicting wakes share a batch regardless of where they
+//     sit in node-ID order.
 //
-//     A stage ends early when the next due waker is itself an inline
-//     target of an already-planned wake: in the serial loop that
-//     node's receive-triggered training draws from its RNG *before*
-//     its own wake draws, so its planning must wait until the earlier
-//     wakes have computed. Chains of such dependencies degrade
-//     gracefully toward the serial order; in practice almost every
-//     tick is a single stage.
+//     For protocols whose OnReceive can advance the receiver's RNG
+//     (training on receive, like BaseGossip), a stage ends early when
+//     the next due waker is itself an inline target of an
+//     already-planned wake: in the serial loop that node's
+//     receive-triggered training draws from its RNG *before* its own
+//     wake draws, so its planning must wait until the earlier wakes
+//     have computed. Protocols that implement PassiveReceiver
+//     (standard SAMO — OnReceive only appends to the inbox) have no
+//     such draw, so the whole tick plans in a single stage and the
+//     coloring alone enforces the compute order — including a waker
+//     that receives before (or after) its own wake in serial order.
 //
 //  4. Commit (serial): queued sends copied during compute are pushed
 //     into the transport's delivery heap in (waker, send) order — the
@@ -56,8 +65,9 @@ import (
 //
 // Because planning preserves every shared-RNG draw and counter update
 // in serial order, compute touches only node-local state under mutual
-// exclusion, and commit preserves queue order, the observable run —
-// every parameter byte, every counter, every error — equals the serial
+// exclusion with conflicting units ordered as the serial loop orders
+// them, and commit preserves queue order, the observable run — every
+// parameter byte, every counter, every error — equals the serial
 // loop's for any worker count. Protocols opt in via WakePlanner;
 // Epidemic cannot (its fanout sampling draws *after* training), so it
 // keeps the serial loop.
@@ -85,6 +95,35 @@ var (
 	_ WakePlanner = BaseGossip{}
 	_ WakePlanner = SAMO{}
 )
+
+// SchedStats describes the schedule the node-parallel engine executed
+// for one run: how many wake-ups it planned and how tightly it packed
+// them into conflict-free batches. Units/Batches — Occupancy — is the
+// average number of wakes running concurrently between barriers, the
+// machine-independent upper bound on the intra-arm speedup the
+// schedule can deliver: on a host with enough cores, wall-clock
+// wake-compute time approaches (serial time) / Occupancy.
+type SchedStats struct {
+	// Ticks executed on the parallel engine.
+	Ticks int
+	// Stages is the number of plan/compute/commit rounds (one per tick
+	// for PassiveReceiver protocols; taint breaks add more).
+	Stages int
+	// Batches is the number of conflict-free batches computed; each
+	// batch boundary is a barrier.
+	Batches int
+	// Units is the total number of planned wake-ups.
+	Units int
+}
+
+// Occupancy returns Units/Batches, the schedule's average parallelism
+// (1.0 = fully serialized wake compute).
+func (st SchedStats) Occupancy() float64 {
+	if st.Batches == 0 {
+		return 0
+	}
+	return float64(st.Units) / float64(st.Batches)
+}
 
 // sendMode classifies a planned transmission.
 type sendMode uint8
@@ -125,31 +164,82 @@ type tickEngine struct {
 	s       *Simulator
 	planner WakePlanner
 	workers int
+	// passive marks a PassiveReceiver protocol: inline deliveries do
+	// not advance the receiver's RNG, so planning never needs to wait
+	// for compute and each tick is a single stage.
+	passive bool
+	// pool is the engine's persistent worker pool: batches are handed
+	// off over channels instead of spawning goroutines per batch.
+	pool *par.Pool
 
 	units       []tickUnit
 	recv        []recvGroup
 	group       []int  // node -> recvGroup index this tick, -1 when none
-	touched     []bool // per-node conflict marks of the current batch
-	touchedList []int
 	tainted     []bool // per-node inline-target marks of the current stage
 	taintedList []int
+
+	// Precedence-coloring scratch (computeStage). nodeColor[id] is the
+	// color of the latest unit touching node id, valid only when
+	// nodeEpoch[id] == epoch — epoch stamping makes per-stage resets
+	// O(1) instead of O(nodes).
+	nodeColor []int
+	nodeEpoch []int
+	epoch     int
+	colors    []int // per-unit color
+	counts    []int // per-color unit count, then the fill cursor
+	starts    []int // color -> start offset into order
+	order     []int // unit indices grouped by color, serial order within
+
+	// Batch execution state read by the prebound pool closure.
+	batchBase int
+	// minFail is the lowest-index unit that failed in this stage
+	// (len(units) when none): units above it are skipped so the engine
+	// reports exactly the error the serial loop would have hit first.
+	minFail int
+
+	runUnitFn func(int)
+	recvFn    func(int)
+
+	stats SchedStats
 }
 
-// runParallel is Run on the node-parallel engine.
-func (s *Simulator) runParallel(observer Observer, planner WakePlanner, workers int) error {
+// newTickEngine assembles the engine and its persistent pool.
+func newTickEngine(s *Simulator, planner WakePlanner, workers int) *tickEngine {
 	e := &tickEngine{
-		s:       s,
-		planner: planner,
-		workers: workers,
-		group:   make([]int, len(s.nodes)),
-		touched: make([]bool, len(s.nodes)),
-		tainted: make([]bool, len(s.nodes)),
+		s:         s,
+		planner:   planner,
+		workers:   workers,
+		pool:      par.NewPool(workers),
+		group:     make([]int, len(s.nodes)),
+		tainted:   make([]bool, len(s.nodes)),
+		nodeColor: make([]int, len(s.nodes)),
+		nodeEpoch: make([]int, len(s.nodes)),
 	}
 	for i := range e.group {
 		e.group[i] = -1
 	}
+	if pr, ok := s.protocol.(PassiveReceiver); ok {
+		e.passive = pr.ReceivesPassively()
+	}
+	e.runUnitFn = func(i int) {
+		u := &e.units[e.order[e.batchBase+i]]
+		u.err = e.runUnit(u)
+	}
+	e.recvFn = func(gi int) { e.runRecvGroup(gi) }
+	return e
+}
+
+// close releases the engine's worker pool.
+func (e *tickEngine) close() { e.pool.Close() }
+
+// runParallel is Run on the node-parallel engine.
+func (s *Simulator) runParallel(observer Observer, planner WakePlanner, workers int) error {
+	e := newTickEngine(s, planner, workers)
+	defer e.close()
+	defer func() { s.sched = e.stats }()
 	totalTicks := s.cfg.Rounds * s.cfg.TicksPerRound
 	for ; s.tick < totalTicks; s.tick++ {
+		e.stats.Ticks++
 		s.applyChurn()
 		if err := e.deliverDue(); err != nil {
 			return err
@@ -192,23 +282,7 @@ func (e *tickEngine) deliverDue() error {
 		}
 		e.recv[gi].idxs = append(e.recv[gi].idxs, i)
 	}
-	par.ForEach(e.workers, len(e.recv), func(gi int) {
-		g := &e.recv[gi]
-		for _, di := range g.idxs {
-			d := &s.drainBuf[di]
-			params := d.Params
-			d.Params = nil
-			err := s.protocol.OnReceive(s.nodes[d.To], Message{From: d.From, Params: params})
-			if s.syncRecv {
-				s.pool.Put(params) // VecPool is safe for concurrent use
-			}
-			if err != nil {
-				g.err = fmt.Errorf("gossip: deliver %d->%d at tick %d: %w", d.From, d.To, s.tick, err)
-				g.errAt = di
-				return
-			}
-		}
-	})
+	e.pool.ForEach(len(e.recv), e.recvFn)
 	var firstErr error
 	firstAt := -1
 	for gi := range e.recv {
@@ -219,6 +293,26 @@ func (e *tickEngine) deliverDue() error {
 		}
 	}
 	return firstErr
+}
+
+// runRecvGroup drains one receiver's due deliveries in drain order.
+func (e *tickEngine) runRecvGroup(gi int) {
+	s := e.s
+	g := &e.recv[gi]
+	for _, di := range g.idxs {
+		d := &s.drainBuf[di]
+		params := d.Params
+		d.Params = nil
+		err := s.protocol.OnReceive(s.nodes[d.To], Message{From: d.From, Params: params})
+		if s.syncRecv {
+			s.pool.Put(params) // VecPool is safe for concurrent use
+		}
+		if err != nil {
+			g.err = fmt.Errorf("gossip: deliver %d->%d at tick %d: %w", d.From, d.To, s.tick, err)
+			g.errAt = di
+			return
+		}
+	}
 }
 
 // growRecv appends a recvGroup slot for node `to`, reusing capacity.
@@ -249,6 +343,8 @@ func (e *tickEngine) runWakes() error {
 		if planned == 0 {
 			break
 		}
+		e.stats.Stages++
+		e.stats.Units += planned
 		if err := e.computeStage(); err != nil {
 			return err
 		}
@@ -262,22 +358,28 @@ func (e *tickEngine) runWakes() error {
 // planStage is the serial planning pass: it advances *next over due
 // wakers in node-ID order — applying dynamics, snapshotting views,
 // selecting peers, and planning transports exactly as the serial loop
-// interleaves them — until the scan ends or the next waker is an
-// inline target of a wake already planned in this stage (whose compute
-// must run first to keep that node's RNG order serial).
+// interleaves them — until the scan ends or (for protocols whose
+// OnReceive advances the receiver's RNG) the next waker is an inline
+// target of a wake already planned in this stage, whose compute must
+// run first to keep that node's RNG order serial. PassiveReceiver
+// protocols never break: their receive path is an inbox append, so a
+// tainted waker's planning reads the same RNG state either way, and
+// the compute-order hazard is handled by the precedence coloring.
 func (e *tickEngine) planStage(next *int) (int, error) {
 	s := e.s
 	e.units = e.units[:0]
-	for _, id := range e.taintedList {
-		e.tainted[id] = false
+	if !e.passive {
+		for _, id := range e.taintedList {
+			e.tainted[id] = false
+		}
+		e.taintedList = e.taintedList[:0]
 	}
-	e.taintedList = e.taintedList[:0]
 	for ; *next < len(s.nodes); *next++ {
 		node := s.nodes[*next]
 		if node.nextWake > s.tick || s.down[node.ID] {
 			continue
 		}
-		if e.tainted[node.ID] {
+		if !e.passive && e.tainted[node.ID] {
 			break // planned earlier wakes deliver to it this tick
 		}
 		switch s.cfg.Dynamics {
@@ -318,7 +420,7 @@ func (e *tickEngine) planStage(next *int) (int, error) {
 			}
 			if deliverAt <= s.tick {
 				u.sends = append(u.sends, plannedSend{to: to, mode: sendInline})
-				if !e.tainted[to] {
+				if !e.passive && !e.tainted[to] {
 					e.tainted[to] = true
 					e.taintedList = append(e.taintedList, to)
 				}
@@ -346,73 +448,116 @@ func (e *tickEngine) growUnit() *tickUnit {
 	return u
 }
 
-// computeStage cuts the stage's units into contiguous conflict-free
-// batches and runs each batch's wakes concurrently. Units touch their
-// waker plus their inline targets; a unit whose touch set intersects
-// the current batch starts the next one, so conflicting wakes keep
-// their serial order across the batch barrier.
+// computeStage packs the stage's units into conflict-free batches by
+// greedy precedence coloring and runs each batch concurrently.
+//
+// A unit's touch set is its waker plus its inline-delivery targets.
+// Walking units in serial (node-ID) order, each unit takes the
+// smallest color strictly greater than every earlier conflicting
+// unit's color: color(i) = 1 + max over touched nodes of the latest
+// color stamped there (0 when untouched). Batches execute in color
+// order with a barrier between colors, so every conflicting pair runs
+// in serial order across a barrier, while non-conflicting units share
+// a batch no matter how far apart they sit in node-ID order. The old
+// scheduler cut batches as *contiguous runs* of the serial order at
+// the first conflict, which under dense wakes degenerated to
+// near-serial schedules (~1.2 units/batch on the dense-wake arm);
+// coloring packs the same stage into near-minimal barriers while
+// computing byte-identical results.
 func (e *tickEngine) computeStage() error {
-	clear := func() {
-		for _, id := range e.touchedList {
-			e.touched[id] = false
-		}
-		e.touchedList = e.touchedList[:0]
-	}
-	mark := func(id int) {
-		if !e.touched[id] {
-			e.touched[id] = true
-			e.touchedList = append(e.touchedList, id)
-		}
-	}
-	batchLo := 0
-	flush := func(hi int) error {
-		if hi > batchLo {
-			if err := e.runBatch(batchLo, hi); err != nil {
-				return err
-			}
-		}
-		batchLo = hi
-		clear()
+	n := len(e.units)
+	if n == 0 {
 		return nil
 	}
+	e.epoch++
+	if cap(e.colors) < n {
+		e.colors = make([]int, n)
+		e.order = make([]int, n)
+	}
+	e.colors = e.colors[:n]
+	e.order = e.order[:n]
+	maxColor := 0
 	for i := range e.units {
 		u := &e.units[i]
-		conflict := e.touched[u.node.ID]
-		if !conflict {
-			for si := range u.sends {
-				if u.sends[si].mode == sendInline && e.touched[u.sends[si].to] {
-					conflict = true
-					break
-				}
-			}
+		c := 0
+		if e.nodeEpoch[u.node.ID] == e.epoch {
+			c = e.nodeColor[u.node.ID] + 1
 		}
-		if conflict {
-			if err := flush(i); err != nil {
-				return err
-			}
-		}
-		mark(u.node.ID)
 		for si := range u.sends {
-			if u.sends[si].mode == sendInline {
-				mark(u.sends[si].to)
+			p := &u.sends[si]
+			if p.mode != sendInline {
+				continue
+			}
+			if e.nodeEpoch[p.to] == e.epoch && e.nodeColor[p.to]+1 > c {
+				c = e.nodeColor[p.to] + 1
+			}
+		}
+		e.colors[i] = c
+		if c > maxColor {
+			maxColor = c
+		}
+		e.nodeColor[u.node.ID] = c
+		e.nodeEpoch[u.node.ID] = e.epoch
+		for si := range u.sends {
+			p := &u.sends[si]
+			if p.mode == sendInline {
+				e.nodeColor[p.to] = c
+				e.nodeEpoch[p.to] = e.epoch
 			}
 		}
 	}
-	return flush(len(e.units))
-}
-
-// runBatch executes units [lo, hi) concurrently and reports the error
-// of the lowest-index failing unit — the wake the serial loop would
-// have failed on first.
-func (e *tickEngine) runBatch(lo, hi int) error {
-	par.ForEach(e.workers, hi-lo, func(i int) {
-		u := &e.units[lo+i]
-		u.err = e.runUnit(u)
-	})
-	for i := lo; i < hi; i++ {
-		if err := e.units[i].err; err != nil {
-			return err
+	// Counting sort by color: order holds unit indices grouped by
+	// color, ascending (= serial) order within each color.
+	nc := maxColor + 1
+	if cap(e.counts) < nc {
+		e.counts = make([]int, nc)
+		e.starts = make([]int, nc+1)
+	}
+	e.counts = e.counts[:nc]
+	e.starts = e.starts[:nc+1]
+	for c := range e.counts {
+		e.counts[c] = 0
+	}
+	for _, c := range e.colors {
+		e.counts[c]++
+	}
+	sum := 0
+	for c := 0; c < nc; c++ {
+		e.starts[c] = sum
+		sum += e.counts[c]
+		e.counts[c] = e.starts[c] // becomes the fill cursor
+	}
+	e.starts[nc] = sum
+	for i, c := range e.colors {
+		e.order[e.counts[c]] = i
+		e.counts[c]++
+	}
+	// Execute color batches in order. After a failure, only units that
+	// precede the earliest failure in serial order keep running — they
+	// are exactly the units the serial loop would still have executed,
+	// and their conflicts all sit in earlier colors, so the reported
+	// error is the serial loop's first error.
+	e.minFail = n
+	for c := 0; c < nc; c++ {
+		lo, hi := e.starts[c], e.starts[c+1]
+		for hi > lo && e.order[hi-1] > e.minFail {
+			hi--
 		}
+		if hi <= lo {
+			continue
+		}
+		e.stats.Batches++
+		e.batchBase = lo
+		e.pool.ForEach(hi-lo, e.runUnitFn)
+		for j := lo; j < hi; j++ {
+			ui := e.order[j]
+			if e.units[ui].err != nil && ui < e.minFail {
+				e.minFail = ui
+			}
+		}
+	}
+	if e.minFail < n {
+		return e.units[e.minFail].err
 	}
 	return nil
 }

@@ -48,6 +48,23 @@ type SyncReceiver interface {
 	ReceivesSynchronously() bool
 }
 
+// PassiveReceiver is optionally implemented by protocols whose
+// OnReceive only stores the message (an inbox append) without
+// consuming the receiver's RNG stream or mutating its model or
+// optimizer state. The node-parallel tick engine can then plan a
+// node's wake before earlier same-tick inline deliveries to it have
+// computed — the plan reads the same RNG state either way — so a
+// dense tick packs into one plan/compute stage instead of fragmenting
+// at every sender→waker collision. Protocols that train on receive
+// (BaseGossip, SAMO's nodelay ablation) must not report passive:
+// their receive path advances the node's RNG ahead of the wake's own
+// draws.
+type PassiveReceiver interface {
+	// ReceivesPassively reports whether OnReceive leaves the
+	// receiver's RNG, model, and optimizer untouched.
+	ReceivesPassively() bool
+}
+
 // BaseGossip is Algorithm 1: on wake, send the current model to one
 // uniformly chosen neighbor; on receive, average pairwise with the
 // incoming model and perform a local update.
@@ -117,6 +134,7 @@ type SAMO struct {
 
 var _ Protocol = SAMO{}
 var _ SyncReceiver = SAMO{}
+var _ PassiveReceiver = SAMO{}
 
 // Name implements Protocol.
 func (p SAMO) Name() string {
@@ -130,6 +148,12 @@ func (p SAMO) Name() string {
 // ablation merges inside OnReceive; standard SAMO stores the buffer in
 // the inbox until the next wake-up.
 func (p SAMO) ReceivesSynchronously() bool { return p.MergeOnReceive }
+
+// ReceivesPassively implements PassiveReceiver: standard SAMO's
+// OnReceive is a pure inbox append (no RNG draw, no training), so the
+// parallel engine may plan wakes past pending inline deliveries. The
+// nodelay ablation trains on receive and stays staged.
+func (p SAMO) ReceivesPassively() bool { return !p.MergeOnReceive }
 
 // OnWake implements Protocol.
 func (p SAMO) OnWake(node *Node, net Network) error {

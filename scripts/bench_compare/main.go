@@ -9,6 +9,15 @@
 // comparison (the matrix legitimately grows and gets deduplicated);
 // only a shared benchmark whose ns/op grew by more than -threshold
 // percent exits non-zero.
+//
+// For benchmark families with /workers=N variants the tool also
+// computes each variant's speedup ratio over the family's workers=1
+// baseline — the scaling signal the per-variant ns/op deltas hide: a
+// uniform 2x slowdown passes the delta gate on every variant while
+// worsening nothing about scaling, whereas a workers=4 variant that
+// stops beating workers=1 is exactly the flat-scaling failure this
+// repo has already shipped once. A family speedup that falls by more
+// than -threshold percent of its old value fails the comparison.
 package main
 
 import (
@@ -16,6 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 )
 
 type snapshot struct {
@@ -77,6 +89,103 @@ func compare(oldSnap, newSnap *snapshot, thresholdPct float64) (table string, re
 	return out, regressions
 }
 
+// familySpeedups extracts, for every benchmark family with /workers=N
+// variants and a workers=1 baseline, the speedup ratio ns(workers=1) /
+// ns(workers=N) of each variant.
+func familySpeedups(s *snapshot) map[string]map[int]float64 {
+	type variant struct {
+		workers int
+		ns      float64
+	}
+	byFamily := make(map[string][]variant)
+	for _, e := range s.Benchmarks {
+		i := strings.LastIndex(e.Name, "/workers=")
+		if i < 0 {
+			continue
+		}
+		w, err := strconv.Atoi(e.Name[i+len("/workers="):])
+		if err != nil || w < 1 || e.NsPerOp <= 0 {
+			continue
+		}
+		byFamily[e.Name[:i]] = append(byFamily[e.Name[:i]], variant{w, e.NsPerOp})
+	}
+	out := make(map[string]map[int]float64)
+	for fam, vs := range byFamily {
+		var base float64
+		for _, v := range vs {
+			if v.workers == 1 {
+				base = v.ns
+			}
+		}
+		if base <= 0 {
+			continue
+		}
+		m := make(map[int]float64, len(vs))
+		for _, v := range vs {
+			if v.workers > 1 {
+				m[v.workers] = base / v.ns
+			}
+		}
+		if len(m) > 0 {
+			out[fam] = m
+		}
+	}
+	return out
+}
+
+// compareSpeedups renders the scaling table and returns the
+// family/workers pairs whose speedup fell by more than thresholdPct
+// percent of the old value. Families or worker counts present in only
+// one snapshot are shown but never fail the gate.
+func compareSpeedups(oldSnap, newSnap *snapshot, thresholdPct float64) (table string, regressions []string) {
+	oldSp, newSp := familySpeedups(oldSnap), familySpeedups(newSnap)
+	if len(oldSp) == 0 && len(newSp) == 0 {
+		return "", nil
+	}
+	fams := make([]string, 0, len(newSp))
+	for fam := range newSp {
+		fams = append(fams, fam)
+	}
+	for fam := range oldSp {
+		if _, ok := newSp[fam]; !ok {
+			fams = append(fams, fam)
+		}
+	}
+	sort.Strings(fams)
+	out := fmt.Sprintf("\n%-47s %8s %12s %12s %8s\n", "speedup vs workers=1", "workers", "old", "new", "delta")
+	for _, fam := range fams {
+		workers := make([]int, 0, len(newSp[fam])+len(oldSp[fam]))
+		for w := range newSp[fam] {
+			workers = append(workers, w)
+		}
+		for w := range oldSp[fam] {
+			if _, ok := newSp[fam][w]; !ok {
+				workers = append(workers, w)
+			}
+		}
+		sort.Ints(workers)
+		for _, w := range workers {
+			o, hasOld := oldSp[fam][w]
+			n, hasNew := newSp[fam][w]
+			switch {
+			case !hasNew:
+				out += fmt.Sprintf("%-47s %8d %11.2fx %12s %8s\n", fam, w, o, "-", "removed")
+			case !hasOld:
+				out += fmt.Sprintf("%-47s %8d %12s %11.2fx %8s\n", fam, w, "-", n, "new")
+			default:
+				delta := (n - o) / o * 100
+				mark := ""
+				if -delta > thresholdPct {
+					mark = "  SPEEDUP REGRESSION"
+					regressions = append(regressions, fmt.Sprintf("%s/workers=%d", fam, w))
+				}
+				out += fmt.Sprintf("%-47s %8d %11.2fx %11.2fx %+7.1f%%%s\n", fam, w, o, n, delta, mark)
+			}
+		}
+	}
+	return out, regressions
+}
+
 func main() {
 	oldPath := flag.String("old", "", "baseline BENCH_*.json")
 	newPath := flag.String("new", "", "candidate BENCH_*.json")
@@ -98,11 +207,22 @@ func main() {
 	}
 	table, regressions := compare(oldSnap, newSnap, *threshold)
 	fmt.Print(table)
+	spTable, spRegressions := compareSpeedups(oldSnap, newSnap, *threshold)
+	fmt.Print(spTable)
+	failed := false
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "bench_compare: %d benchmark(s) regressed more than %.0f%% ns/op: %v\n",
 			len(regressions), *threshold, regressions)
+		failed = true
+	}
+	if len(spRegressions) > 0 {
+		fmt.Fprintf(os.Stderr, "bench_compare: %d variant(s) lost more than %.0f%% of their workers=1 speedup: %v\n",
+			len(spRegressions), *threshold, spRegressions)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("bench_compare: no ns/op regression beyond %.0f%% (old %s, new %s)\n",
+	fmt.Printf("bench_compare: no ns/op or speedup regression beyond %.0f%% (old %s, new %s)\n",
 		*threshold, oldSnap.Generated, newSnap.Generated)
 }

@@ -36,3 +36,79 @@ func TestCompareImprovementsAndExactMatchPass(t *testing.T) {
 		t.Fatalf("unexpected regressions: %v", regs)
 	}
 }
+
+func TestFamilySpeedupsExtractsWorkerVariants(t *testing.T) {
+	s := snap(
+		entry{Name: "BenchmarkIntra/workers=1", NsPerOp: 100},
+		entry{Name: "BenchmarkIntra/workers=2", NsPerOp: 50},
+		entry{Name: "BenchmarkIntra/workers=4", NsPerOp: 25},
+		entry{Name: "BenchmarkPar/figure2/workers=1", NsPerOp: 300},
+		entry{Name: "BenchmarkPar/figure2/workers=4", NsPerOp: 150},
+		entry{Name: "BenchmarkNoBaseline/workers=4", NsPerOp: 10}, // no workers=1: skipped
+		entry{Name: "BenchmarkScalar", NsPerOp: 7},                // no variants: skipped
+	)
+	sp := familySpeedups(s)
+	if len(sp) != 2 {
+		t.Fatalf("families = %v, want BenchmarkIntra and BenchmarkPar/figure2", sp)
+	}
+	if got := sp["BenchmarkIntra"][4]; got != 4.0 {
+		t.Fatalf("BenchmarkIntra workers=4 speedup = %v, want 4.0", got)
+	}
+	if got := sp["BenchmarkPar/figure2"][4]; got != 2.0 {
+		t.Fatalf("BenchmarkPar/figure2 workers=4 speedup = %v, want 2.0", got)
+	}
+}
+
+func TestCompareSpeedupsFailsOnScalingLoss(t *testing.T) {
+	oldSnap := snap(
+		entry{Name: "BenchmarkIntra/workers=1", NsPerOp: 100},
+		entry{Name: "BenchmarkIntra/workers=4", NsPerOp: 40}, // 2.5x
+	)
+	newSnap := snap(
+		// Uniformly 10% faster — the per-variant delta gate sees only
+		// improvements — but workers=4 no longer scales: 1.0x vs 2.5x.
+		entry{Name: "BenchmarkIntra/workers=1", NsPerOp: 90},
+		entry{Name: "BenchmarkIntra/workers=4", NsPerOp: 90},
+	)
+	table, regs := compareSpeedups(oldSnap, newSnap, 15)
+	if len(regs) != 1 || regs[0] != "BenchmarkIntra/workers=4" {
+		t.Fatalf("speedup regressions = %v, want [BenchmarkIntra/workers=4]", regs)
+	}
+	if !strings.Contains(table, "SPEEDUP REGRESSION") {
+		t.Fatalf("table missing regression mark:\n%s", table)
+	}
+}
+
+func TestCompareSpeedupsTolerantToNewAndRemoved(t *testing.T) {
+	oldSnap := snap(
+		entry{Name: "BenchmarkIntra/workers=1", NsPerOp: 100},
+		entry{Name: "BenchmarkIntra/workers=8", NsPerOp: 20},
+	)
+	newSnap := snap(
+		entry{Name: "BenchmarkIntra/workers=1", NsPerOp: 100},
+		entry{Name: "BenchmarkIntra/workers=4", NsPerOp: 30},
+	)
+	table, regs := compareSpeedups(oldSnap, newSnap, 15)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	for _, want := range []string{"new", "removed"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestCompareSpeedupsImprovementPasses(t *testing.T) {
+	oldSnap := snap(
+		entry{Name: "BenchmarkIntra/workers=1", NsPerOp: 100},
+		entry{Name: "BenchmarkIntra/workers=4", NsPerOp: 101}, // 0.99x: the shipped flat-scaling bug
+	)
+	newSnap := snap(
+		entry{Name: "BenchmarkIntra/workers=1", NsPerOp: 100},
+		entry{Name: "BenchmarkIntra/workers=4", NsPerOp: 38}, // 2.6x after the fix
+	)
+	if _, regs := compareSpeedups(oldSnap, newSnap, 15); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}

@@ -67,3 +67,28 @@ END {
     if (bad) exit 1
     printf "zero-alloc gate ok (%d benchmarks)\n", gated
 }' "$RAW"
+
+# Parallel-path alloc gate: the node-parallel engine reuses its unit,
+# batch, and pool scratch across ticks, so a workers=4 intra-arm run
+# must allocate within 8% of the serial run (it sits at ~2.5% today —
+# the per-batch goroutine spawns it replaced cost +16.5%). Creep beyond
+# the margin means per-batch/per-stage scratch has started leaking back
+# into the hot loop.
+awk '
+/^BenchmarkIntraArmSpeedup\/workers=/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    allocs = ""
+    for (i = 2; i <= NF; i++) if ($(i+1) == "allocs/op") allocs = $i
+    if (allocs == "") next
+    if (name ~ /workers=1$/) serial = allocs + 0
+    if (name ~ /workers=4$/) par = allocs + 0
+}
+END {
+    if (serial == "" || par == "") { print "bench_smoke: alloc gate missing IntraArmSpeedup workers=1 or workers=4"; exit 1 }
+    limit = serial * 1.08
+    if (par > limit) {
+        printf "bench_smoke: parallel path allocates %.0f allocs/op vs %.0f serial (limit %.0f): per-batch scratch is leaking\n", par, serial, limit
+        exit 1
+    }
+    printf "parallel-path alloc gate ok (workers=4: %.0f allocs/op, serial: %.0f)\n", par, serial
+}' "$RAW"

@@ -153,3 +153,24 @@ kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
 echo "chaos smoke ok"
+
+# Intra-arm scaling smoke: a quick IntraArmSpeedup run at workers={1,4}.
+# Advisory, not a gate — single-run ns/op on a shared host is too noisy
+# to fail CI on, and on a 1-core runtime (GOMAXPROCS=1) parity is the
+# physical ceiling — but the ratio is always logged, so flat scaling can
+# never regress silently again. bench_compare gates the recorded
+# snapshots; this catches drift between them.
+go test -run=NONE -bench='BenchmarkIntraArmSpeedup/workers=(1|4)$' \
+    -benchtime=2x . >"$specout/scaling.log" 2>&1 || { cat "$specout/scaling.log" >&2; exit 1; }
+awk -v procs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}" '
+/^BenchmarkIntraArmSpeedup\/workers=1/ { w1 = $3 }
+/^BenchmarkIntraArmSpeedup\/workers=4/ { w4 = $3 }
+END {
+    if (w1 == "" || w4 == "") { print "ci: scaling smoke ran no benchmarks"; exit 1 }
+    ratio = w1 / w4
+    printf "intra-arm scaling smoke: workers=4 speedup %.2fx over workers=1 (GOMAXPROCS=%s)\n", ratio, procs
+    if (ratio < 1.5)
+        printf "ci: WARNING: intra-arm speedup %.2fx below 1.5x%s\n", ratio,
+            (procs + 0 <= 1 ? " (expected: single-P runtime cannot overlap batches)" : " on a multi-core host: scheduler may be fragmenting")
+}' "$specout/scaling.log"
+echo "scaling smoke ok"

@@ -1,0 +1,40 @@
+#!/bin/sh
+# profile.sh — capture pprof CPU + allocation profiles for the two
+# workloads the perf work steers by: the figure2 end-to-end run (via
+# dlsim's -cpuprofile/-memprofile flags) and the dense-wake arm (via
+# the IntraArmSpeedup benchmark). Writes raw profiles plus plain-text
+# top-20 summaries under profiles/ — the summaries are what DESIGN.md's
+# "Where the time goes" section is built from.
+#
+# Usage: scripts/profile.sh [outdir]   (default: profiles/)
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=${1:-profiles}
+mkdir -p "$OUT"
+
+echo "== figure2 (tiny scale, workers=4) =="
+go build -o "$OUT/dlsim" ./cmd/dlsim
+"$OUT/dlsim" run -figure 2 -scale tiny -workers 4 \
+    -cpuprofile "$OUT/figure2_cpu.pprof" \
+    -memprofile "$OUT/figure2_mem.pprof" >/dev/null
+rm -f "$OUT/dlsim"
+
+echo "== dense-wake arm (IntraArmSpeedup benchmark, workers sweep) =="
+go test -run=NONE -bench='BenchmarkIntraArmSpeedup' -benchtime=5x \
+    -cpuprofile "$OUT/intraarm_cpu.pprof" \
+    -memprofile "$OUT/intraarm_mem.pprof" \
+    -o "$OUT/bench.test" . >/dev/null
+
+for p in figure2_cpu figure2_mem intraarm_cpu intraarm_mem; do
+    case "$p" in
+        *_mem) sample="-sample_index=alloc_space" ;;
+        *) sample="" ;;
+    esac
+    go tool pprof $sample -top -nodecount=20 "$OUT/$p.pprof" \
+        >"$OUT/$p.txt" 2>/dev/null || echo "pprof summary failed for $p" >&2
+done
+rm -f "$OUT/bench.test"
+
+echo "profiles and top-20 summaries written to $OUT/"
+grep -m4 'flat%' -A6 "$OUT/intraarm_cpu.txt" | head -8 || true
