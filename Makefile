@@ -2,8 +2,8 @@ GO ?= go
 
 # bench-compare inputs: the baseline and candidate snapshots, and the
 # tolerated ns/op growth in percent.
-OLD ?= BENCH_0003.json
-NEW ?= BENCH_0004.json
+OLD ?= BENCH_0005.json
+NEW ?= BENCH_0006.json
 THRESHOLD ?= 15
 
 .PHONY: all build vet test race ci bench bench-smoke bench-compare profile

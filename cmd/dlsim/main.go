@@ -13,8 +13,13 @@
 //	                                           # submit to a service, stream events
 //	dlsim sweep -spec sweep.json -out runs/s   # persisted: manifest + caches + streams
 //	dlsim sweep -spec sweep.json -out runs/s -resume
+//	dlsim sweep -spec big.json -out runs/b -store
+//	                                           # arm caches in one embedded store
 //	dlsim serve -addr 127.0.0.1:8080           # HTTP/JSON job service
+//	dlsim serve -checkpoint cp -store cp/store # jobs share one result store
 //	dlsim list                                 # the scenario catalog
+//	dlsim list -jobs -addr URL -limit 20       # a service's job table, paged
+//	dlsim list -store runs/b/store -figure f2  # cached arms of a result store
 //	dlsim version                              # build + spec-schema identity
 //
 // The pre-subcommand flat invocation (dlsim -figure 3, dlsim -spec
@@ -28,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -75,9 +81,12 @@ usage: dlsim <command> [flags]
 
 commands:
   run      run a figure/scenario or a declarative spec (locally or against -remote)
-  sweep    run a spec persisted to a result directory (-out), resumable (-resume)
+  sweep    run a spec persisted to a result directory (-out), resumable (-resume);
+           -store keeps arm caches in one embedded indexed store
   serve    expose the engine as an HTTP/JSON job service
-  list     print the scenario catalog
+  list     print the scenario catalog; -jobs lists a service's job table,
+           -store DIR lists a result store's cached arms (both page with
+           -limit/-offset)
   version  print build, Go, and spec-schema identity
 
 Legacy flat flags (dlsim -figure 3, dlsim -spec f.json -out d) still work.
@@ -107,6 +116,8 @@ func runAndSweep(cmd string, args []string) (retErr error) {
 	specPath := fs.String("spec", "", "run a declarative scenario spec (JSON file) instead of a catalog figure")
 	outDir := fs.String("out", "", "result directory: manifest, per-arm caches, streamed events, results.csv (requires -spec)")
 	resume := fs.Bool("resume", false, "with -spec and -out: skip arms whose cached results already exist in the out directory")
+	useStore := fs.Bool("store", false, "with -out: keep per-arm caches in an embedded indexed result store under OUT/store instead of one JSON file per arm (same bytes, one log; resume scans the store once instead of opening a file per arm)")
+	events := fs.String("events", "jsonl", `with -out: per-arm event stream format, "jsonl", "csv", or "none"`)
 	remote := fs.String("remote", "", "submit the run to a dlsim service at this base URL instead of executing locally (requires -spec)")
 	list := fs.Bool("list", false, "print the available figures/scenarios and exit")
 	scaleName := fs.String("scale", "quick", "experiment scale: tiny, quick, or paper")
@@ -179,18 +190,18 @@ func runAndSweep(cmd string, args []string) (retErr error) {
 			return fmt.Errorf("network overlay flags cannot be combined with -spec: declare the network per arm in the spec file")
 		}
 		if *remote != "" {
-			if *outDir != "" || *resume {
-				return fmt.Errorf("-out and -resume are local-run flags and cannot be combined with -remote")
+			if *outDir != "" || *resume || *useStore {
+				return fmt.Errorf("-out, -resume, and -store are local-run flags and cannot be combined with -remote")
 			}
 			return runRemote(ctx, *remote, *specPath, *scaleName, *seed, *workers, *csv, *plotFlag)
 		}
-		return runSpecFile(ctx, *specPath, *scaleName, *seed, *workers, *outDir, *resume, *csv, *plotFlag)
+		return runSpecFile(ctx, *specPath, *scaleName, *seed, *workers, *outDir, *resume, *useStore, *events, *csv, *plotFlag)
 	}
 	if *remote != "" {
 		return fmt.Errorf("-remote requires -spec (submit a spec file to the service)")
 	}
-	if *outDir != "" || *resume {
-		return fmt.Errorf("-out and -resume require -spec")
+	if *outDir != "" || *resume || *useStore {
+		return fmt.Errorf("-out, -resume, and -store require -spec")
 	}
 
 	switch *figure {
@@ -238,10 +249,14 @@ func newRunner(scaleName string, seed int64, workers int) (*dlsim.Runner, error)
 
 // runSpecFile loads and runs a declarative spec through the SDK,
 // optionally persisting the run (manifest, caches, event streams) to a
-// result directory.
-func runSpecFile(ctx context.Context, path, scaleName string, seed int64, workers int, outDir string, resume, csv, renderPlot bool) error {
+// result directory — with -store, per-arm caches go to the embedded
+// result store under outDir/store instead of one file per arm.
+func runSpecFile(ctx context.Context, path, scaleName string, seed int64, workers int, outDir string, resume, useStore bool, events string, csv, renderPlot bool) error {
 	if resume && outDir == "" {
 		return fmt.Errorf("-resume requires -out")
+	}
+	if useStore && outDir == "" {
+		return fmt.Errorf("-store requires -out")
 	}
 	sp, err := dlsim.LoadSpec(path)
 	if err != nil {
@@ -255,8 +270,12 @@ func runSpecFile(ctx context.Context, path, scaleName string, seed int64, worker
 	if outDir == "" {
 		res, err = runner.Run(ctx, sp)
 	} else {
+		opts := dlsim.DirOptions{OutDir: outDir, Resume: resume, Events: events}
+		if useStore {
+			opts.StoreDir = filepath.Join(outDir, "store")
+		}
 		var report *dlsim.RunReport
-		res, report, err = runner.RunDir(ctx, sp, dlsim.DirOptions{OutDir: outDir, Resume: resume})
+		res, report, err = runner.RunDir(ctx, sp, opts)
 		if err == nil {
 			cached := 0
 			for _, a := range report.Arms {
@@ -404,13 +423,44 @@ func figureOf(res *dlsim.Result) *experiment.FigureResult {
 	return fig
 }
 
-// listCmd prints the catalog, either the local build's or a remote
-// service's.
+// listCmd prints the catalog (the local build's or a remote service's),
+// a service's job table (-jobs, paged with -limit/-offset), or the
+// cached arms of an embedded result store (-store DIR, filtered by
+// -figure and paged the same way).
 func listCmd(args []string) error {
 	fs := flag.NewFlagSet("list", flag.ContinueOnError)
 	addr := fs.String("addr", "", "query a dlsim service at this base URL instead of the local build")
+	jobsFlag := fs.Bool("jobs", false, "list the jobs of the service at -addr, newest first")
+	storeDir := fs.String("store", "", "list the cached arms of the embedded result store at this directory")
+	figure := fs.String("figure", "", "with -store: only arms of this spec/figure name")
+	limit := fs.Int("limit", 0, "with -jobs or -store: page size (0 = everything)")
+	offset := fs.Int("offset", 0, "with -jobs or -store: rows to skip before the page")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *limit < 0 || *offset < 0 {
+		return fmt.Errorf("-limit and -offset must be >= 0")
+	}
+	switch {
+	case *jobsFlag && *storeDir != "":
+		return fmt.Errorf("-jobs and -store are mutually exclusive")
+	case *jobsFlag:
+		if *addr == "" {
+			return fmt.Errorf("-jobs requires -addr (the service to list)")
+		}
+		return listJobs(*addr, *limit, *offset)
+	case *storeDir != "":
+		if *addr != "" {
+			return fmt.Errorf("-store lists a local store and cannot be combined with -addr")
+		}
+		page, total, err := experiment.ListStoreArms(*storeDir, *figure, *limit, *offset)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.FormatStoreArms(page, total, *offset))
+		return nil
+	case *figure != "" || *limit != 0 || *offset != 0:
+		return fmt.Errorf("-figure, -limit, and -offset require -jobs or -store")
 	}
 	if *addr == "" {
 		printCatalog(os.Stdout)
@@ -431,6 +481,29 @@ func listCmd(args []string) error {
 		fmt.Printf("  %-9s %s%s\n", e.Name, kind, e.Desc)
 	}
 	fmt.Println("entries marked * are text-only and cannot run as service jobs")
+	return nil
+}
+
+// listJobs prints one window of a service's job table.
+func listJobs(addr string, limit, offset int) error {
+	ctx, stop := signalContext()
+	defer stop()
+	page, err := dlsim.NewClient(addr).JobsPage(ctx, limit, offset)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d jobs at %s", page.Total, addr)
+	if len(page.Jobs) < page.Total {
+		fmt.Printf(" (showing %d-%d)", offset+1, offset+len(page.Jobs))
+	}
+	fmt.Println()
+	for _, j := range page.Jobs {
+		line := fmt.Sprintf("  %s\t%-9s %s (scale %s, seed %d)", j.ID, j.Status, j.Spec, j.Scale, j.Seed)
+		if j.Error != "" {
+			line += " error: " + j.Error
+		}
+		fmt.Println(line)
+	}
 	return nil
 }
 

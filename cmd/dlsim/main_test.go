@@ -269,6 +269,95 @@ func TestRunSpecFlagValidation(t *testing.T) {
 	if err := run([]string{"-spec", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
 		t.Fatal("missing spec file accepted")
 	}
+	if err := run([]string{"-spec", "x.json", "-store"}); err == nil ||
+		!strings.Contains(err.Error(), "-store requires -out") {
+		t.Fatalf("-store without -out: %v", err)
+	}
+	if err := run([]string{"-store"}); err == nil {
+		t.Fatal("-store without -spec accepted")
+	}
+	if err := run([]string{"run", "-spec", "x.json", "-remote", "http://x", "-store"}); err == nil ||
+		!strings.Contains(err.Error(), "cannot be combined with -remote") {
+		t.Fatalf("-store with -remote: %v", err)
+	}
+	if err := run([]string{"-spec", writeTestSpec(t), "-out", filepath.Join(t.TempDir(), "o"), "-events", "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown event format") {
+		t.Fatalf("bad -events value: %v", err)
+	}
+}
+
+// TestListFlagValidation pins the list subcommand's new modes: the
+// paging and store flags demand their mode flag, and the modes are
+// mutually exclusive.
+func TestListFlagValidation(t *testing.T) {
+	if err := run([]string{"list", "-jobs"}); err == nil ||
+		!strings.Contains(err.Error(), "-jobs requires -addr") {
+		t.Fatalf("-jobs without -addr: %v", err)
+	}
+	if err := run([]string{"list", "-jobs", "-store", "d", "-addr", "http://x"}); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("-jobs with -store: %v", err)
+	}
+	if err := run([]string{"list", "-store", "d", "-addr", "http://x"}); err == nil ||
+		!strings.Contains(err.Error(), "cannot be combined with -addr") {
+		t.Fatalf("-store with -addr: %v", err)
+	}
+	if err := run([]string{"list", "-limit", "5"}); err == nil ||
+		!strings.Contains(err.Error(), "require -jobs or -store") {
+		t.Fatalf("-limit without a mode: %v", err)
+	}
+	if err := run([]string{"list", "-jobs", "-addr", "http://x", "-limit", "-1"}); err == nil {
+		t.Fatal("negative -limit accepted")
+	}
+	if err := run([]string{"list", "-store", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Fatal("missing store directory accepted")
+	}
+	// serve's -store is a -checkpoint companion.
+	if err := run([]string{"serve", "-store", "d"}); err == nil ||
+		!strings.Contains(err.Error(), "-store requires -checkpoint") {
+		t.Fatalf("serve -store without -checkpoint: %v", err)
+	}
+}
+
+// TestSweepStoreTiny: a -store sweep produces the same results.csv as
+// the file backend, keeps no per-arm files, resumes from the store, and
+// its arms are visible through dlsim list -store.
+func TestSweepStoreTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	path := writeTestSpec(t)
+	fileOut := filepath.Join(t.TempDir(), "file")
+	storeOut := filepath.Join(t.TempDir(), "store")
+	if err := run([]string{"sweep", "-spec", path, "-scale", "tiny", "-out", fileOut}); err != nil {
+		t.Fatalf("file sweep: %v", err)
+	}
+	if err := run([]string{"sweep", "-spec", path, "-scale", "tiny", "-out", storeOut, "-store"}); err != nil {
+		t.Fatalf("store sweep: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join(fileOut, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(storeOut, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("store-backed results.csv differs:\n%s\nvs\n%s", got, want)
+	}
+	if _, err := os.Stat(filepath.Join(storeOut, "arms")); !os.IsNotExist(err) {
+		t.Fatalf("store sweep left an arms directory (stat err %v)", err)
+	}
+	if err := run([]string{"sweep", "-spec", path, "-scale", "tiny", "-out", storeOut, "-store", "-resume"}); err != nil {
+		t.Fatalf("store resume: %v", err)
+	}
+	if err := run([]string{"list", "-store", filepath.Join(storeOut, "store")}); err != nil {
+		t.Fatalf("list -store: %v", err)
+	}
+	if err := run([]string{"list", "-store", filepath.Join(storeOut, "store"), "-figure", "cli smoke", "-limit", "1"}); err != nil {
+		t.Fatalf("list -store paged: %v", err)
+	}
 }
 
 func TestRunSpecFileTiny(t *testing.T) {

@@ -32,6 +32,7 @@ func serveCmd(args []string) error {
 	retries := fs.Int("retries", 1, "execution attempts per job; transient failures retry with backoff up to this budget")
 	retryBase := fs.Duration("retry-base", 100*time.Millisecond, "base delay of the job retry backoff")
 	checkpoint := fs.String("checkpoint", "", "directory for per-job checkpoint caches; retries and restarts resume from it")
+	storeDir := fs.String("store", "", "embedded result store directory shared by every job's arm caches (requires -checkpoint); content-hash keys dedup arms across jobs and restarts")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain window on SIGTERM/SIGINT before running jobs are checkpointed and aborted")
 	inject := fs.String("inject", "", `fault-injection spec for chaos testing, e.g. "arm-error=2,errors=3,arm-panic=5,panics=1,event-delay=10ms"`)
 	logLevel := fs.String("log", "info", "log level: debug, info, warn, or error")
@@ -43,6 +44,9 @@ func serveCmd(args []string) error {
 	}
 	if *jobs < 1 || *queue < 1 {
 		return fmt.Errorf("serve needs -jobs >= 1 and -queue >= 1")
+	}
+	if *storeDir != "" && *checkpoint == "" {
+		return fmt.Errorf("-store requires -checkpoint (the store backs the per-job checkpoint caches)")
 	}
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
@@ -77,6 +81,7 @@ func serveCmd(args []string) error {
 		RequestTimeout:         *timeout,
 		Retry:                  server.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase},
 		CheckpointDir:          *checkpoint,
+		StoreDir:               *storeDir,
 		Fault:                  injector,
 		Log:                    log,
 	})
@@ -89,7 +94,7 @@ func serveCmd(args []string) error {
 	log.Info("service configured",
 		"auth", len(middleware.ParseTokens(*tokens)) > 0,
 		"rate", limiter.String(), "quota", *quota,
-		"retries", *retries, "checkpoint", *checkpoint, "drain", *drain)
+		"retries", *retries, "checkpoint", *checkpoint, "store", *storeDir, "drain", *drain)
 
 	ctx, stop := signalContext()
 	defer stop()

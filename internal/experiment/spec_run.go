@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"gossipmia/internal/core"
@@ -22,6 +23,7 @@ import (
 	"gossipmia/internal/par"
 	"gossipmia/internal/sink"
 	"gossipmia/internal/spec"
+	"gossipmia/internal/store"
 )
 
 // ErrArmPanic marks an arm execution that panicked. The executor
@@ -322,6 +324,17 @@ type SpecRunOptions struct {
 	// Events selects the per-arm stream format: "jsonl" (default),
 	// "csv", or "none".
 	Events string
+	// StoreDir, when non-empty, keeps the per-arm result cache in an
+	// embedded indexed store (internal/store) at this directory instead
+	// of one JSON file per arm under OutDir/arms — the layout that stays
+	// fast at 10^5–10^7 arms: resume reads one log + segment set in a
+	// single ordered scan instead of opening a file per arm, and `dlsim
+	// list -store` serves figures from a range-scannable index. Cache
+	// semantics are unchanged: records carry the same canonical JSON and
+	// self-checksum as the file backend, so results are byte-identical
+	// either way. An existing OutDir/arms directory is read as a
+	// fallback and migrated into the store on resume.
+	StoreDir string
 	// ExtraSinks, when non-nil, attaches an additional per-arm sink
 	// alongside the run directory's event files (the hook the SDK's
 	// WithSink rides on for persisted runs). It may return a nil sink
@@ -376,6 +389,18 @@ type armCacheFile struct {
 	// torn by a filesystem that reordered the atomic rename — is
 	// ignored on resume and the arm recomputed.
 	Sum string `json:"sum"`
+}
+
+// arm converts a validated cache entry back into the executed form.
+func (c armCacheFile) arm() Arm {
+	return Arm{
+		Label:           c.Label,
+		Series:          &metrics.Series{Label: c.Label, Records: c.Records},
+		MessagesSent:    c.MessagesSent,
+		BytesSent:       c.BytesSent,
+		RealizedEpsilon: c.RealizedEpsilon,
+		NoiseMultiplier: c.NoiseMultiplier,
+	}
 }
 
 // checksum returns the integrity sum of the entry's content.
@@ -434,14 +459,21 @@ func writeFileAtomic(path string, data []byte) error {
 
 // RunSpecDir runs a spec like RunSpec and additionally persists the run
 // to opts.OutDir: a manifest (spec hash, seed, workers, timings), a
-// per-arm result cache enabling -resume, per-arm streamed event files,
-// and a results.csv summary. The returned report says which arms ran
-// and which were loaded from cache.
+// per-arm result cache enabling -resume (one JSON file per arm, or one
+// embedded store when opts.StoreDir is set), per-arm streamed event
+// files, and a results.csv summary. The returned report says which arms
+// ran and which were loaded from cache.
+//
+// results.csv streams: a row lands (in completion order) as each arm
+// commits, so an interrupted sweep leaves a usable partial CSV. On
+// success the file is atomically rewritten in spec order — the final
+// artifact is byte-identical to what a serial, uninterrupted run
+// produces, for any worker count and any resume history.
 //
 // On cancellation the sweep checkpoints cleanly: completed arms keep
-// their atomically-written cache files (no manifest or results.csv is
-// written for the aborted run), so a later Resume re-executes only what
-// is missing and produces byte-identical output.
+// their durably-written cache entries (no manifest is written for the
+// aborted run), so a later Resume re-executes only what is missing and
+// produces byte-identical output.
 func RunSpecDir(ctx context.Context, sp *spec.Spec, sc Scale, opts SpecRunOptions) (*FigureResult, *SpecManifest, error) {
 	if opts.OutDir == "" {
 		return nil, nil, fmt.Errorf("%w: RunSpecDir needs an output directory", ErrScale)
@@ -462,9 +494,14 @@ func RunSpecDir(ctx context.Context, sp *spec.Spec, sc Scale, opts SpecRunOption
 	if err != nil {
 		return nil, nil, err
 	}
+	fileCache := opts.StoreDir == ""
 	armsDir := filepath.Join(opts.OutDir, "arms")
 	eventsDir := filepath.Join(opts.OutDir, "events")
-	if err := os.MkdirAll(armsDir, 0o755); err != nil {
+	if fileCache {
+		if err := os.MkdirAll(armsDir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("experiment: out dir: %w", err)
+		}
+	} else if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("experiment: out dir: %w", err)
 	}
 	if opts.Events != "none" {
@@ -475,6 +512,7 @@ func RunSpecDir(ctx context.Context, sp *spec.Spec, sc Scale, opts SpecRunOption
 
 	reports := make([]SpecArmReport, len(arms))
 	keys := make([]string, len(arms))
+	legacyFiles := make([]string, len(arms))
 	for i, a := range arms {
 		key, err := armKey(a, sc)
 		if err != nil {
@@ -482,15 +520,51 @@ func RunSpecDir(ctx context.Context, sp *spec.Spec, sc Scale, opts SpecRunOption
 		}
 		keys[i] = key
 		name := slugify(a.Label) + "-" + key[:8]
+		legacyFiles[i] = filepath.Join("arms", name+".json")
 		reports[i] = SpecArmReport{
-			Label:      a.Label,
-			Key:        key,
-			ResultFile: filepath.Join("arms", name+".json"),
+			Label: a.Label,
+			Key:   key,
+		}
+		if fileCache {
+			reports[i].ResultFile = legacyFiles[i]
 		}
 		if opts.Events != "none" {
 			reports[i].EventsFile = filepath.Join("events", name+"."+opts.Events)
 		}
 	}
+
+	var st *store.Store
+	if !fileCache {
+		s, release, err := store.OpenShared(opts.StoreDir, store.Options{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiment: result store: %w", err)
+		}
+		st = s
+		defer release()
+	}
+	// Resume prescan, store mode: ONE ordered range scan collects every
+	// wanted cached record — zero per-arm file opens however many arms
+	// are cached. The legacy arms/ directory (if any) backfills misses
+	// below and its hits are migrated into the store.
+	var prescanned [][]byte
+	if opts.Resume && st != nil {
+		prescanned, err = prescanStoreArms(st, keys)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	legacyArms := false
+	if !fileCache {
+		if fi, err := os.Stat(armsDir); err == nil && fi.IsDir() {
+			legacyArms = true
+		}
+	}
+
+	csv, err := newCSVStream(filepath.Join(opts.OutDir, "results.csv"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer csv.close()
 
 	started := time.Now()
 	h := specHooks{
@@ -514,7 +588,14 @@ func RunSpecDir(ctx context.Context, sp *spec.Spec, sc Scale, opts SpecRunOption
 			if err != nil {
 				return err
 			}
-			if err := writeFileAtomic(filepath.Join(opts.OutDir, reports[i].ResultFile), raw); err != nil {
+			if fileCache {
+				if err := writeFileAtomic(filepath.Join(opts.OutDir, reports[i].ResultFile), raw); err != nil {
+					return err
+				}
+			} else if err := putStoreArm(st, sp.Name, keys[i], arm, raw); err != nil {
+				return err
+			}
+			if err := csv.row(arm); err != nil {
 				return err
 			}
 			if opts.OnArmDone != nil {
@@ -555,9 +636,39 @@ func RunSpecDir(ctx context.Context, sp *spec.Spec, sc Scale, opts SpecRunOption
 	}
 	if opts.Resume {
 		h.lookup = func(i int, a spec.Arm) (Arm, bool) {
-			arm, ok := loadArmCache(filepath.Join(opts.OutDir, reports[i].ResultFile), keys[i], a.Label)
+			var arm Arm
+			var ok bool
+			if fileCache {
+				arm, ok = loadArmCache(filepath.Join(opts.OutDir, reports[i].ResultFile), keys[i], a.Label)
+			} else {
+				arm, ok = decodeArmCache(prescanned[i], keys[i], a.Label)
+				prescanned[i] = nil // decoded or rejected; free the raw bytes
+				if ok {
+					// A crash may have made the record durable but torn
+					// the listing-index row behind it; repair in passing.
+					if err := ensureStoreIndex(st, sp.Name, keys[i], arm); err != nil {
+						ok = false
+					}
+				}
+				if !ok && legacyArms {
+					// Pre-store run directory: serve the hit from the old
+					// per-arm file and migrate it into the store, so the
+					// next resume needs no fallback.
+					raw, err := os.ReadFile(filepath.Join(opts.OutDir, legacyFiles[i]))
+					if err == nil {
+						if arm, ok = decodeArmCache(raw, keys[i], a.Label); ok {
+							if err := putStoreArm(st, sp.Name, keys[i], arm, raw); err != nil {
+								ok = false // migration failed: recompute rather than half-trust
+							}
+						}
+					}
+				}
+			}
 			if ok {
 				reports[i].Cached = true
+				if err := csv.row(arm); err != nil {
+					return Arm{}, false // stream broken: recompute path surfaces the error
+				}
 				if opts.OnArmDone != nil {
 					opts.OnArmDone(i, reports[i])
 				}
@@ -571,6 +682,11 @@ func RunSpecDir(ctx context.Context, sp *spec.Spec, sc Scale, opts SpecRunOption
 		return nil, nil, err
 	}
 
+	// The streamed rows landed in completion order; the final artifact
+	// is the canonical spec-order table, swapped in atomically.
+	if err := csv.close(); err != nil {
+		return nil, nil, fmt.Errorf("experiment: results.csv: %w", err)
+	}
 	if err := writeFileAtomic(filepath.Join(opts.OutDir, "results.csv"), []byte(resultsCSV(fig))); err != nil {
 		return nil, nil, fmt.Errorf("experiment: results.csv: %w", err)
 	}
@@ -605,42 +721,82 @@ func loadArmCache(path, key, label string) (Arm, bool) {
 	if err != nil {
 		return Arm{}, false
 	}
-	var cache armCacheFile
-	if err := json.Unmarshal(raw, &cache); err != nil {
-		return Arm{}, false
-	}
-	if sum, err := cache.checksum(); err != nil || cache.Sum != sum {
-		return Arm{}, false
-	}
-	if cache.Key != key || cache.Label != label {
-		return Arm{}, false
-	}
-	return Arm{
-		Label:           cache.Label,
-		Series:          &metrics.Series{Label: cache.Label, Records: cache.Records},
-		MessagesSent:    cache.MessagesSent,
-		BytesSent:       cache.BytesSent,
-		RealizedEpsilon: cache.RealizedEpsilon,
-		NoiseMultiplier: cache.NoiseMultiplier,
-	}, true
+	return decodeArmCache(raw, key, label)
 }
 
-// resultsCSV renders the per-arm summary table as CSV. Labels are
-// free-form text from user spec files and are RFC 4180-quoted.
+// resultsCSVHeader is the results.csv column row.
+const resultsCSVHeader = "arm,max_acc,mia_at_max,max_mia,max_tpr,max_gen,messages,bytes,epsilon\n"
+
+// resultsCSVRow renders one arm's summary row. Labels are free-form
+// text from user spec files and are RFC 4180-quoted.
+func resultsCSVRow(b *strings.Builder, a Arm) {
+	at := a.AtMaxTestAcc()
+	maxGen := 0.0
+	for _, r := range a.Series.Records {
+		if r.GenError > maxGen {
+			maxGen = r.GenError
+		}
+	}
+	fmt.Fprintf(b, "%s,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%.4f\n",
+		sink.Quote(a.Label), at.TestAcc, at.MIAAcc, a.Series.MaxMIAAcc(), a.Series.MaxTPR(),
+		maxGen, a.MessagesSent, a.BytesSent, a.RealizedEpsilon)
+}
+
+// resultsCSV renders the per-arm summary table as CSV, in spec order.
 func resultsCSV(fig *FigureResult) string {
 	var b strings.Builder
-	b.WriteString("arm,max_acc,mia_at_max,max_mia,max_tpr,max_gen,messages,bytes,epsilon\n")
+	b.WriteString(resultsCSVHeader)
 	for _, a := range fig.Arms {
-		at := a.AtMaxTestAcc()
-		maxGen := 0.0
-		for _, r := range a.Series.Records {
-			if r.GenError > maxGen {
-				maxGen = r.GenError
-			}
-		}
-		fmt.Fprintf(&b, "%s,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%.4f\n",
-			sink.Quote(a.Label), at.TestAcc, at.MIAAcc, a.Series.MaxMIAAcc(), a.Series.MaxTPR(),
-			maxGen, a.MessagesSent, a.BytesSent, a.RealizedEpsilon)
+		resultsCSVRow(&b, a)
 	}
 	return b.String()
+}
+
+// csvStream appends results.csv rows as arms commit, in completion
+// order and unbuffered — each row reaches the kernel before the commit
+// returns, so a killed sweep leaves a usable partial CSV. The hooks
+// that feed it run on worker goroutines; the mutex serializes rows.
+type csvStream struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// newCSVStream truncates path and writes the header row.
+func newCSVStream(path string) (*csvStream, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: results.csv: %w", err)
+	}
+	if _, err := f.WriteString(resultsCSVHeader); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiment: results.csv: %w", err)
+	}
+	return &csvStream{f: f}, nil
+}
+
+// row appends one arm's summary row.
+func (w *csvStream) row(a Arm) error {
+	var b strings.Builder
+	resultsCSVRow(&b, a)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	if _, err := w.f.WriteString(b.String()); err != nil {
+		return fmt.Errorf("experiment: results.csv: %w", err)
+	}
+	return nil
+}
+
+// close closes the stream; later rows are dropped. Idempotent.
+func (w *csvStream) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
 }

@@ -1,0 +1,517 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gossipmia/internal/metrics"
+	"gossipmia/internal/spec"
+	"gossipmia/internal/store"
+)
+
+// storeOpts returns store-backed run options rooted in out.
+func storeOpts(out string) SpecRunOptions {
+	return SpecRunOptions{
+		OutDir:   out,
+		StoreDir: filepath.Join(out, "store"),
+		Events:   "none",
+	}
+}
+
+// TestStoreBackendMatchesFileBackend is the migration contract: the
+// same sweep through the store backend produces a byte-identical
+// results.csv and identical figure to the per-file backend — and no
+// arms/ directory at all.
+func TestStoreBackendMatchesFileBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	sc := TinyScale()
+
+	fileDir := t.TempDir()
+	fileFig, _, err := RunSpecDir(t.Context(), sweepSpec(), sc, SpecRunOptions{OutDir: fileDir, Events: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileCSV, err := os.ReadFile(filepath.Join(fileDir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	storeDir := t.TempDir()
+	storeFig, man, err := RunSpecDir(t.Context(), sweepSpec(), sc, storeOpts(storeDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if figureDump(fileFig) != figureDump(storeFig) {
+		t.Fatal("store-backed figure diverged from file-backed run")
+	}
+	storeCSV, err := os.ReadFile(filepath.Join(storeDir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(storeCSV) != string(fileCSV) {
+		t.Fatal("store-backed results.csv diverged from file-backed run")
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, "arms")); !os.IsNotExist(err) {
+		t.Fatalf("store-backed run created an arms/ directory (err=%v)", err)
+	}
+	for _, ar := range man.Arms {
+		if ar.ResultFile != "" {
+			t.Fatalf("store-backed manifest points at a result file %q", ar.ResultFile)
+		}
+	}
+	// The store holds one record and one index row per arm.
+	page, total, err := ListStoreArms(filepath.Join(storeDir, "store"), "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || len(page) != 3 {
+		t.Fatalf("listing index has %d/%d rows, want 3", len(page), total)
+	}
+}
+
+// TestStoreResumeSkipsCompletedArms mirrors the file-backend
+// acceptance test: a prefix-complete store-backed sweep resumed over
+// the full spec runs only the missing arm and lands byte-identical.
+func TestStoreResumeSkipsCompletedArms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	sc := TinyScale()
+	full := sweepSpec()
+
+	refDir := t.TempDir()
+	refFig, _, err := RunSpecDir(t.Context(), full, sc, SpecRunOptions{OutDir: refDir, Events: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV, err := os.ReadFile(filepath.Join(refDir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	arms, err := full.ExpandArms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := &spec.Spec{Name: full.Name, Caption: full.Caption, Arms: arms[:2]}
+	if _, _, err := RunSpecDir(t.Context(), partial, sc, storeOpts(dir)); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := storeOpts(dir)
+	opts.Resume = true
+	resumed, man, err := RunSpecDir(t.Context(), full, sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cached, ran int
+	for _, ar := range man.Arms {
+		if ar.Cached {
+			cached++
+		} else {
+			ran++
+		}
+	}
+	if cached != 2 || ran != 1 {
+		t.Fatalf("store resume ran %d and skipped %d arms, want 1/2", ran, cached)
+	}
+	if figureDump(resumed) != figureDump(refFig) {
+		t.Fatal("store-backed resume diverged from uninterrupted run")
+	}
+	gotCSV, err := os.ReadFile(filepath.Join(dir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotCSV) != string(refCSV) {
+		t.Fatal("store-backed resumed results.csv diverged")
+	}
+}
+
+// TestStoreResumeSurvivesTornLog is crash consistency end to end: kill
+// a store-backed sweep by tearing its write-ahead log at an arbitrary
+// point, resume, and the sweep completes byte-identically — recovered
+// arms are trusted, torn ones recomputed, and the listing index is
+// repaired where the tear split a record from its index row.
+func TestStoreResumeSurvivesTornLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	sc := TinyScale()
+	full := sweepSpec()
+	arms, err := full.ExpandArms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(arms))
+	for i, a := range arms {
+		if keys[i], err = armKey(a, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	refDir := t.TempDir()
+	refFig, _, err := RunSpecDir(t.Context(), full, sc, SpecRunOptions{OutDir: refDir, Events: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV, err := os.ReadFile(filepath.Join(refDir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear at several depths: just the final index row, mid final
+	// record, and most of the log.
+	for _, frac := range []float64{0.99, 0.6, 0.25} {
+		t.Run(fmt.Sprintf("tear=%.2f", frac), func(t *testing.T) {
+			dir := t.TempDir()
+			if _, _, err := RunSpecDir(t.Context(), full, sc, storeOpts(dir)); err != nil {
+				t.Fatal(err)
+			}
+			logPath := filepath.Join(dir, "store", "wal.log")
+			fi, err := os.Stat(logPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(logPath, int64(float64(fi.Size())*frac)); err != nil {
+				t.Fatal(err)
+			}
+
+			// Which arm records survived the tear determines the
+			// expected cache hits.
+			st, err := store.Open(filepath.Join(dir, "store"), store.Options{NoBackground: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCached := 0
+			for _, k := range keys {
+				if ok, err := st.Has(storeArmKey(k)); err != nil {
+					t.Fatal(err)
+				} else if ok {
+					wantCached++
+				}
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if wantCached == len(arms) && frac < 0.9 {
+				t.Fatalf("tear at %.2f left all %d records durable; test tears nothing", frac, wantCached)
+			}
+
+			opts := storeOpts(dir)
+			opts.Resume = true
+			resumed, man, err := RunSpecDir(t.Context(), full, sc, opts)
+			if err != nil {
+				t.Fatalf("resume over torn log: %v", err)
+			}
+			cached := 0
+			for _, ar := range man.Arms {
+				if ar.Cached {
+					cached++
+				}
+			}
+			if cached != wantCached {
+				t.Fatalf("resume used %d cached arms, want %d (the durable set)", cached, wantCached)
+			}
+			if figureDump(resumed) != figureDump(refFig) {
+				t.Fatal("resume after torn log diverged from reference")
+			}
+			gotCSV, err := os.ReadFile(filepath.Join(dir, "results.csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotCSV) != string(refCSV) {
+				t.Fatal("results.csv after torn-log resume diverged")
+			}
+			// The listing index is whole again after the resume.
+			_, total, err := ListStoreArms(filepath.Join(dir, "store"), "", 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total != len(arms) {
+				t.Fatalf("listing index has %d rows after repair, want %d", total, len(arms))
+			}
+		})
+	}
+}
+
+// TestLegacyCacheMigratesIntoStore: pointing a store at a pre-store
+// run directory serves resume hits from the old per-arm files and
+// migrates them, so the next resume never touches arms/ again.
+func TestLegacyCacheMigratesIntoStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	sc := TinyScale()
+	dir := t.TempDir()
+	// A file-backed run leaves arms/*.json.
+	refFig, _, err := RunSpecDir(t.Context(), sweepSpec(), sc, SpecRunOptions{OutDir: dir, Events: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := storeOpts(dir)
+	opts.Resume = true
+	migrated, man, err := RunSpecDir(t.Context(), sweepSpec(), sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ar := range man.Arms {
+		if !ar.Cached {
+			t.Fatalf("legacy cache miss for %q", ar.Label)
+		}
+	}
+	if figureDump(migrated) != figureDump(refFig) {
+		t.Fatal("legacy-migrated resume diverged")
+	}
+
+	// Remove the legacy files: the store alone now serves everything.
+	if err := os.RemoveAll(filepath.Join(dir, "arms")); err != nil {
+		t.Fatal(err)
+	}
+	again, man2, err := RunSpecDir(t.Context(), sweepSpec(), sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ar := range man2.Arms {
+		if !ar.Cached {
+			t.Fatalf("store miss after migration for %q", ar.Label)
+		}
+	}
+	if figureDump(again) != figureDump(refFig) {
+		t.Fatal("post-migration resume diverged")
+	}
+}
+
+// TestPartialCSVOnCancel is the streaming-results contract, both
+// backends: a cancelled sweep leaves a parseable results.csv holding
+// the header plus one row per completed arm, and resume regenerates
+// the canonical full file.
+func TestPartialCSVOnCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	for _, backend := range []string{"files", "store"} {
+		t.Run(backend, func(t *testing.T) {
+			sc := TinyScale()
+			sc.Workers = 1 // deterministic: cancel lands between arm 0 and 1
+			dir := t.TempDir()
+			opts := SpecRunOptions{OutDir: dir, Events: "none"}
+			if backend == "store" {
+				opts.StoreDir = filepath.Join(dir, "store")
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			opts.OnArmDone = func(int, SpecArmReport) { cancel() }
+			_, _, err := RunSpecDir(ctx, sweepSpec(), sc, opts)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled run error = %v", err)
+			}
+
+			raw, err := os.ReadFile(filepath.Join(dir, "results.csv"))
+			if err != nil {
+				t.Fatalf("cancelled run left no partial results.csv: %v", err)
+			}
+			lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+			if len(lines) != 2 { // header + the one completed arm
+				t.Fatalf("partial results.csv has %d lines, want 2:\n%s", len(lines), raw)
+			}
+			if lines[0] != strings.TrimSuffix(resultsCSVHeader, "\n") {
+				t.Fatalf("partial results.csv header = %q", lines[0])
+			}
+
+			// Resume regenerates the canonical file.
+			refDir := t.TempDir()
+			refOpts := SpecRunOptions{OutDir: refDir, Events: "none"}
+			if _, _, err := RunSpecDir(t.Context(), sweepSpec(), sc, refOpts); err != nil {
+				t.Fatal(err)
+			}
+			refCSV, err := os.ReadFile(filepath.Join(refDir, "results.csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.OnArmDone = nil
+			opts.Resume = true
+			if _, _, err := RunSpecDir(t.Context(), sweepSpec(), sc, opts); err != nil {
+				t.Fatal(err)
+			}
+			gotCSV, err := os.ReadFile(filepath.Join(dir, "results.csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotCSV) != string(refCSV) {
+				t.Fatal("resumed results.csv diverged from reference")
+			}
+		})
+	}
+}
+
+// TestListStoreArmsPaging drives the listing index: figure filtering,
+// label ordering, and limit/offset paging — all without touching
+// record bodies.
+func TestListStoreArmsPaging(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoBackground: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic index rows for two figures.
+	putIdx := func(fig, label, key string) {
+		t.Helper()
+		arm := Arm{Label: label, Series: &metrics.Series{Label: label, Records: []metrics.RoundRecord{{Round: 3, TestAcc: 0.5}}}}
+		idx, err := json.Marshal(storeArmSummary(fig, key, arm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(storeIndexKey(fig, label, key), idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		putIdx("figure2", fmt.Sprintf("arm-%02d", i), fmt.Sprintf("%064x", i))
+	}
+	for i := 0; i < 3; i++ {
+		putIdx("figure9", fmt.Sprintf("arm-%02d", i), fmt.Sprintf("%064x", 100+i))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	page, total, err := ListStoreArms(dir, "figure2", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 7 || len(page) != 3 {
+		t.Fatalf("figure2 page = %d rows of %d, want 3 of 7", len(page), total)
+	}
+	if page[0].Label != "arm-02" || page[2].Label != "arm-04" {
+		t.Fatalf("page window = %q..%q, want arm-02..arm-04", page[0].Label, page[2].Label)
+	}
+	// No filter: both figures, figure name ordering first.
+	all, total, err := ListStoreArms(dir, "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 10 || len(all) != 10 {
+		t.Fatalf("unfiltered = %d of %d, want 10 of 10", len(all), total)
+	}
+	if all[0].Spec != "figure2" || all[9].Spec != "figure9" {
+		t.Fatalf("unfiltered order: first=%s last=%s", all[0].Spec, all[9].Spec)
+	}
+	// Offset past the end pages empty but still counts.
+	none, total, err := ListStoreArms(dir, "figure9", 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || len(none) != 0 {
+		t.Fatalf("past-end page = %d of %d, want 0 of 3", len(none), total)
+	}
+}
+
+// --- the acceptance benchmark: resume-scan, per-file vs store ---
+
+// benchArmRecords builds n synthetic cache records with realistic
+// shapes: 64-hex content-hash keys and canonical armCacheFile JSON.
+func benchArmRecords(b *testing.B, n int) ([]string, [][]byte) {
+	b.Helper()
+	keys := make([]string, n)
+	raws := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("%064x", i*2654435761)
+		cache := armCacheFile{
+			Label: fmt.Sprintf("purchase100 beta=%.4f", 0.1+float64(i)*0.0005),
+			Key:   keys[i],
+			Records: []metrics.RoundRecord{{
+				Round: 3, TestAcc: 0.61, MIAAcc: 0.52, TPRAt1FPR: 0.08, GenError: 0.10,
+			}},
+			MessagesSent: 1000 + i,
+			BytesSent:    64000 + i,
+		}
+		sum, err := cache.checksum()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache.Sum = sum
+		raw, err := json.MarshalIndent(cache, "", " ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		raws[i] = raw
+	}
+	return keys, raws
+}
+
+// BenchmarkResumeScan measures what resume pays to retrieve every
+// cached arm record, per-file backend vs store backend — the
+// acceptance number for the store migration. Both sides return the
+// same raw bytes (validation and decode cost downstream is identical
+// and excluded); the difference is pure storage-crossing cost: one
+// open+read+close per arm vs one ordered scan of a segment set.
+func BenchmarkResumeScan(b *testing.B) {
+	const n = 5000
+	keys, raws := benchArmRecords(b, n)
+
+	b.Run("files", func(b *testing.B) {
+		dir := b.TempDir()
+		paths := make([]string, n)
+		for i := range keys {
+			paths[i] = filepath.Join(dir, fmt.Sprintf("arm-%s.json", keys[i][:8]))
+			if err := os.WriteFile(paths[i], raws[i], 0o644); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for it := 0; it < b.N; it++ {
+			total := 0
+			for _, p := range paths {
+				raw, err := os.ReadFile(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += len(raw)
+			}
+			if total == 0 {
+				b.Fatal("read nothing")
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/arm")
+	})
+
+	b.Run("store", func(b *testing.B) {
+		dir := b.TempDir()
+		st, err := store.Open(dir, store.Options{NoBackground: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		for i := range keys {
+			if err := st.Put(storeArmKey(keys[i]), raws[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for it := 0; it < b.N; it++ {
+			total, count := 0, 0
+			err := st.Scan(storeArmPrefix, store.PrefixEnd(storeArmPrefix), func(k string, v []byte) error {
+				total += len(v)
+				count++
+				return nil
+			})
+			if err != nil || count != n {
+				b.Fatalf("scan: count=%d err=%v", count, err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/arm")
+	})
+}

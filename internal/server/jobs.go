@@ -265,6 +265,10 @@ func (s *Server) runAttempt(ctx context.Context, j *job) (*dlsim.Result, error) 
 			OutDir: filepath.Join(s.cfg.CheckpointDir, j.key[:16]),
 			Resume: true,
 			Events: "none", // the event log is the stream; no second copy
+			// One store for every job: arms are content-hash keyed, so
+			// resubmissions and overlapping sweeps share cached results
+			// across job boundaries through the shared handle.
+			StoreDir: s.cfg.StoreDir,
 		})
 		return res, err
 	}

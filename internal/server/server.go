@@ -17,7 +17,10 @@
 // v1 endpoints:
 //
 //	POST   /v1/jobs             submit {spec, scale, seed, workers}
-//	GET    /v1/jobs             list jobs, newest first
+//	GET    /v1/jobs             list jobs, newest first; ?limit=N and
+//	                            ?offset=N page and switch the response
+//	                            to the {jobs, total, offset, limit}
+//	                            envelope
 //	GET    /v1/jobs/{id}        job status (result embedded once done)
 //	DELETE /v1/jobs/{id}        cancel (frees the queue slot)
 //	GET    /v1/jobs/{id}/events NDJSON round records: replay + follow
@@ -43,6 +46,7 @@ import (
 	"gossipmia/internal/experiment"
 	"gossipmia/internal/faultinject"
 	"gossipmia/internal/server/middleware"
+	"gossipmia/internal/store"
 	"gossipmia/pkg/dlsim"
 )
 
@@ -148,6 +152,15 @@ type Config struct {
 	// resume from the per-arm caches instead of recomputing, and a
 	// drained-with-deadline job leaves its completed arms behind.
 	CheckpointDir string
+	// StoreDir, when set together with CheckpointDir, keeps every
+	// job's per-arm result records in one embedded result store
+	// (internal/store) at this path instead of one JSON file per arm
+	// under each job directory. Arms are keyed by content hash, so
+	// jobs that share arms — a resubmission after restart, or two
+	// sweeps overlapping on a common baseline — share cached results
+	// across job boundaries. The server holds the store open for its
+	// lifetime; concurrent jobs write through the one shared handle.
+	StoreDir string
 	// Fault injects failures into job execution (chaos testing); nil
 	// injects nothing.
 	Fault *faultinject.Injector
@@ -209,6 +222,12 @@ type Server struct {
 	order   []string
 	byKey   map[string]*job
 	pending []*job
+
+	// storeRelease drops the server's lifetime reference on the shared
+	// result store (nil without Config.StoreDir). Holding one reference
+	// from New to Close keeps the store — and its process lock — open
+	// across jobs instead of churning open/close per attempt.
+	storeRelease func() error
 }
 
 // New builds a Server and starts its worker pool.
@@ -224,6 +243,15 @@ func New(cfg Config) *Server {
 		notify:     make(chan struct{}, 1),
 		jobs:       map[string]*job{},
 		byKey:      map[string]*job{},
+	}
+	if cfg.StoreDir != "" {
+		if _, release, err := store.OpenShared(cfg.StoreDir, store.Options{}); err != nil {
+			// Surface the problem at startup but let jobs run: each
+			// attempt reopens and reports the real error on its job.
+			cfg.Log.Warn("result store unavailable at startup", "dir", cfg.StoreDir, "error", err)
+		} else {
+			s.storeRelease = release
+		}
 	}
 	// The hardening chain around every /v1 route, outermost first:
 	// recovery must see everything, identity must exist before logging,
@@ -277,6 +305,13 @@ func (s *Server) Close() {
 		s.cancelJob(j)
 	}
 	s.wg.Wait()
+	// The release is idempotent, so a Drain-then-Close sequence (Drain
+	// calls Close) is safe.
+	if s.storeRelease != nil {
+		if err := s.storeRelease(); err != nil {
+			s.log.Warn("result store close failed", "error", err)
+		}
+	}
 }
 
 // Drain winds the service down gracefully: new submissions are refused
@@ -433,15 +468,46 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// handleList is GET /v1/jobs.
+// handleList is GET /v1/jobs. Without query parameters it answers with
+// the bare newest-first array clients have always decoded; with ?limit
+// and/or ?offset it answers with the paged envelope — jobs, total,
+// offset, limit — so a dashboard over a long-retention service fetches
+// a window instead of the whole table.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	paged := q.Has("limit") || q.Has("offset")
+	limit, offset := 0, 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad offset %q", v)
+			return
+		}
+		offset = n
+	}
 	s.mu.Lock()
-	out := make([]*dlsim.JobStatus, 0, len(s.order))
-	for i := len(s.order) - 1; i >= 0; i-- {
+	total := len(s.order)
+	out := []*dlsim.JobStatus{}
+	for i := total - 1 - offset; i >= 0; i-- {
+		if paged && limit > 0 && len(out) >= limit {
+			break
+		}
 		out = append(out, s.statusOf(s.jobs[s.order[i]], false))
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, out)
+	if !paged {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	writeJSON(w, http.StatusOK, dlsim.JobPage{Jobs: out, Total: total, Offset: offset, Limit: limit})
 }
 
 // handleCancel is DELETE /v1/jobs/{id}.

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -364,6 +366,160 @@ func TestMetaEndpoints(t *testing.T) {
 	}
 	if len(jobs) != 0 {
 		t.Fatalf("fresh service lists %d jobs", len(jobs))
+	}
+}
+
+// TestListPagination: GET /v1/jobs without parameters keeps answering
+// the bare newest-first array; with ?limit/?offset it answers the
+// paged envelope, windows correctly, and rejects malformed values.
+func TestListPagination(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	svc := New(Config{Jobs: 1, QueueDepth: 16, DefaultScale: "tiny"})
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		svc.Close()
+		ts.Close()
+	})
+	client := dlsim.NewClient(ts.URL)
+
+	// One long-running job occupies the single worker; four distinct
+	// small submissions stack up queued behind it, giving five jobs in
+	// a stable newest-first order.
+	long, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: longSpec(), Scale: "quick", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitStatus(t, client, long.ID, dlsim.StatusRunning)
+	ids := []string{long.ID}
+	for i := 0; i < 4; i++ {
+		sp := smallSpec()
+		sp.Arms = sp.Arms[:1]
+		sp.Arms[0].SeedOffset = int64(100 + i)
+		j, err := client.Submit(t.Context(), dlsim.JobRequest{Spec: sp, Scale: "tiny"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+
+	// Legacy shape: no parameters, bare array, every job, newest first.
+	jobs, err := client.Jobs(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 5 || jobs[0].ID != ids[4] || jobs[4].ID != ids[0] {
+		t.Fatalf("bare list = %d jobs, first %q last %q", len(jobs), jobs[0].ID, jobs[len(jobs)-1].ID)
+	}
+
+	// A window from the middle: offset 1 skips the newest, limit 2
+	// returns the next two, total still counts everything.
+	page, err := client.JobsPage(t.Context(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 5 || page.Limit != 2 || page.Offset != 1 {
+		t.Fatalf("page meta = %+v", page)
+	}
+	if len(page.Jobs) != 2 || page.Jobs[0].ID != ids[3] || page.Jobs[1].ID != ids[2] {
+		t.Fatalf("page window = %+v", page.Jobs)
+	}
+
+	// limit 0 means unbounded; a past-the-end offset yields an empty
+	// page with the total intact.
+	if page, err = client.JobsPage(t.Context(), 0, 0); err != nil || len(page.Jobs) != 5 {
+		t.Fatalf("unbounded page = %+v, %v", page, err)
+	}
+	if page, err = client.JobsPage(t.Context(), 3, 99); err != nil || len(page.Jobs) != 0 || page.Total != 5 {
+		t.Fatalf("past-the-end page = %+v, %v", page, err)
+	}
+
+	// Malformed values are 400s, not silently defaulted.
+	for _, q := range []string{"limit=-1", "offset=-1", "limit=x"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("?%s -> %d, want 400", q, resp.StatusCode)
+		}
+	}
+	if _, err := client.Cancel(t.Context(), long.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreBackedCheckpointSurvivesRestart: with StoreDir configured,
+// job checkpoints land in the shared result store (no per-arm files),
+// and a service restarted over the same store serves a resubmission
+// entirely from cache — zero re-streamed rounds.
+func TestStoreBackedCheckpointSurvivesRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	cfg := Config{
+		DefaultScale:  "tiny",
+		CheckpointDir: filepath.Join(dir, "cp"),
+		StoreDir:      filepath.Join(dir, "store"),
+	}
+
+	svc1 := New(cfg)
+	ts1 := httptest.NewServer(svc1)
+	c1 := dlsim.NewClient(ts1.URL)
+	first, err := c1.Submit(t.Context(), dlsim.JobRequest{Spec: smallSpec(), Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c1.Await(t.Context(), first.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Status != dlsim.StatusDone || fin.Events == 0 {
+		t.Fatalf("first run = %+v", fin)
+	}
+	svc1.Close()
+	ts1.Close()
+
+	// The arms live in the store, not as per-arm files under the job's
+	// checkpoint directory.
+	if armDirs, _ := filepath.Glob(filepath.Join(cfg.CheckpointDir, "*", "arms")); len(armDirs) != 0 {
+		t.Fatalf("store-backed job left arms directories: %v", armDirs)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.StoreDir, "wal.log")); err != nil {
+		t.Fatalf("store not populated: %v", err)
+	}
+
+	// A fresh service over the same directories: the identical spec is a
+	// new job (no in-memory dedup survives the restart) but every arm is
+	// served from the store, so nothing streams.
+	svc2 := New(cfg)
+	ts2 := httptest.NewServer(svc2)
+	t.Cleanup(func() {
+		svc2.Close()
+		ts2.Close()
+	})
+	c2 := dlsim.NewClient(ts2.URL)
+	second, err := c2.Submit(t.Context(), dlsim.JobRequest{Spec: smallSpec(), Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin2, err := c2.Await(t.Context(), second.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin2.Status != dlsim.StatusDone {
+		t.Fatalf("resumed run = %+v", fin2)
+	}
+	if fin2.Events != 0 {
+		t.Fatalf("cached resubmission streamed %d events, want 0", fin2.Events)
+	}
+	got, _ := json.Marshal(fin2.Result)
+	want, _ := json.Marshal(fin.Result)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("store-resumed result differs:\n%s\nvs\n%s", got, want)
 	}
 }
 

@@ -1,0 +1,93 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// bloom is a standard double-hashing bloom filter: k probe positions
+// derived from two 64-bit hashes as h1 + i*h2 (Kirsch–Mitzenmacher),
+// which preserves the classic false-positive bound without k
+// independent hash functions. At the default 10 bits/key and the
+// optimal k = ln2 * bits/key ≈ 7, the expected FP rate is ~0.9%.
+type bloom struct {
+	bits []byte
+	k    int
+}
+
+// newBloom sizes a filter for n keys at bitsPerKey.
+func newBloom(n, bitsPerKey int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	nbits := n * bitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	k := int(float64(bitsPerKey) * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return &bloom{bits: make([]byte, (nbits+7)/8), k: k}
+}
+
+// bloomHashes derives the two probe-sequence hashes for key: h1 is
+// FNV-1a 64, h2 a splitmix64 scramble of it forced odd so the probe
+// stride never collapses to zero modulo a power of two.
+func bloomHashes(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	z := h1 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	h2 := (z ^ (z >> 31)) | 1
+	return h1, h2
+}
+
+// add sets key's k probe bits.
+func (b *bloom) add(key string) {
+	h1, h2 := bloomHashes(key)
+	n := uint64(len(b.bits)) * 8
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % n
+		b.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+// mayContain reports whether key could be present; false is definite.
+func (b *bloom) mayContain(key string) bool {
+	h1, h2 := bloomHashes(key)
+	n := uint64(len(b.bits)) * 8
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % n
+		if b.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// marshal serializes the filter: u32 k, u32 byte length, bits.
+func (b *bloom) marshal(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(b.k))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.bits)))
+	return append(dst, b.bits...)
+}
+
+// unmarshalBloom parses a marshal'd filter.
+func unmarshalBloom(b []byte) (*bloom, error) {
+	if len(b) < 8 {
+		return nil, ErrCorrupt
+	}
+	k := int(binary.LittleEndian.Uint32(b[0:4]))
+	n := int(binary.LittleEndian.Uint32(b[4:8]))
+	if k < 1 || k > 30 || len(b) < 8+n {
+		return nil, ErrCorrupt
+	}
+	return &bloom{bits: b[8 : 8+n], k: k}, nil
+}

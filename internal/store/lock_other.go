@@ -1,0 +1,30 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// acquireLock without flock support degrades to an advisory lock file:
+// O_EXCL creation excludes a second opener, and a stale file from a
+// crash must be removed by hand. Every platform the simulator targets
+// is unix; this fallback only keeps the package portable.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("store: %s exists (stale? remove by hand): %w", path, ErrLocked)
+		}
+		return nil, fmt.Errorf("store: lock: %w", err)
+	}
+	return f, nil
+}
+
+// releaseLock closes and removes the advisory lock file.
+func releaseLock(f *os.File) {
+	name := f.Name()
+	_ = f.Close()
+	_ = os.Remove(name)
+}

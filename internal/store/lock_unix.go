@@ -1,0 +1,34 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// acquireLock takes an exclusive, non-blocking flock on path so two
+// processes cannot own the same store: the second Open fails fast with
+// ErrLocked instead of interleaving log appends. The lock dies with
+// the process, so a crash never leaves the store stuck.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK {
+			return nil, fmt.Errorf("store: %s: %w", path, ErrLocked)
+		}
+		return nil, fmt.Errorf("store: lock: %w", err)
+	}
+	return f, nil
+}
+
+// releaseLock drops the flock (implicit in close).
+func releaseLock(f *os.File) {
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	_ = f.Close()
+}

@@ -1,0 +1,155 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// manifest pins the live segment set. It is the store's root pointer:
+// a segment exists once its file is fsynced, but it is *live* only
+// once a manifest naming it lands — so every multi-file transition
+// (flush, compaction) commits atomically at the manifest swap, and a
+// crash between steps leaves only orphan files that open() sweeps up.
+type manifest struct {
+	// Version guards future format changes.
+	Version int `json:"version"`
+	// Segments lists live segment files oldest first; later segments
+	// shadow earlier ones on equal keys.
+	Segments []string `json:"segments"`
+	// NextSeg is the next segment file number, never reused — so an
+	// orphan from a crashed flush can never collide with a live name.
+	NextSeg int `json:"next_seg"`
+}
+
+const manifestName = "MANIFEST.json"
+
+// loadManifest reads dir's manifest; a missing file is an empty store.
+func loadManifest(dir string) (manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifest{Version: 1}, nil
+	}
+	if err != nil {
+		return manifest{}, fmt.Errorf("store: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return manifest{}, fmt.Errorf("store: parse manifest: %w (%v)", ErrCorrupt, err)
+	}
+	if m.Version != 1 {
+		return manifest{}, fmt.Errorf("store: manifest version %d: %w", m.Version, ErrCorrupt)
+	}
+	return m, nil
+}
+
+// saveManifest atomically replaces dir's manifest: write temp, fsync,
+// rename over, fsync the directory. Readers see the old or new set,
+// never a partial one.
+func saveManifest(dir string, m manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode manifest: %w", err)
+	}
+	b = append(b, '\n')
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: close manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: swap manifest: %w", err)
+	}
+	return syncDir(path)
+}
+
+// syncDir fsyncs the directory containing path, making a just-renamed
+// entry durable. Some filesystems reject directory fsync; that is not
+// a correctness loss worth failing over, so such errors are ignored.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return nil
+	}
+	_ = d.Sync()
+	return d.Close()
+}
+
+// sharedHandle refcounts one open Store across in-process users. The
+// server runs concurrent jobs against one checkpoint store; the flock
+// excludes other processes, and this registry shares the single
+// in-process handle instead of failing the second opener.
+type sharedHandle struct {
+	store *Store
+	refs  int
+}
+
+var (
+	sharedMu sync.Mutex
+	shared   = map[string]*sharedHandle{}
+)
+
+// OpenShared opens dir like Open, but if this process already holds
+// the store open via OpenShared, it returns the same handle with its
+// reference count bumped. Close releases one reference; the store
+// actually closes when the last reference does. Options apply only to
+// the first open.
+func OpenShared(dir string, opts Options) (*Store, func() error, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open shared: %w", err)
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if h, ok := shared[abs]; ok {
+		h.refs++
+		return h.store, sharedRelease(abs), nil
+	}
+	s, err := Open(abs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	shared[abs] = &sharedHandle{store: s, refs: 1}
+	return s, sharedRelease(abs), nil
+}
+
+// sharedRelease builds the release func for one OpenShared reference.
+func sharedRelease(abs string) func() error {
+	released := false
+	return func() error {
+		sharedMu.Lock()
+		defer sharedMu.Unlock()
+		if released {
+			return nil
+		}
+		released = true
+		h, ok := shared[abs]
+		if !ok {
+			return nil
+		}
+		h.refs--
+		if h.refs > 0 {
+			return nil
+		}
+		delete(shared, abs)
+		return h.store.Close()
+	}
+}

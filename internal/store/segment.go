@@ -1,0 +1,587 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+// Segment file layout. Records are sorted by key and immutable once
+// written; readers seek by the sparse fence-key index instead of
+// scanning from the front, and the bloom filter lets point lookups
+// skip segments that cannot hold the key.
+//
+//	[8]  magic "dlsseg01"
+//	[..] records:   uvarint klen | key | uvarint vlen | val | u32 CRC-32C(key||val)
+//	[..] index:     u32 count
+//	                count × (uvarint klen | key | uvarint offset)   — fence keys,
+//	                    one per IndexInterval records, offset into the record area
+//	                uvarint maxlen | maxKey                          — last key
+//	[..] bloom:     marshal'd filter
+//	[40] footer:    u64 indexOff | u64 bloomOff | u64 footerOff(=start of footer)
+//	                u32 count | u32 CRC-32C(index||bloom) | [8] magic "dlsend01"
+//
+// The footer is fixed-size and written last, so a segment is valid iff
+// both magics and the index/bloom checksum reproduce — a partial write
+// can never be mistaken for a complete segment (and can never be live
+// anyway: the manifest pins a segment only after its fsync).
+const (
+	segMagic    = "dlsseg01"
+	segEndMagic = "dlsend01"
+	footerSize  = 8 + 8 + 8 + 4 + 4 + 8
+)
+
+// fence is one sparse-index entry: the key of record i*IndexInterval
+// and its byte offset in the record area.
+type fence struct {
+	key string
+	off int64
+}
+
+// segment is an open, immutable, sorted segment file.
+type segment struct {
+	path    string
+	f       *os.File
+	count   int
+	fences  []fence
+	maxKey  string
+	filter  *bloom
+	dataEnd int64 // offset just past the record area
+}
+
+// writeSegment writes keys (already sorted) with values from val into
+// a new segment at path, fsyncs it, and opens it for reading. The
+// caller pins it in the manifest afterwards.
+func writeSegment(path string, keys []string, val func(string) []byte, opt Options) (*segment, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("store: write segment: %w", err)
+	}
+	fail := func(err error) (*segment, error) {
+		f.Close()
+		_ = os.Remove(tmp)
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if _, err := w.WriteString(segMagic); err != nil {
+		return fail(err)
+	}
+	filter := newBloom(len(keys), opt.BloomBitsPerKey)
+	var index []byte
+	var nFences uint32
+	off := int64(len(segMagic))
+	var rec []byte
+	for i, k := range keys {
+		filter.add(k)
+		if i%opt.IndexInterval == 0 {
+			index = binary.AppendUvarint(index, uint64(len(k)))
+			index = append(index, k...)
+			index = binary.AppendUvarint(index, uint64(off-int64(len(segMagic))))
+			nFences++
+		}
+		v := val(k)
+		rec = appendKV(rec[:0], k, v)
+		rec = binary.LittleEndian.AppendUint32(rec, recordCRC(k, v))
+		if _, err := w.Write(rec); err != nil {
+			return fail(err)
+		}
+		off += int64(len(rec))
+	}
+	indexOff := off
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], nFences)
+	block := append(hdr[:], index...)
+	maxKey := ""
+	if len(keys) > 0 {
+		maxKey = keys[len(keys)-1]
+	}
+	block = binary.AppendUvarint(block, uint64(len(maxKey)))
+	block = append(block, maxKey...)
+	bloomOff := indexOff + int64(len(block))
+	block = filter.marshal(block)
+	if _, err := w.Write(block); err != nil {
+		return fail(err)
+	}
+	footerOff := indexOff + int64(len(block))
+	var foot [footerSize]byte
+	binary.LittleEndian.PutUint64(foot[0:8], uint64(indexOff))
+	binary.LittleEndian.PutUint64(foot[8:16], uint64(bloomOff))
+	binary.LittleEndian.PutUint64(foot[16:24], uint64(footerOff))
+	binary.LittleEndian.PutUint32(foot[24:28], uint32(len(keys)))
+	binary.LittleEndian.PutUint32(foot[28:32], crc32.Checksum(block, castagnoli))
+	copy(foot[32:40], segEndMagic)
+	if _, err := w.Write(foot[:]); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("store: write segment: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return nil, fmt.Errorf("store: write segment: %w", err)
+	}
+	if err := syncDir(path); err != nil {
+		return nil, err
+	}
+	return openSegment(path)
+}
+
+// recordCRC checksums one record's key and value together.
+func recordCRC(key string, val []byte) uint32 {
+	c := crc32.Checksum([]byte(key), castagnoli)
+	return crc32.Update(c, castagnoli, val)
+}
+
+// openSegment opens and validates a segment: both magics, the
+// index+bloom checksum, and the index structure must reproduce.
+// Records themselves are verified lazily by their per-record CRC.
+func openSegment(path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open segment: %w", err)
+	}
+	fail := func(err error) (*segment, error) {
+		f.Close()
+		return nil, err
+	}
+	corrupt := func(what string) (*segment, error) {
+		return fail(fmt.Errorf("store: segment %s %s: %w", path, what, ErrCorrupt))
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if fi.Size() < int64(len(segMagic))+footerSize {
+		return corrupt("truncated")
+	}
+	var foot [footerSize]byte
+	if _, err := f.ReadAt(foot[:], fi.Size()-footerSize); err != nil {
+		return fail(err)
+	}
+	if string(foot[32:40]) != segEndMagic {
+		return corrupt("footer magic")
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(foot[0:8]))
+	bloomOff := int64(binary.LittleEndian.Uint64(foot[8:16]))
+	footerOff := int64(binary.LittleEndian.Uint64(foot[16:24]))
+	count := int(binary.LittleEndian.Uint32(foot[24:28]))
+	sum := binary.LittleEndian.Uint32(foot[28:32])
+	if footerOff != fi.Size()-footerSize || indexOff < int64(len(segMagic)) ||
+		bloomOff < indexOff || footerOff < bloomOff {
+		return corrupt("footer offsets")
+	}
+	var magic [8]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		return fail(err)
+	}
+	if string(magic[:]) != segMagic {
+		return corrupt("header magic")
+	}
+	block := make([]byte, footerOff-indexOff)
+	if _, err := f.ReadAt(block, indexOff); err != nil {
+		return fail(err)
+	}
+	if crc32.Checksum(block, castagnoli) != sum {
+		return corrupt("index checksum")
+	}
+	// Parse the index block: fence entries, then maxKey.
+	if len(block) < 4 {
+		return corrupt("index header")
+	}
+	nFences := binary.LittleEndian.Uint32(block[0:4])
+	b := block[4:]
+	fences := make([]fence, 0, nFences)
+	for i := uint32(0); i < nFences; i++ {
+		kl, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < kl {
+			return corrupt("fence key")
+		}
+		k := string(b[n : n+int(kl)])
+		b = b[n+int(kl):]
+		o, n := binary.Uvarint(b)
+		if n <= 0 {
+			return corrupt("fence offset")
+		}
+		b = b[n:]
+		fences = append(fences, fence{key: k, off: int64(o)})
+	}
+	ml, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < ml {
+		return corrupt("max key")
+	}
+	maxKey := string(b[n : n+int(ml)])
+	filter, err := unmarshalBloom(block[bloomOff-indexOff:])
+	if err != nil {
+		return corrupt("bloom filter")
+	}
+	// The filter's bits alias block, which stays referenced — copy is
+	// unnecessary. Keep block alive via the filter.
+	return &segment{
+		path:    path,
+		f:       f,
+		count:   count,
+		fences:  fences,
+		maxKey:  maxKey,
+		filter:  filter,
+		dataEnd: indexOff,
+	}, nil
+}
+
+func (g *segment) close() {
+	if g.f != nil {
+		g.f.Close()
+	}
+}
+
+// get point-looks-up key: bloom probe, fence binary search, then a
+// bounded forward read of at most IndexInterval records.
+func (g *segment) get(key string, checks, skips, fps *atomic.Uint64) ([]byte, bool, error) {
+	if g.count == 0 || key > g.maxKey || len(g.fences) == 0 || key < g.fences[0].key {
+		return nil, false, nil
+	}
+	checks.Add(1)
+	if !g.filter.mayContain(key) {
+		skips.Add(1)
+		return nil, false, nil
+	}
+	// Last fence with fence.key <= key starts the probe window.
+	i := sort.Search(len(g.fences), func(i int) bool { return g.fences[i].key > key }) - 1
+	start := int64(len(segMagic)) + g.fences[i].off
+	end := g.dataEnd
+	if i+1 < len(g.fences) {
+		end = int64(len(segMagic)) + g.fences[i+1].off
+	}
+	rr := recordReader{r: bufio.NewReaderSize(io.NewSectionReader(g.f, start, end-start), 4<<10)}
+	for {
+		k, v, err := rr.read()
+		if err == io.EOF {
+			return nil, false, nil
+		}
+		if err != nil {
+			return nil, false, fmt.Errorf("store: segment %s: %w", g.path, err)
+		}
+		if k == key {
+			// v aliases the reader's scratch; the caller keeps the copy.
+			return append([]byte(nil), v...), true, nil
+		}
+		if k > key {
+			fps.Add(1)
+			return nil, false, nil
+		}
+	}
+}
+
+// recordReader decodes framed records from a segment's record area,
+// verifying each CRC. Its scratch buffers are reused across records —
+// only the key's string conversion allocates per record — so a full
+// scan stays cheap; returned values alias the scratch and are valid
+// until the next read.
+type recordReader struct {
+	r    *bufio.Reader
+	kbuf []byte
+	vbuf []byte
+}
+
+// read decodes the next record. io.EOF marks a clean end.
+func (rr *recordReader) read() (string, []byte, error) {
+	kl, err := binary.ReadUvarint(rr.r)
+	if err != nil {
+		if err == io.EOF {
+			return "", nil, io.EOF
+		}
+		return "", nil, fmt.Errorf("record key length: %w", ErrCorrupt)
+	}
+	if uint64(cap(rr.kbuf)) < kl {
+		rr.kbuf = make([]byte, kl)
+	}
+	kb := rr.kbuf[:kl]
+	if _, err := io.ReadFull(rr.r, kb); err != nil {
+		return "", nil, fmt.Errorf("record key: %w", ErrCorrupt)
+	}
+	vl, err := binary.ReadUvarint(rr.r)
+	if err != nil {
+		return "", nil, fmt.Errorf("record value length: %w", ErrCorrupt)
+	}
+	if uint64(cap(rr.vbuf)) < vl {
+		rr.vbuf = make([]byte, vl)
+	}
+	vb := rr.vbuf[:vl]
+	if _, err := io.ReadFull(rr.r, vb); err != nil {
+		return "", nil, fmt.Errorf("record value: %w", ErrCorrupt)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(rr.r, crc[:]); err != nil {
+		return "", nil, fmt.Errorf("record checksum frame: %w", ErrCorrupt)
+	}
+	key := string(kb)
+	if binary.LittleEndian.Uint32(crc[:]) != recordCRC(key, vb) {
+		return "", nil, fmt.Errorf("record checksum: %w", ErrCorrupt)
+	}
+	return key, vb, nil
+}
+
+// segIter streams a segment's records in key order from a start bound.
+type segIter struct {
+	g   *segment
+	rr  recordReader
+	key string
+	val []byte
+	eof bool
+}
+
+// iter positions an iterator at the first record with key >= start,
+// seeking via the fence index. Values are served from one reused
+// scratch buffer — the scan contract makes them transient, valid only
+// during the callback — so a full sweep allocates per key, not per
+// record body. wantValues is accepted for symmetry; the format
+// interleaves values either way.
+func (g *segment) iter(start string, wantValues bool) (*segIter, error) {
+	_ = wantValues
+	off := int64(len(segMagic))
+	if len(g.fences) > 0 && start > g.fences[0].key {
+		i := sort.Search(len(g.fences), func(i int) bool { return g.fences[i].key > start }) - 1
+		off = int64(len(segMagic)) + g.fences[i].off
+	}
+	it := &segIter{
+		g:  g,
+		rr: recordReader{r: bufio.NewReaderSize(io.NewSectionReader(g.f, off, g.dataEnd-off), 32<<10)},
+	}
+	// Advance past records below the start bound.
+	for {
+		if err := it.next(); err != nil {
+			return nil, err
+		}
+		if it.eof || it.key >= start {
+			return it, nil
+		}
+	}
+}
+
+// next advances to the following record; eof is sticky.
+func (it *segIter) next() error {
+	if it.eof {
+		return nil
+	}
+	k, v, err := it.rr.read()
+	if err == io.EOF {
+		it.eof = true
+		it.key, it.val = "", nil
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: segment %s: %w", it.g.path, err)
+	}
+	it.key, it.val = k, v
+	return nil
+}
+
+// mergeSegments compacts segs (oldest first; later wins on equal keys)
+// into one new segment at path via a streaming k-way merge — memory
+// stays O(segments), not O(records).
+func mergeSegments(path string, segs []*segment, opt Options) (*segment, error) {
+	// Count survivors first so the bloom filter is sized right; the
+	// double scan is cheap (sequential reads) next to the write.
+	its := make([]iterator, 0, len(segs))
+	for i := len(segs) - 1; i >= 0; i-- { // newest first = priority order
+		it, err := segs[i].iter("", false)
+		if err != nil {
+			return nil, err
+		}
+		its = append(its, it)
+	}
+	n := 0
+	if err := mergeScan(its, "", func(string, []byte) error { n++; return nil }); err != nil {
+		return nil, err
+	}
+
+	its = its[:0]
+	for i := len(segs) - 1; i >= 0; i-- {
+		it, err := segs[i].iter("", true)
+		if err != nil {
+			return nil, err
+		}
+		its = append(its, it)
+	}
+	return writeSegmentStream(path, n, its, opt)
+}
+
+// writeSegmentStream is writeSegment fed by a merge of iterators
+// instead of an in-memory map.
+func writeSegmentStream(path string, count int, its []iterator, opt Options) (*segment, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("store: write segment: %w", err)
+	}
+	fail := func(err error) (*segment, error) {
+		f.Close()
+		_ = os.Remove(tmp)
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if _, err := w.WriteString(segMagic); err != nil {
+		return fail(err)
+	}
+	filter := newBloom(count, opt.BloomBitsPerKey)
+	var index []byte
+	var nFences uint32
+	off := int64(len(segMagic))
+	var rec []byte
+	i := 0
+	maxKey := ""
+	werr := mergeScan(its, "", func(k string, v []byte) error {
+		filter.add(k)
+		if i%opt.IndexInterval == 0 {
+			index = binary.AppendUvarint(index, uint64(len(k)))
+			index = append(index, k...)
+			index = binary.AppendUvarint(index, uint64(off-int64(len(segMagic))))
+			nFences++
+		}
+		rec = appendKV(rec[:0], k, v)
+		rec = binary.LittleEndian.AppendUint32(rec, recordCRC(k, v))
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+		off += int64(len(rec))
+		maxKey = k
+		i++
+		return nil
+	})
+	if werr != nil {
+		return fail(werr)
+	}
+	indexOff := off
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], nFences)
+	block := append(hdr[:], index...)
+	block = binary.AppendUvarint(block, uint64(len(maxKey)))
+	block = append(block, maxKey...)
+	bloomOff := indexOff + int64(len(block))
+	block = filter.marshal(block)
+	if _, err := w.Write(block); err != nil {
+		return fail(err)
+	}
+	footerOff := indexOff + int64(len(block))
+	var foot [footerSize]byte
+	binary.LittleEndian.PutUint64(foot[0:8], uint64(indexOff))
+	binary.LittleEndian.PutUint64(foot[8:16], uint64(bloomOff))
+	binary.LittleEndian.PutUint64(foot[16:24], uint64(footerOff))
+	binary.LittleEndian.PutUint32(foot[24:28], uint32(i))
+	binary.LittleEndian.PutUint32(foot[28:32], crc32.Checksum(block, castagnoli))
+	copy(foot[32:40], segEndMagic)
+	if _, err := w.Write(foot[:]); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("store: write segment: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return nil, fmt.Errorf("store: write segment: %w", err)
+	}
+	if err := syncDir(path); err != nil {
+		return nil, err
+	}
+	return openSegment(path)
+}
+
+// iterator is the common shape merged by mergeScan: a positioned
+// cursor with sticky EOF.
+type iterator interface {
+	cur() (key string, val []byte, eof bool)
+	advance() error
+}
+
+func (it *segIter) cur() (string, []byte, bool) { return it.key, it.val, it.eof }
+func (it *segIter) advance() error              { return it.next() }
+
+// memIter iterates a sorted snapshot of memtable entries, copied out
+// under the store lock — it must not touch the live map.
+type memIter struct {
+	keys []string
+	vals [][]byte
+	i    int
+}
+
+func (it *memIter) cur() (string, []byte, bool) {
+	if it.i >= len(it.keys) {
+		return "", nil, true
+	}
+	return it.keys[it.i], it.vals[it.i], false
+}
+func (it *memIter) advance() error { it.i++; return nil }
+
+// mergeScan merges pre-positioned iterators in ascending key order and
+// streams each key's winning value to fn. its is in priority order:
+// when several iterators sit on the same key, the earliest in the
+// slice wins and the rest skip that key. An empty end means unbounded.
+func mergeScan(its []iterator, end string, fn func(string, []byte) error) error {
+	// One source (single-segment store, empty memtable — the common
+	// resume prescan) needs no merge: stream the iterator directly.
+	if len(its) == 1 {
+		it := its[0]
+		for {
+			k, v, eof := it.cur()
+			if eof || (end != "" && k >= end) {
+				return nil
+			}
+			if err := fn(k, v); err != nil {
+				return err
+			}
+			if err := it.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	for {
+		best := -1
+		var bestKey string
+		for i, it := range its {
+			k, _, eof := it.cur()
+			if eof {
+				continue
+			}
+			if best == -1 || k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		if end != "" && bestKey >= end {
+			return nil
+		}
+		_, v, _ := its[best].cur()
+		if err := fn(bestKey, v); err != nil {
+			return err
+		}
+		// Advance every iterator sitting on the emitted key — shadowed
+		// duplicates are consumed, not re-emitted.
+		for _, it := range its {
+			k, _, eof := it.cur()
+			if !eof && k == bestKey {
+				if err := it.advance(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}

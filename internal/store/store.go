@@ -1,0 +1,558 @@
+// Package store implements the embedded indexed result store behind
+// resumable sweeps and the job service's checkpoint caches: an
+// append-only, crash-safe log + LSM layout sized for sweeps of
+// 10^5–10^7 arm results, replacing one-file-per-arm caches whose
+// resume cost is dominated by per-arm open/read syscalls.
+//
+// Layout. Every Put lands in two places: an append-only write-ahead
+// log (wal.log; length-prefixed, CRC-32C-checksummed records) that
+// makes the write durable in order, and an in-memory memtable that
+// serves reads. When the memtable exceeds Options.MemtableBytes it is
+// flushed to a sorted, immutable segment file carrying a bloom filter
+// (point lookups skip segments that cannot contain the key), a sparse
+// fence-key index (lookups and range scans seek by key instead of
+// reading the segment), and a per-record CRC. A MANIFEST file pins the
+// live segment set and is replaced atomically (temp file + rename +
+// directory sync), so reopening after a crash recovers exactly the
+// manifest's segments plus the log's durable tail — a torn final log
+// record is detected by its checksum and truncated away. Background
+// compaction merges segments (newest record wins) to bound read
+// fan-out.
+//
+// One process owns a store at a time (an exclusive LOCK file keeps
+// others out; Options.ReadOnly opens without the lock for inspection,
+// and OpenShared refcounts one handle across concurrent users inside
+// a process). Keys are ordered lexicographically as raw bytes. There
+// is no delete: results are content-addressed and immutable, so the
+// only mutation is an idempotent overwrite.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// ErrReadOnly is returned by mutating operations on a read-only store.
+var ErrReadOnly = errors.New("store: opened read-only")
+
+// ErrLocked is returned by Open when another process holds the store.
+var ErrLocked = errors.New("store: locked by another process")
+
+// ErrCorrupt marks unreadable on-disk state: a segment whose checksums
+// do not reproduce, or a manifest naming files that do not exist.
+var ErrCorrupt = errors.New("store: corrupt")
+
+// Options size and harden a store. The zero value is usable.
+type Options struct {
+	// MemtableBytes bounds the in-memory write buffer; exceeding it
+	// flushes the memtable to a segment. Default 8 MiB.
+	MemtableBytes int
+	// BloomBitsPerKey sizes each segment's bloom filter. Default 10
+	// (~1% false-positive rate).
+	BloomBitsPerKey int
+	// IndexInterval is the sparse-index stride: one fence key every
+	// this many records. Default 32.
+	IndexInterval int
+	// CompactAt triggers background compaction when the live segment
+	// count reaches it. Default 8. <= 1 disables auto-compaction.
+	CompactAt int
+	// SyncWrites fsyncs the log after every Put. Off by default: each
+	// Put still reaches the kernel (surviving a process kill) before
+	// returning, and Flush/Close fsync — only a machine crash can lose
+	// the un-synced tail.
+	SyncWrites bool
+	// ReadOnly opens without the process lock and never mutates the
+	// directory: no log repair, no flush, no compaction. Safe for
+	// inspecting a store another process owns.
+	ReadOnly bool
+	// NoBackground disables the automatic background compactor;
+	// Compact still works when called explicitly. Used by tests that
+	// need a deterministic segment layout.
+	NoBackground bool
+}
+
+// withDefaults resolves unset fields.
+func (o Options) withDefaults() Options {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 8 << 20
+	}
+	if o.BloomBitsPerKey <= 0 {
+		o.BloomBitsPerKey = 10
+	}
+	if o.IndexInterval <= 0 {
+		o.IndexInterval = 32
+	}
+	if o.CompactAt == 0 {
+		o.CompactAt = 8
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the store's shape and counters.
+type Stats struct {
+	// MemtableRecords/MemtableBytes describe the unflushed write buffer.
+	MemtableRecords, MemtableBytes int
+	// Segments and SegmentRecords describe the live immutable set.
+	Segments, SegmentRecords int
+	// LogBytes is the current write-ahead log size.
+	LogBytes int64
+	// Puts/Gets/Scans count operations since open.
+	Puts, Gets, Scans uint64
+	// BloomChecks counts segment bloom probes; BloomSkips the probes
+	// that pruned a segment; BloomFalsePositives the probes that passed
+	// but found no record — BloomFalsePositives/BloomChecks is the
+	// measured false-positive rate.
+	BloomChecks, BloomSkips, BloomFalsePositives uint64
+	// Flushes/Compactions count memtable flushes and segment merges.
+	Flushes, Compactions uint64
+}
+
+// Store is an embedded log-structured key-value store. It is safe for
+// concurrent use.
+type Store struct {
+	dir string
+	opt Options
+
+	mu   sync.RWMutex
+	mem  map[string][]byte
+	memB int
+	wal  *wal
+	segs []*segment // oldest first; later segments win on equal keys
+	man  manifest
+	lock *os.File
+	// retired holds files of segments replaced by compaction; readers
+	// snapshotted before the swap may still be on them, so the handles
+	// stay open until Close.
+	retired []*os.File
+	closed  bool
+
+	compacting bool
+	bg         sync.WaitGroup
+
+	puts, gets, scans    atomic.Uint64
+	bloomChecks          atomic.Uint64
+	bloomSkips, bloomFPs atomic.Uint64
+	flushes, compactions atomic.Uint64
+}
+
+// Open opens (creating if absent) the store in dir. Unless
+// opts.ReadOnly, the directory is locked against other processes,
+// orphan files from interrupted flushes are removed, and a torn tail
+// of the write-ahead log is truncated to the last durable record. A
+// read-only open never creates: an absent directory is an error.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.ReadOnly {
+		if fi, err := os.Stat(dir); err != nil {
+			return nil, fmt.Errorf("store: open read-only: %w", err)
+		} else if !fi.IsDir() {
+			return nil, fmt.Errorf("store: open read-only: %s is not a directory", dir)
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	s := &Store{dir: dir, opt: opts, mem: map[string][]byte{}}
+	if !opts.ReadOnly {
+		lock, err := acquireLock(filepath.Join(dir, "LOCK"))
+		if err != nil {
+			return nil, err
+		}
+		s.lock = lock
+	}
+	fail := func(err error) (*Store, error) {
+		if s.lock != nil {
+			releaseLock(s.lock)
+		}
+		return nil, err
+	}
+	man, err := loadManifest(dir)
+	if err != nil {
+		return fail(err)
+	}
+	s.man = man
+	for _, name := range man.Segments {
+		seg, err := openSegment(filepath.Join(dir, name))
+		if err != nil {
+			for _, g := range s.segs {
+				g.close()
+			}
+			return fail(err)
+		}
+		s.segs = append(s.segs, seg)
+	}
+	if !opts.ReadOnly {
+		s.removeOrphans()
+	}
+	w, err := openWAL(filepath.Join(dir, "wal.log"), opts.ReadOnly, func(key string, val []byte) {
+		if old, ok := s.mem[key]; ok {
+			s.memB -= len(key) + len(old)
+		}
+		// val aliases the replay scratch buffer; the memtable owns its
+		// values, so copy.
+		s.mem[key] = append([]byte(nil), val...)
+		s.memB += len(key) + len(val)
+	})
+	if err != nil {
+		for _, g := range s.segs {
+			g.close()
+		}
+		return fail(err)
+	}
+	s.wal = w
+	return s, nil
+}
+
+// removeOrphans deletes segment and temp files the manifest does not
+// reference — the leavings of a flush or compaction interrupted before
+// its manifest swap. Their records are still recoverable: a flush's
+// records stay in the log until the manifest pins the segment.
+func (s *Store) removeOrphans() {
+	live := make(map[string]bool, len(s.man.Segments))
+	for _, name := range s.man.Segments {
+		live[name] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") || (strings.HasSuffix(name, ".seg") && !live[name]) {
+			_ = os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+}
+
+// Put records key -> val. The write is appended to the log (reaching
+// the kernel before Put returns; fsynced when Options.SyncWrites) and
+// becomes immediately visible to Get and Scan. Overwrites are allowed;
+// the newest value wins. Key and value are copied.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrClosed
+	case s.opt.ReadOnly:
+		return ErrReadOnly
+	}
+	if err := s.wal.append(key, val, s.opt.SyncWrites); err != nil {
+		return err
+	}
+	v := append([]byte(nil), val...)
+	if old, ok := s.mem[key]; ok {
+		s.memB -= len(key) + len(old)
+	}
+	s.mem[key] = v
+	s.memB += len(key) + len(v)
+	s.puts.Add(1)
+	if s.memB >= s.opt.MemtableBytes {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// Get returns the newest value recorded for key. The returned slice is
+// the caller's to keep.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.gets.Add(1)
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, false, ErrClosed
+	}
+	if v, ok := s.mem[key]; ok {
+		out := append([]byte(nil), v...)
+		s.mu.RUnlock()
+		return out, true, nil
+	}
+	segs := s.segs // immutable snapshot; slice is replaced, never mutated
+	s.mu.RUnlock()
+	// Newest segment first: later flushes shadow earlier ones.
+	for i := len(segs) - 1; i >= 0; i-- {
+		v, ok, err := segs[i].get(key, &s.bloomChecks, &s.bloomSkips, &s.bloomFPs)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return v, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Has reports whether key has a recorded value, without copying it.
+func (s *Store) Has(key string) (bool, error) {
+	v, ok, err := s.Get(key)
+	_ = v
+	return ok, err
+}
+
+// Scan streams every live record with start <= key < end in ascending
+// key order, newest value per key. An empty end means "to the last
+// key". The value slice passed to fn is only valid during the call;
+// fn returning an error stops the scan and returns that error.
+func (s *Store) Scan(start, end string, fn func(key string, val []byte) error) error {
+	return s.scan(start, end, true, func(key string, val []byte) error { return fn(key, val) })
+}
+
+// ScanKeys streams keys like Scan without materializing values — the
+// cheap form for existence sweeps over large stores.
+func (s *Store) ScanKeys(start, end string, fn func(key string) error) error {
+	return s.scan(start, end, false, func(key string, _ []byte) error { return fn(key) })
+}
+
+func (s *Store) scan(start, end string, wantValues bool, fn func(string, []byte) error) error {
+	s.scans.Add(1)
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	// Snapshot the sources under the lock: the in-range memtable
+	// entries copied out as slice headers (values are immutable once
+	// stored, but the map itself is not — Put mutates it), segments by
+	// reference (files replaced by compaction stay open until Close).
+	memKeys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		if k >= start && (end == "" || k < end) {
+			memKeys = append(memKeys, k)
+		}
+	}
+	sort.Strings(memKeys)
+	memVals := make([][]byte, len(memKeys))
+	for i, k := range memKeys {
+		memVals[i] = s.mem[k]
+	}
+	segs := s.segs
+	s.mu.RUnlock()
+
+	// Merge sources in priority order: memtable shadows every segment,
+	// a later segment shadows an earlier one. An empty memtable drops
+	// out, so the common post-flush scan merges segments alone — and a
+	// single-segment store streams with no merge overhead at all.
+	its := make([]iterator, 0, len(segs)+1)
+	if len(memKeys) > 0 {
+		its = append(its, &memIter{keys: memKeys, vals: memVals})
+	}
+	for i := len(segs) - 1; i >= 0; i-- {
+		it, err := segs[i].iter(start, wantValues)
+		if err != nil {
+			return err
+		}
+		its = append(its, it)
+	}
+	return mergeScan(its, end, fn)
+}
+
+// Flush writes the memtable to a new segment, pins it in the manifest,
+// resets the log, and fsyncs everything — the durability barrier.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrClosed
+	case s.opt.ReadOnly:
+		return ErrReadOnly
+	}
+	return s.flushLocked()
+}
+
+// flushLocked is Flush with s.mu held.
+func (s *Store) flushLocked() error {
+	if len(s.mem) == 0 {
+		return s.wal.sync()
+	}
+	keys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	name := fmt.Sprintf("%06d.seg", s.man.NextSeg)
+	seg, err := writeSegment(filepath.Join(s.dir, name), keys, func(k string) []byte { return s.mem[k] }, s.opt)
+	if err != nil {
+		return err
+	}
+	man := s.man
+	man.NextSeg++
+	man.Segments = append(append([]string(nil), man.Segments...), name)
+	if err := saveManifest(s.dir, man); err != nil {
+		seg.close()
+		_ = os.Remove(seg.path)
+		return err
+	}
+	s.man = man
+	s.segs = append(append([]*segment(nil), s.segs...), seg)
+	s.mem = map[string][]byte{}
+	s.memB = 0
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	s.flushes.Add(1)
+	if !s.opt.NoBackground && s.opt.CompactAt > 1 && len(s.segs) >= s.opt.CompactAt && !s.compacting {
+		s.compacting = true
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			_ = s.compact()
+			s.mu.Lock()
+			s.compacting = false
+			s.mu.Unlock()
+		}()
+	}
+	return nil
+}
+
+// Compact merges every live segment into one (newest record wins),
+// bounding point-lookup fan-out and reclaiming overwritten space. It
+// runs concurrently with reads and writes; only the final manifest
+// swap takes the write lock.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		return ErrClosed
+	case s.opt.ReadOnly:
+		s.mu.Unlock()
+		return ErrReadOnly
+	}
+	s.mu.Unlock()
+	return s.compact()
+}
+
+func (s *Store) compact() error {
+	s.mu.Lock()
+	snap := s.segs
+	next := s.man.NextSeg
+	s.mu.Unlock()
+	if len(snap) < 2 {
+		return nil
+	}
+	name := fmt.Sprintf("%06d.seg", next)
+	seg, err := mergeSegments(filepath.Join(s.dir, name), snap, s.opt)
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		seg.close()
+		_ = os.Remove(seg.path)
+		return ErrClosed
+	}
+	// Segments flushed while the merge ran are newer than everything in
+	// it; they stay, after the merged segment.
+	newer := s.segs[len(snap):]
+	man := s.man
+	man.NextSeg = next + 1
+	man.Segments = append([]string{name}, manifestNames(newer)...)
+	if err := saveManifest(s.dir, man); err != nil {
+		seg.close()
+		_ = os.Remove(seg.path)
+		return err
+	}
+	s.man = man
+	for _, old := range snap {
+		// Keep the handle open for in-flight readers; unlink the path.
+		s.retired = append(s.retired, old.f)
+		_ = os.Remove(old.path)
+	}
+	s.segs = append([]*segment{seg}, newer...)
+	s.compactions.Add(1)
+	return nil
+}
+
+// Close syncs the log, waits for background compaction, and releases
+// the process lock. The memtable is not flushed to a segment — the log
+// replays it on the next Open.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	var syncErr error
+	if !s.opt.ReadOnly {
+		syncErr = s.wal.sync()
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.bg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal.close()
+	for _, g := range s.segs {
+		g.close()
+	}
+	for _, f := range s.retired {
+		_ = f.Close()
+	}
+	if s.lock != nil {
+		releaseLock(s.lock)
+		s.lock = nil
+	}
+	return syncErr
+}
+
+// Stats snapshots the store's shape and counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	st := Stats{
+		MemtableRecords: len(s.mem),
+		MemtableBytes:   s.memB,
+		Segments:        len(s.segs),
+		LogBytes:        s.wal.size,
+	}
+	for _, g := range s.segs {
+		st.SegmentRecords += g.count
+	}
+	s.mu.RUnlock()
+	st.Puts = s.puts.Load()
+	st.Gets = s.gets.Load()
+	st.Scans = s.scans.Load()
+	st.BloomChecks = s.bloomChecks.Load()
+	st.BloomSkips = s.bloomSkips.Load()
+	st.BloomFalsePositives = s.bloomFPs.Load()
+	st.Flushes = s.flushes.Load()
+	st.Compactions = s.compactions.Load()
+	return st
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// PrefixEnd returns the exclusive upper bound of a prefix scan: the
+// smallest key greater than every key starting with prefix, or "" when
+// no such bound exists.
+func PrefixEnd(prefix string) string {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] < 0xff {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
+}
+
+// manifestNames lists the file names of segments, in order.
+func manifestNames(segs []*segment) []string {
+	names := make([]string, len(segs))
+	for i, g := range segs {
+		names[i] = filepath.Base(g.path)
+	}
+	return names
+}

@@ -1,0 +1,505 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// testOpen opens a deterministic store for tests: tiny memtable
+// thresholds are set per-test; background compaction is off so the
+// segment layout is a function of the operations alone.
+func testOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	opts.NoBackground = true
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{})
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		if err := s.Put(k, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		v, ok, err := s.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) = ok=%v err=%v", k, ok, err)
+		}
+		if want := fmt.Sprintf("val-%d", i); string(v) != want {
+			t.Fatalf("Get(%s) = %q, want %q", k, v, want)
+		}
+	}
+	if _, ok, err := s.Get("missing"); ok || err != nil {
+		t.Fatalf("Get(missing) = ok=%v err=%v, want absent", ok, err)
+	}
+}
+
+func TestReopenRecoversLogAndSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{})
+	for i := 0; i < 50; i++ {
+		put(t, s, fmt.Sprintf("seg-%03d", i), i)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// These stay in the log only — no flush before close.
+	for i := 50; i < 80; i++ {
+		put(t, s, fmt.Sprintf("seg-%03d", i), i)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := testOpen(t, dir, Options{})
+	st := s2.Stats()
+	if st.Segments != 1 || st.SegmentRecords != 50 || st.MemtableRecords != 30 {
+		t.Fatalf("reopened shape = %+v, want 1 segment / 50 seg records / 30 mem records", st)
+	}
+	for i := 0; i < 80; i++ {
+		k := fmt.Sprintf("seg-%03d", i)
+		v, ok, err := s2.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("after reopen Get(%s) = %q ok=%v err=%v", k, v, ok, err)
+		}
+	}
+}
+
+func put(t *testing.T, s *Store, k string, i int) {
+	t.Helper()
+	if err := s.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+		t.Fatalf("Put(%s): %v", k, err)
+	}
+}
+
+func TestOverwriteNewestWins(t *testing.T) {
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{})
+	// Same key through three generations: old segment, newer segment,
+	// memtable. Each layer must shadow the ones below, across reopen.
+	mustPut(t, s, "k", "gen1")
+	mustFlush(t, s)
+	mustPut(t, s, "k", "gen2")
+	mustFlush(t, s)
+	mustPut(t, s, "k", "gen3")
+	for _, phase := range []string{"live", "reopened"} {
+		v, ok, err := s.Get("k")
+		if err != nil || !ok || string(v) != "gen3" {
+			t.Fatalf("%s Get(k) = %q ok=%v err=%v, want gen3", phase, v, ok, err)
+		}
+		n := 0
+		err = s.Scan("", "", func(k string, v []byte) error {
+			n++
+			if string(v) != "gen3" {
+				return fmt.Errorf("scan saw %q", v)
+			}
+			return nil
+		})
+		if err != nil || n != 1 {
+			t.Fatalf("%s scan: n=%d err=%v", phase, n, err)
+		}
+		if phase == "live" {
+			s.Close()
+			s = testOpen(t, dir, Options{})
+		}
+	}
+}
+
+func mustPut(t *testing.T, s *Store, k, v string) {
+	t.Helper()
+	if err := s.Put(k, []byte(v)); err != nil {
+		t.Fatalf("Put(%s): %v", k, err)
+	}
+}
+
+func mustFlush(t *testing.T, s *Store) {
+	t.Helper()
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+}
+
+func TestScanMergesLayersInOrder(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{IndexInterval: 4})
+	// Interleave keys across three layers so the merge has to zip.
+	for i := 0; i < 90; i += 3 {
+		put(t, s, key3(i), i)
+	}
+	mustFlush(t, s)
+	for i := 1; i < 90; i += 3 {
+		put(t, s, key3(i), i)
+	}
+	mustFlush(t, s)
+	for i := 2; i < 90; i += 3 {
+		put(t, s, key3(i), i)
+	}
+
+	var got []string
+	if err := s.Scan("", "", func(k string, v []byte) error {
+		got = append(got, k)
+		if want := fmt.Sprintf("v%d", atoi(t, k)); string(v) != want {
+			return fmt.Errorf("key %s has value %q, want %q", k, v, want)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(got) != 90 || !sort.StringsAreSorted(got) {
+		t.Fatalf("scan returned %d keys (sorted=%v), want 90 sorted", len(got), sort.StringsAreSorted(got))
+	}
+
+	// Bounded range: [k-030, k-060).
+	var ranged []string
+	if err := s.Scan(key3(30), key3(60), func(k string, _ []byte) error {
+		ranged = append(ranged, k)
+		return nil
+	}); err != nil {
+		t.Fatalf("ranged Scan: %v", err)
+	}
+	if len(ranged) != 30 || ranged[0] != key3(30) || ranged[len(ranged)-1] != key3(59) {
+		t.Fatalf("ranged scan = %d keys [%s..%s], want 30 [k-030..k-059]",
+			len(ranged), ranged[0], ranged[len(ranged)-1])
+	}
+
+	// ScanKeys agrees with Scan.
+	var keys []string
+	if err := s.ScanKeys("", "", func(k string) error { keys = append(keys, k); return nil }); err != nil {
+		t.Fatalf("ScanKeys: %v", err)
+	}
+	if len(keys) != len(got) {
+		t.Fatalf("ScanKeys saw %d keys, Scan saw %d", len(keys), len(got))
+	}
+}
+
+func key3(i int) string { return fmt.Sprintf("k-%03d", i) }
+
+func atoi(t *testing.T, k string) int {
+	t.Helper()
+	var i int
+	if _, err := fmt.Sscanf(k, "k-%d", &i); err != nil {
+		t.Fatalf("bad key %q", k)
+	}
+	return i
+}
+
+func TestCompactMergesToOneSegment(t *testing.T) {
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{IndexInterval: 8})
+	for gen := 0; gen < 5; gen++ {
+		for i := gen * 20; i < gen*20+40; i++ { // overlapping ranges force real merging
+			put(t, s, key3(i), i+gen*1000)
+		}
+		mustFlush(t, s)
+	}
+	if st := s.Stats(); st.Segments != 5 {
+		t.Fatalf("pre-compaction segments = %d, want 5", st.Segments)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st := s.Stats()
+	if st.Segments != 1 {
+		t.Fatalf("post-compaction segments = %d, want 1", st.Segments)
+	}
+	// 5 generations of 40 keys starting at gen*20 cover k-000..k-119.
+	if st.SegmentRecords != 120 {
+		t.Fatalf("post-compaction records = %d, want 120", st.SegmentRecords)
+	}
+	// Newest generation wins where ranges overlapped: key 40 was
+	// written by gen 1 (values 1040) and gen 2 (value 2040); gen 2 wins.
+	v, ok, err := s.Get(key3(40))
+	if err != nil || !ok || string(v) != "v2040" {
+		t.Fatalf("Get(k-040) = %q ok=%v err=%v, want v2040", v, ok, err)
+	}
+	// Old segment files are unlinked.
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(matches) != 1 {
+		t.Fatalf("disk has %d .seg files after compaction, want 1: %v", len(matches), matches)
+	}
+	// Everything still readable after reopen.
+	s.Close()
+	s2 := testOpen(t, dir, Options{})
+	for i := 0; i < 120; i++ {
+		if _, ok, err := s2.Get(key3(i)); err != nil || !ok {
+			t.Fatalf("after compact+reopen Get(%s) ok=%v err=%v", key3(i), ok, err)
+		}
+	}
+}
+
+func TestAutoFlushAtMemtableThreshold(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{MemtableBytes: 1024})
+	for i := 0; i < 200; i++ {
+		put(t, s, fmt.Sprintf("auto-%04d", i), i)
+	}
+	st := s.Stats()
+	if st.Flushes == 0 || st.Segments == 0 {
+		t.Fatalf("no automatic flush at 1KiB threshold: %+v", st)
+	}
+	if got := st.MemtableRecords + st.SegmentRecords; got != 200 {
+		t.Fatalf("records across layers = %d, want 200", got)
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{})
+	const n = 5000
+	for i := 0; i < n; i++ {
+		put(t, s, fmt.Sprintf("present-%05d", i), i)
+	}
+	mustFlush(t, s)
+	// Probe absent keys that sort inside the segment's key range, so
+	// pruning is the bloom filter's job, not the cheap min/max check.
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("present-%05dz", i)
+		if _, ok, err := s.Get(k); ok || err != nil {
+			t.Fatalf("Get(%s) = ok=%v err=%v", k, ok, err)
+		}
+	}
+	st := s.Stats()
+	if st.BloomChecks == 0 {
+		t.Fatal("bloom filter never consulted")
+	}
+	fp := float64(st.BloomFalsePositives) / float64(st.BloomChecks)
+	t.Logf("bloom: %d checks, %d skips, %d false positives (%.3f%% FP rate)",
+		st.BloomChecks, st.BloomSkips, st.BloomFalsePositives, 100*fp)
+	// 10 bits/key targets ~0.9%; 3% leaves noise margin without letting
+	// a broken filter (≈100% FP) pass.
+	if fp > 0.03 {
+		t.Fatalf("bloom FP rate %.3f exceeds 3%%", fp)
+	}
+	// And present keys must never be skipped (no false negatives).
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("present-%05d", i)
+		if _, ok, err := s.Get(k); !ok || err != nil {
+			t.Fatalf("false negative on %s: ok=%v err=%v", k, ok, err)
+		}
+	}
+}
+
+func TestLockExcludesSecondOpener(t *testing.T) {
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{})
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open = %v, want ErrLocked", err)
+	}
+	// Read-only bypasses the lock.
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatalf("read-only Open while locked: %v", err)
+	}
+	if err := ro.Put("k", nil); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only Put = %v, want ErrReadOnly", err)
+	}
+	ro.Close()
+	// Lock releases on Close.
+	s.Close()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	s2.Close()
+}
+
+func TestOpenSharedRefcounts(t *testing.T) {
+	dir := t.TempDir()
+	s1, rel1, err := OpenShared(dir, Options{NoBackground: true})
+	if err != nil {
+		t.Fatalf("OpenShared: %v", err)
+	}
+	s2, rel2, err := OpenShared(dir, Options{})
+	if err != nil {
+		t.Fatalf("second OpenShared: %v", err)
+	}
+	if s1 != s2 {
+		t.Fatal("OpenShared returned distinct handles for one dir")
+	}
+	if err := s1.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := rel1(); err != nil {
+		t.Fatalf("first release: %v", err)
+	}
+	// Still open: the second reference holds it.
+	if _, ok, err := s2.Get("k"); !ok || err != nil {
+		t.Fatalf("Get after first release: ok=%v err=%v", ok, err)
+	}
+	if err := rel2(); err != nil {
+		t.Fatalf("last release: %v", err)
+	}
+	if _, _, err := s2.Get("k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after last release = %v, want ErrClosed", err)
+	}
+	if err := rel2(); err != nil { // double release is a no-op
+		t.Fatalf("double release: %v", err)
+	}
+}
+
+func TestOrphanSegmentsCleanedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{})
+	put(t, s, "live", 1)
+	mustFlush(t, s)
+	s.Close()
+	// Simulate a flush that crashed before its manifest swap: a segment
+	// file and a temp file the manifest does not know about.
+	for _, name := range []string{"999999.seg", "000777.seg.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := testOpen(t, dir, Options{})
+	if _, ok, err := s2.Get("live"); !ok || err != nil {
+		t.Fatalf("Get(live) after orphan sweep: ok=%v err=%v", ok, err)
+	}
+	for _, name := range []string{"999999.seg", "000777.seg.tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived open", name)
+		}
+	}
+}
+
+func TestConcurrentPutGetScan(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{MemtableBytes: 4096})
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := fmt.Sprintf("w%d-%04d", w, i)
+				if err := s.Put(k, []byte(k)); err != nil {
+					t.Errorf("Put(%s): %v", k, err)
+					return
+				}
+				if v, ok, err := s.Get(k); err != nil || !ok || string(v) != k {
+					t.Errorf("Get(%s) = %q ok=%v err=%v", k, v, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// A reader scanning while writers run: counts only monotonicity
+	// and integrity, not totals.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			prev := ""
+			err := s.Scan("", "", func(k string, v []byte) error {
+				if k <= prev {
+					return fmt.Errorf("scan out of order: %q after %q", k, prev)
+				}
+				prev = k
+				return nil
+			})
+			if err != nil {
+				t.Errorf("concurrent Scan: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	n := 0
+	if err := s.ScanKeys("", "", func(string) error { n++; return nil }); err != nil {
+		t.Fatalf("final ScanKeys: %v", err)
+	}
+	if n != writers*perWriter {
+		t.Fatalf("final key count = %d, want %d", n, writers*perWriter)
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a!", "a\""},
+		{"i!fig2\x00", "i!fig2\x01"},
+		{"", ""},
+		{"\xff\xff", ""},
+		{"a\xff", "b"},
+	}
+	for _, c := range cases {
+		if got := PrefixEnd(c.in); got != c.want {
+			t.Errorf("PrefixEnd(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEmptyStoreScans(t *testing.T) {
+	s := testOpen(t, t.TempDir(), Options{})
+	if err := s.Scan("", "", func(string, []byte) error {
+		return errors.New("scan of empty store yielded a record")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustFlush(t, s) // flushing an empty memtable is a no-op sync
+	if st := s.Stats(); st.Segments != 0 {
+		t.Fatalf("empty flush created a segment: %+v", st)
+	}
+}
+
+func TestHundredThousandRecordsOneScanBoundedFiles(t *testing.T) {
+	// The acceptance shape for 10^5-arm sweeps: every record lands in
+	// one log + a bounded segment set, so a resume-style full scan
+	// touches O(segments) files, never O(records). A 1 MiB memtable
+	// forces repeated flushes; compaction must then keep the live
+	// segment count bounded regardless of record count.
+	dir := t.TempDir()
+	s := testOpen(t, dir, Options{MemtableBytes: 1 << 20})
+	const n = 100_000
+	val := []byte(`{"testAcc":0.5,"miaAcc":0.5,"tprAt1FPR":0.01,"genError":0.1}`)
+	for i := 0; i < n; i++ {
+		if err := s.Put(fmt.Sprintf("a!%08x", i), val); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st := s.Stats()
+	if st.Segments < 1 || st.Segments > 2 {
+		t.Fatalf("compacted segment count = %d, want 1-2 (O(1), not O(records))", st.Segments)
+	}
+	// The directory holds the log, the manifest, the lock, and the
+	// segments — not a file per record.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) > st.Segments+3 {
+		t.Fatalf("store dir holds %d files for %d records, want <= segments+3", len(entries), n)
+	}
+	got := 0
+	if err := s.Scan("", "", func(key string, v []byte) error {
+		got++
+		return nil
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if got != n {
+		t.Fatalf("scan yielded %d records, want %d", got, n)
+	}
+	// Reopen exercises recovery at the same scale: manifest + footers
+	// only, then the same single-scan coverage.
+	s.Close()
+	s2 := testOpen(t, dir, Options{ReadOnly: true})
+	got = 0
+	if err := s2.ScanKeys("", "", func(string) error { got++; return nil }); err != nil {
+		t.Fatalf("ScanKeys after reopen: %v", err)
+	}
+	if got != n {
+		t.Fatalf("post-reopen scan yielded %d records, want %d", got, n)
+	}
+}

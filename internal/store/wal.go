@@ -1,0 +1,172 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// castagnoli is the CRC-32C table shared by the log and segments —
+// hardware-accelerated on every platform the simulator targets.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// wal is the write-ahead log: an append-only file of framed records,
+//
+//	u32 LE payload length | u32 LE CRC-32C(payload) | payload
+//	payload = uvarint(len(key)) key uvarint(len(val)) val
+//
+// A record is durable once its bytes are in the file; the checksum
+// rejects a torn final record after a crash, and repair truncates the
+// file back to the last intact frame so appends resume cleanly.
+type wal struct {
+	f    *os.File
+	size int64
+	buf  []byte // scratch frame, reused across appends
+}
+
+// openWAL opens (creating if absent) the log at path, replaying every
+// durable record into apply in append order. In read-only mode a torn
+// tail is ignored but left in place; otherwise it is truncated away.
+func openWAL(path string, readOnly bool, apply func(key string, val []byte)) (*wal, error) {
+	flags := os.O_RDWR | os.O_CREATE
+	if readOnly {
+		flags = os.O_RDONLY
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return &wal{}, nil
+		}
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open log: %w", err)
+	}
+	durable, err := replayWAL(f, apply)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if readOnly {
+		f.Close()
+		return &wal{}, nil
+	}
+	// Truncate a torn tail so the next append starts at a frame
+	// boundary instead of extending garbage.
+	if err := f.Truncate(durable); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: repair log: %w", err)
+	}
+	if _, err := f.Seek(durable, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek log: %w", err)
+	}
+	return &wal{f: f, size: durable}, nil
+}
+
+// replayWAL streams intact records into apply and returns the offset
+// just past the last one. A short or checksum-failing frame marks the
+// durable end — everything before it is valid by induction.
+func replayWAL(f *os.File, apply func(string, []byte)) (int64, error) {
+	var durable int64
+	var hdr [8]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return durable, nil // clean EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > 1<<30 { // implausible length: torn or corrupt frame
+			return durable, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return durable, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return durable, nil // bit rot or torn overwrite
+		}
+		key, val, err := decodeKV(payload)
+		if err != nil {
+			return durable, nil
+		}
+		apply(key, val)
+		durable += int64(len(hdr)) + int64(n)
+	}
+}
+
+// append frames and writes one record. The write reaches the kernel
+// before return; sync additionally fsyncs for machine-crash safety.
+func (w *wal) append(key string, val []byte, sync bool) error {
+	payload := appendKV(w.buf[:0], key, val)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	frame := append(hdr[:], payload...)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("store: append log: %w", err)
+	}
+	w.size += int64(len(frame))
+	w.buf = payload[:0]
+	if sync {
+		return w.sync()
+	}
+	return nil
+}
+
+// sync fsyncs the log.
+func (w *wal) sync() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync log: %w", err)
+	}
+	return nil
+}
+
+// reset empties the log after its contents are pinned in a segment.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: reset log: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: reset log: %w", err)
+	}
+	w.size = 0
+	return w.sync()
+}
+
+func (w *wal) close() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+}
+
+// appendKV appends the uvarint-framed key/value pair encoding to dst.
+func appendKV(dst []byte, key string, val []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	dst = binary.AppendUvarint(dst, uint64(len(val)))
+	dst = append(dst, val...)
+	return dst
+}
+
+// decodeKV parses an appendKV payload. The returned val aliases b.
+func decodeKV(b []byte) (string, []byte, error) {
+	kl, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < kl {
+		return "", nil, fmt.Errorf("store: record key frame: %w", ErrCorrupt)
+	}
+	key := string(b[n : n+int(kl)])
+	b = b[n+int(kl):]
+	vl, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) != vl {
+		return "", nil, fmt.Errorf("store: record value frame: %w", ErrCorrupt)
+	}
+	return key, b[n : n+int(vl)], nil
+}

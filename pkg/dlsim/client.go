@@ -378,6 +378,33 @@ func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
 	return jobs, nil
 }
 
+// JobPage is one window of the service's job table, newest first.
+// Total counts every job the service retains, so offset+len(Jobs) vs
+// Total tells a pager whether more windows remain.
+type JobPage struct {
+	Jobs   []*JobStatus `json:"jobs"`
+	Total  int          `json:"total"`
+	Offset int          `json:"offset"`
+	Limit  int          `json:"limit"`
+}
+
+// JobsPage lists one window of the job table: limit jobs (0 = no
+// limit) starting offset jobs from the newest. Use it instead of Jobs
+// against services retaining more jobs than one response should carry.
+func (c *Client) JobsPage(ctx context.Context, limit, offset int) (*JobPage, error) {
+	if limit < 0 || offset < 0 {
+		return nil, fmt.Errorf("dlsim: jobs page: limit and offset must be >= 0, got %d, %d", limit, offset)
+	}
+	q := url.Values{}
+	q.Set("limit", strconv.Itoa(limit))
+	q.Set("offset", strconv.Itoa(offset))
+	var page JobPage
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs?"+q.Encode(), nil, &page); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
 // Cancel stops a queued or running job and frees its queue slot. It
 // returns the job's post-cancel status; cancelling a terminal job is a
 // no-op returning its final state.

@@ -196,6 +196,14 @@ type DirOptions struct {
 	// Events selects the per-arm stream format: "jsonl" (default),
 	// "csv", or "none".
 	Events string
+	// StoreDir, when set, keeps per-arm result caches in one embedded
+	// indexed result store at this path instead of one JSON file per
+	// arm under OutDir/arms — the backend for sweeps whose arm count
+	// makes per-file caching a bottleneck. Resume scans the store once
+	// instead of opening a file per arm, results stay byte-identical
+	// to the file backend, and several runs may share one store (arms
+	// are keyed by content hash, so common arms dedup across runs).
+	StoreDir string
 }
 
 // ArmReport records how one arm of a directory-backed run was
@@ -239,6 +247,7 @@ func (r *Runner) RunDir(ctx context.Context, sp *Spec, opts DirOptions) (*Result
 		OutDir:     opts.OutDir,
 		Resume:     opts.Resume,
 		Events:     opts.Events,
+		StoreDir:   opts.StoreDir,
 		ExtraSinks: r.sinkFor(),
 	})
 	if err != nil {

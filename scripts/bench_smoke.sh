@@ -12,21 +12,40 @@ trap 'rm -f "$RAW"' EXIT
 # Heavy end-to-end benchmarks: two iterations are enough for a smoke
 # signal. The cheap hot-path benchmarks run at steady state instead, so
 # their allocs/op reflect the per-message discipline (0 on the Instant
-# send path), not one-time pool warm-up.
+# send path), not one-time pool warm-up. Everything cheap enough runs
+# -count=3 and the snapshot keeps the per-benchmark minimum: the CI
+# host is a shared single-core VM whose noise is strictly additive, so
+# a single-shot sample can swing a microbenchmark ±40% between
+# sessions and flake bench_compare on code a PR never touched; the min
+# of three is a far stabler estimate of the true cost.
 go test -run=NONE \
-  -bench='BenchmarkParallelSpeedup|BenchmarkIntraArmSpeedup' \
+  -bench='BenchmarkParallelSpeedup' \
   -benchmem -benchtime=2x . | tee "$RAW"
 go test -run=NONE \
+  -bench='BenchmarkIntraArmSpeedup' \
+  -benchmem -benchtime=2x -count=3 . | tee -a "$RAW"
+go test -run=NONE \
   -bench='BenchmarkStudyRunSAMO' \
-  -benchmem -benchtime=100x . | tee -a "$RAW"
+  -benchmem -benchtime=100x -count=3 . | tee -a "$RAW"
 go test -run=NONE \
   -bench='BenchmarkSimulatorSend|BenchmarkTrainerEpoch|BenchmarkMPEAttack|BenchmarkMLPExampleGrad' \
-  -benchmem -benchtime=500x . | tee -a "$RAW"
+  -benchmem -benchtime=500x -count=3 . | tee -a "$RAW"
 # The evaluation hot path lives behind core's white-box scratch; its
 # benchmark is part of the zero-alloc gate below.
 go test -run=NONE -bench='BenchmarkEvalRound' \
-  -benchmem -benchtime=200x ./internal/core | tee -a "$RAW"
+  -benchmem -benchtime=200x -count=3 ./internal/core | tee -a "$RAW"
+go test -run=NONE -bench='Benchmark(Pool|Spawn)ForEach' \
+  -benchmem -benchtime=500x -count=3 ./internal/par | tee -a "$RAW"
+# Result-store paths: put/get/scan/reopen over a 20k-record corpus,
+# plus the resume-scan acceptance pair (per-file backend vs one store
+# scan) that justifies the migration.
+go test -run=NONE -bench='BenchmarkStore(Put|Get|Scan|Reopen)' \
+  -benchmem -benchtime=1000x -count=3 ./internal/store | tee -a "$RAW"
+go test -run=NONE -bench='BenchmarkResumeScan' \
+  -benchmem -benchtime=3x ./internal/experiment | tee -a "$RAW"
 
+# Snapshot: first-seen order, minimum ns/op per benchmark across the
+# repeated -count runs (see the host-noise note above).
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { n = 0 }
 /^Benchmark/ {
@@ -37,14 +56,17 @@ BEGIN { n = 0 }
         if ($(i+1) == "B/op")      bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
     }
-    if (ns != "") {
-        rows[n++] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                            name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs))
+    if (ns == "") next
+    if (!(name in best)) { order[n++] = name }
+    if (!(name in best) || ns + 0 < best[name]) {
+        best[name] = ns + 0
+        rows[name] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                             name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs))
     }
 }
 END {
     printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": [\n", date
-    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[order[i]], (i < n-1 ? "," : "")
     printf "  ]\n}\n"
 }' "$RAW" > "$OUT"
 
@@ -91,4 +113,24 @@ END {
         exit 1
     }
     printf "parallel-path alloc gate ok (workers=4: %.0f allocs/op, serial: %.0f)\n", par, serial
+}' "$RAW"
+
+# Resume-scan gate: the store's one-scan resume must stay well ahead of
+# the per-file path it replaced. It measures ~12x on a quiet host; the
+# hard floor sits at 4x so host noise cannot flake the smoke, and
+# anything under 10x is flagged for a look.
+awk '
+/^BenchmarkResumeScan\/files/ { files = $3 }
+/^BenchmarkResumeScan\/store/ { store = $3 }
+END {
+    if (files == "" || store == "" || store + 0 == 0) { print "bench_smoke: resume-scan gate missing BenchmarkResumeScan files/store"; exit 1 }
+    ratio = files / store
+    if (ratio < 4) {
+        printf "bench_smoke: store resume-scan only %.1fx faster than per-file (want >= 4x hard, ~12x typical)\n", ratio
+        exit 1
+    }
+    if (ratio < 10)
+        printf "bench_smoke: WARNING: store resume-scan %.1fx over per-file, below the ~12x typical\n", ratio
+    else
+        printf "resume-scan gate ok (store %.1fx faster than per-file)\n", ratio
 }' "$RAW"

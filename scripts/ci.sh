@@ -154,6 +154,60 @@ wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
 echo "chaos smoke ok"
 
+# Store smoke: a multi-thousand-arm tiny sweep against the embedded
+# result store, killed hard mid-run (SIGKILL — no drain, no handlers),
+# reopened, resumed to completion, and compared byte-for-byte against
+# the file backend's results.csv for the same spec. This proves the
+# store's three claims end-to-end: crash consistency (a torn log
+# recovers to the last durable arm), resume serves durable arms from
+# cache without per-arm files, and the two backends are byte-identical.
+storespec="$specout/store-sweep.json"
+awk 'BEGIN {
+    printf "{\"name\":\"store smoke\",\"sweep\":{\"base\":{\"label\":\"b\",\"corpus\":\"cifar10\",\"protocol\":\"samo\",\"viewSize\":2},\"axes\":[{\"field\":\"beta\",\"values\":["
+    for (i = 0; i < 2000; i++) printf "%s0.%04d", (i ? "," : ""), 1000 + i
+    printf "]}]}}\n"
+}' > "$storespec"
+go build -o "$specout/dlsim-store" ./cmd/dlsim
+"$specout/dlsim-store" sweep -spec "$storespec" -scale tiny -out "$specout/store-file" -events none >/dev/null
+
+"$specout/dlsim-store" sweep -spec "$storespec" -scale tiny -out "$specout/store-run" -store -events none >"$specout/store-kill.log" 2>&1 &
+sweep_pid=$!
+rows=0
+i=0
+while [ $i -lt 600 ]; do
+    # The redirection itself fails until the sweep creates the file,
+    # and a failed redirection bypasses wc's 2>/dev/null — test first.
+    rows=$([ -f "$specout/store-run/results.csv" ] && wc -l < "$specout/store-run/results.csv" || echo 0)
+    [ "$rows" -ge 300 ] && break
+    kill -0 "$sweep_pid" 2>/dev/null || { echo "store sweep died before the kill point" >&2; cat "$specout/store-kill.log" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ "$rows" -ge 300 ] || { echo "store sweep never reached the kill threshold" >&2; exit 1; }
+kill -9 "$sweep_pid"
+wait "$sweep_pid" 2>/dev/null || true
+
+if [ -d "$specout/store-run/arms" ]; then
+    echo "store sweep created a per-arm file directory" >&2
+    exit 1
+fi
+"$specout/dlsim-store" sweep -spec "$storespec" -scale tiny -out "$specout/store-run" -store -events none -resume >"$specout/store-resume.log"
+grep -Eq '\([1-9][0-9]* from cache\)' "$specout/store-resume.log" || {
+    echo "store resume served nothing from cache:" >&2
+    cat "$specout/store-resume.log" >&2
+    exit 1
+}
+cmp -s "$specout/store-run/results.csv" "$specout/store-file/results.csv" || {
+    echo "store-backed results.csv diverges from the file backend:" >&2
+    diff "$specout/store-run/results.csv" "$specout/store-file/results.csv" | head >&2
+    exit 1
+}
+"$specout/dlsim-store" list -store "$specout/store-run/store" -limit 5 | head -n 1 | grep -q '^2000 cached arms' || {
+    echo "list -store does not report 2000 cached arms" >&2
+    exit 1
+}
+echo "store smoke ok"
+
 # Intra-arm scaling smoke: a quick IntraArmSpeedup run at workers={1,4}.
 # Advisory, not a gate — single-run ns/op on a shared host is too noisy
 # to fail CI on, and on a 1-core runtime (GOMAXPROCS=1) parity is the
