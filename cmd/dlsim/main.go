@@ -17,6 +17,8 @@
 //	                                           # arm caches in one embedded store
 //	dlsim serve -addr 127.0.0.1:8080           # HTTP/JSON job service
 //	dlsim serve -checkpoint cp -store cp/store # jobs share one result store
+//	dlsim worker -server http://127.0.0.1:8080 # pull-mode worker: claim arms,
+//	                                           # execute, upload (fleet-scalable)
 //	dlsim list                                 # the scenario catalog
 //	dlsim list -jobs -addr URL -limit 20       # a service's job table, paged
 //	dlsim list -store runs/b/store -figure f2  # cached arms of a result store
@@ -61,6 +63,8 @@ func run(args []string) error {
 			return runAndSweep(cmd, rest)
 		case "serve":
 			return serveCmd(rest)
+		case "worker":
+			return workerCmd(rest)
 		case "list":
 			return listCmd(rest)
 		case "version":
@@ -69,7 +73,7 @@ func run(args []string) error {
 			printUsage(os.Stdout)
 			return nil
 		default:
-			return fmt.Errorf("unknown command %q (want run, sweep, serve, list, or version)", cmd)
+			return fmt.Errorf("unknown command %q (want run, sweep, serve, worker, list, or version)", cmd)
 		}
 	}
 	return runAndSweep("", args)
@@ -84,6 +88,8 @@ commands:
   sweep    run a spec persisted to a result directory (-out), resumable (-resume);
            -store keeps arm caches in one embedded indexed store
   serve    expose the engine as an HTTP/JSON job service
+  worker   pull arm work orders from a service (-server URL) and execute them;
+           any number of workers form a fleet sharing the service's result store
   list     print the scenario catalog; -jobs lists a service's job table,
            -store DIR lists a result store's cached arms (both page with
            -limit/-offset)
@@ -484,11 +490,13 @@ func listCmd(args []string) error {
 	return nil
 }
 
-// listJobs prints one window of a service's job table.
+// listJobs prints one window of a service's job table, then the
+// service's /v1/statz counters (queue depth, worker fleet, cache).
 func listJobs(addr string, limit, offset int) error {
 	ctx, stop := signalContext()
 	defer stop()
-	page, err := dlsim.NewClient(addr).JobsPage(ctx, limit, offset)
+	client := dlsim.NewClient(addr)
+	page, err := client.JobsPage(ctx, limit, offset)
 	if err != nil {
 		return err
 	}
@@ -504,6 +512,19 @@ func listJobs(addr string, limit, offset int) error {
 		}
 		fmt.Println(line)
 	}
+	st, err := client.Statz(ctx)
+	if err != nil {
+		// Older services have no /v1/statz; the job table above is
+		// still the answer, so degrade quietly.
+		return nil
+	}
+	fmt.Printf("service %s: %d queued, %d running\n", st.Status, st.Queued, st.Running)
+	fmt.Printf("work: queue=%d leases=%d workers=%d claims=%d completes=%d reclaims=%d stale=%d arms(remote/local)=%d/%d\n",
+		st.Work.QueueDepth, st.Work.ActiveLeases, st.Work.Workers,
+		st.Work.Claims, st.Work.Completes, st.Work.Reclaims, st.Work.StaleUploads,
+		st.Work.RemoteArms, st.Work.LocalArms)
+	fmt.Printf("cache: %d hits / %d misses (%.1f%% hit rate)\n",
+		st.Cache.Hits, st.Cache.Misses, 100*st.Cache.HitRate)
 	return nil
 }
 

@@ -34,6 +34,7 @@ func serveCmd(args []string) error {
 	checkpoint := fs.String("checkpoint", "", "directory for per-job checkpoint caches; retries and restarts resume from it")
 	storeDir := fs.String("store", "", "embedded result store directory shared by every job's arm caches (requires -checkpoint); content-hash keys dedup arms across jobs and restarts")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain window on SIGTERM/SIGINT before running jobs are checkpointed and aborted")
+	lease := fs.Duration("lease", 15*time.Second, "work-lease TTL for distributed workers; a worker that misses heartbeats this long has its arm reclaimed")
 	inject := fs.String("inject", "", `fault-injection spec for chaos testing, e.g. "arm-error=2,errors=3,arm-panic=5,panics=1,event-delay=10ms"`)
 	logLevel := fs.String("log", "info", "log level: debug, info, warn, or error")
 	if err := fs.Parse(args); err != nil {
@@ -44,6 +45,9 @@ func serveCmd(args []string) error {
 	}
 	if *jobs < 1 || *queue < 1 {
 		return fmt.Errorf("serve needs -jobs >= 1 and -queue >= 1")
+	}
+	if *lease <= 0 {
+		return fmt.Errorf("serve needs -lease > 0")
 	}
 	if *storeDir != "" && *checkpoint == "" {
 		return fmt.Errorf("-store requires -checkpoint (the store backs the per-job checkpoint caches)")
@@ -82,6 +86,7 @@ func serveCmd(args []string) error {
 		Retry:                  server.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase},
 		CheckpointDir:          *checkpoint,
 		StoreDir:               *storeDir,
+		LeaseTTL:               *lease,
 		Fault:                  injector,
 		Log:                    log,
 	})

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+
+	"gossipmia/internal/experiment"
+	"gossipmia/internal/faultinject"
+	"gossipmia/pkg/dlsim"
+)
+
+// workerCmd runs a pull-mode worker: it long-polls the service's
+// /v1/work/claim endpoint, executes each claimed arm through the same
+// SDK Runner a local run uses (so the uploaded records are
+// byte-identical to in-process execution), heartbeats the lease while
+// the arm runs, and uploads the outcome. Any number of workers may
+// point at one service; the server leases each arm to exactly one of
+// them at a time and reclaims arms whose worker disappears.
+func workerCmd(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	serverURL := fs.String("server", "", "dlsim service base URL to pull work from (required)")
+	token := fs.String("token", "", "bearer token, when the service requires auth")
+	name := fs.String("name", "", "worker name for lease bookkeeping (default: host-pid)")
+	parallel := fs.Int("parallel", 1, "arms this worker executes concurrently")
+	workers := fs.Int("workers", 1, "goroutines inside each arm (intra-arm parallelism); results are identical for any value")
+	poll := fs.Duration("poll", 15*time.Second, "claim long-poll window (the server clamps it)")
+	inject := fs.String("inject", "", `fault-injection spec for chaos testing worker-side failures, e.g. "arm-error=2,errors=3,arm-panic=5,panics=1"`)
+	logLevel := fs.String("log", "info", "log level: debug, info, warn, or error")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *serverURL == "" {
+		return fmt.Errorf("worker requires -server (the dlsim service to pull work from)")
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("worker needs -parallel >= 1")
+	}
+	if *workers < 0 {
+		return fmt.Errorf("workers must be >= 0, got %d", *workers)
+	}
+	if *poll <= 0 {
+		return fmt.Errorf("worker needs -poll > 0")
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log level %q: %w", *logLevel, err)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	var injector *faultinject.Injector
+	if *inject != "" {
+		cfg, err := faultinject.Parse(*inject)
+		if err != nil {
+			return fmt.Errorf("bad -inject spec: %w", err)
+		}
+		injector = faultinject.New(cfg)
+		log.Warn("fault injection armed", "spec", *inject)
+	}
+
+	who := *name
+	if who == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		who = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	// Claims and heartbeats retry on 429/503 honoring Retry-After, so a
+	// draining or rate-limited server backs the fleet off instead of
+	// hammering it.
+	opts := []dlsim.ClientOption{dlsim.WithClientRetry(dlsim.RetryPolicy{
+		MaxAttempts: 4, BaseDelay: 250 * time.Millisecond,
+	})}
+	if *token != "" {
+		opts = append(opts, dlsim.WithToken(*token))
+	}
+	client := dlsim.NewClient(*serverURL, opts...)
+
+	ctx, stop := signalContext()
+	defer stop()
+	if injector != nil {
+		ctx = faultinject.With(ctx, injector)
+	}
+
+	fmt.Printf("dlsim: worker %s pulling from %s (parallel=%d)\n", who, *serverURL, *parallel)
+	var wg sync.WaitGroup
+	for slot := 0; slot < *parallel; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			slotName := who
+			if *parallel > 1 {
+				slotName = fmt.Sprintf("%s/%d", who, slot)
+			}
+			workerLoop(ctx, client, log.With("worker", slotName), slotName, *poll, *workers)
+		}(slot)
+	}
+	wg.Wait()
+	log.Info("worker stopped")
+	return nil
+}
+
+// workerLoop is one claim-execute-upload loop; -parallel runs several.
+func workerLoop(ctx context.Context, client *dlsim.Client, log *slog.Logger, who string, poll time.Duration, workers int) {
+	for ctx.Err() == nil {
+		order, err := client.ClaimWork(ctx, who, poll)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			// Draining, unreachable, or overloaded even after retries:
+			// back off and keep polling — the fleet outlives restarts.
+			log.Warn("claim failed; backing off", "err", err)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(2 * time.Second):
+			}
+			continue
+		}
+		if order == nil { // long-poll elapsed with no work
+			continue
+		}
+		runOrder(ctx, client, log, order, workers)
+	}
+}
+
+// runOrder executes one claimed arm under its lease: a heartbeat
+// goroutine renews the lease at a third of its window and cancels the
+// execution if the server reports the lease gone (the arm was
+// reclaimed — finishing it would only produce a stale duplicate).
+func runOrder(ctx context.Context, client *dlsim.Client, log *slog.Logger, order *dlsim.WorkOrder, workers int) {
+	log = log.With("lease", order.Lease, "job", order.Job, "arm", order.Label)
+	log.Info("claimed arm", "spec", order.Spec, "scale", order.Scale)
+
+	armCtx, cancelArm := context.WithCancel(ctx)
+	defer cancelArm()
+	hbDone := make(chan struct{})
+	expired := false
+	interval := time.Duration(order.LeaseSeconds * float64(time.Second) / 3)
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-armCtx.Done():
+				return
+			case <-t.C:
+			}
+			if _, err := client.HeartbeatWork(armCtx, order.Lease); err != nil {
+				if errors.Is(err, dlsim.ErrLeaseExpired) {
+					log.Warn("lease expired; abandoning arm")
+					expired = true
+					cancelArm()
+					return
+				}
+				if armCtx.Err() == nil {
+					log.Warn("heartbeat failed; lease may lapse", "err", err)
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	res, runErr := executeOrder(armCtx, order, workers)
+	cancelArm()
+	<-hbDone
+	elapsed := time.Since(start)
+
+	if expired || ctx.Err() != nil {
+		// Reclaimed mid-run or the worker is shutting down; either way
+		// the server redistributes the arm, so there is nothing to send.
+		return
+	}
+	result := dlsim.WorkResult{ElapsedSeconds: elapsed.Seconds()}
+	if runErr != nil {
+		result.Error = runErr.Error()
+		result.Transient = experiment.IsTransient(runErr)
+		log.Warn("arm failed", "err", runErr, "transient", result.Transient)
+	} else {
+		result.Arm = res
+		log.Info("arm done", "rounds", len(res.Records), "elapsed", elapsed.Round(time.Millisecond))
+	}
+	// Uploading on a fresh context: ctx may die between the check above
+	// and here, and the bytes are already computed — deliver them.
+	upCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	receipt, err := client.CompleteWork(upCtx, order.Lease, result)
+	switch {
+	case err != nil:
+		log.Warn("result upload failed; arm will be reclaimed", "err", err)
+	case receipt.Stale:
+		log.Info("upload was a stale duplicate (already resolved); discarded")
+	}
+}
+
+// executeOrder reproduces the arm exactly as the server would run it
+// in-process: a single-arm spec through the SDK Runner at the order's
+// scale and resolved seed. Determinism makes the execution idempotent,
+// which is what lease reclaim and duplicate uploads rely on.
+func executeOrder(ctx context.Context, order *dlsim.WorkOrder, workers int) (*dlsim.ArmResult, error) {
+	runner, err := dlsim.NewRunner(
+		dlsim.WithScale(order.Scale),
+		dlsim.WithSeed(order.Seed),
+		dlsim.WithWorkers(workers),
+	)
+	if err != nil {
+		return nil, err
+	}
+	sp := &dlsim.Spec{Name: order.Spec, Arms: []dlsim.Arm{order.Arm}}
+	res, err := runner.Run(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Arms) != 1 {
+		return nil, fmt.Errorf("worker: order %q produced %d arms, want 1", order.Label, len(res.Arms))
+	}
+	arm := res.Arms[0]
+	if arm.Label != order.Label {
+		return nil, fmt.Errorf("worker: order %q produced arm %q", order.Label, arm.Label)
+	}
+	return &arm, nil
+}

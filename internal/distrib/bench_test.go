@@ -1,0 +1,49 @@
+package distrib
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkDispatcherPipeline measures claim/complete round-trip
+// throughput with a four-worker fleet draining one submitter — the
+// dispatcher-side overhead a real fleet adds per arm (the arm execution
+// itself dominates in practice; this isolates the coordination cost).
+func BenchmarkDispatcherPipeline(b *testing.B) {
+	d := New(Config{LeaseTTL: time.Minute})
+	defer d.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := "w" + string(rune('0'+w))
+			for ctx.Err() == nil {
+				l, ok, err := d.Claim(ctx, name, 100*time.Millisecond)
+				if err != nil || !ok {
+					continue
+				}
+				d.Complete(l.ID, l.Unit.Key, nil)
+			}
+		}(w)
+	}
+	for d.LiveWorkers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	u := Unit{Key: "benchmark-unit-key", Job: "bench", Label: "arm", Payload: []byte(`{}`)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Execute(context.Background(), u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cancel()
+	wg.Wait()
+}

@@ -1,0 +1,511 @@
+// Package distrib implements the server side of distributed sweep
+// execution: a Dispatcher decomposes submitted jobs into per-arm work
+// units, leases them to pull-mode workers over long-polled claims,
+// reclaims units whose lease deadline lapses without a heartbeat, and
+// reports ErrNoWorkers to the submitting side when no fleet is
+// connected so the caller can fall back to local execution.
+//
+// The dispatcher is deliberately generic: a Unit carries an opaque
+// wire payload and a content-hash key, and outcomes are delivered as
+// opaque values. Idempotency lives one layer up — unit keys are the
+// experiment content hashes, so executing the same unit twice yields
+// the same bytes and a duplicate completion is a harmless no-op
+// (reported as stale).
+package distrib
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Typed errors. Callers match with errors.Is.
+var (
+	// ErrNoWorkers reports that no live worker is connected (or the
+	// dispatcher is draining), so the unit should execute locally.
+	ErrNoWorkers = errors.New("distrib: no workers connected")
+	// ErrDraining refuses new claims while the server drains.
+	ErrDraining = errors.New("distrib: dispatcher draining")
+	// ErrClosed reports a closed dispatcher.
+	ErrClosed = errors.New("distrib: dispatcher closed")
+	// ErrLeaseNotFound reports an unknown or already-expired lease.
+	ErrLeaseNotFound = errors.New("distrib: unknown or expired lease")
+)
+
+// Config tunes lease and liveness windows. Zero values pick defaults.
+type Config struct {
+	// LeaseTTL is how long a claimed unit stays assigned without a
+	// heartbeat before it is reclaimed for re-dispatch. Default 15s.
+	LeaseTTL time.Duration
+	// WorkerTTL is how long a worker counts as live after its last
+	// claim, heartbeat, or upload. A worker parked in a long-poll
+	// claim is always live. Default 2×LeaseTTL.
+	WorkerTTL time.Duration
+	// Sweep is the janitor period. Default LeaseTTL/8 clamped to
+	// [5ms, 250ms].
+	Sweep time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.WorkerTTL <= 0 {
+		c.WorkerTTL = 2 * c.LeaseTTL
+	}
+	if c.Sweep <= 0 {
+		c.Sweep = c.LeaseTTL / 8
+		if c.Sweep < 5*time.Millisecond {
+			c.Sweep = 5 * time.Millisecond
+		}
+		if c.Sweep > 250*time.Millisecond {
+			c.Sweep = 250 * time.Millisecond
+		}
+	}
+	return c
+}
+
+// Unit is one independently executable piece of work: a single arm of
+// a job, identified by its content-hash key, with the wire order the
+// server hands to whichever worker claims it.
+type Unit struct {
+	Key     string // sha256 content hash; the idempotency identity
+	Job     string
+	Spec    string
+	Label   string
+	Index   int
+	Payload []byte // opaque wire order (JSON) served on claim
+}
+
+// Lease is a claimed unit with a renewal deadline.
+type Lease struct {
+	ID       string
+	Unit     Unit
+	Worker   string
+	Deadline time.Time
+	TTL      time.Duration
+}
+
+// Stats is a point-in-time counters snapshot for observability.
+type Stats struct {
+	QueueDepth        int   // units waiting for a claim
+	ActiveLeases      int   // claimed units not yet resolved
+	Workers           int   // live workers (parked or recently seen)
+	Claims            int64 // leases handed out
+	Completes         int64 // outcomes delivered to waiting units
+	Reclaims          int64 // expired leases re-queued for dispatch
+	StaleUploads      int64 // duplicate/late completions ignored
+	NoWorkerFallbacks int64 // units answered with ErrNoWorkers
+	Draining          bool
+}
+
+type unitState int
+
+const (
+	unitQueued unitState = iota
+	unitLeased
+	unitResolved
+)
+
+type outcome struct {
+	result any
+	err    error
+}
+
+type unit struct {
+	Unit
+	state unitState
+	done  chan outcome // buffered 1; written exactly once
+}
+
+type lease struct {
+	id         string
+	u          *unit
+	worker     string
+	deadline   time.Time
+	done       bool // expired or resolved; kept briefly for stale uploads
+	resolvedAt time.Time
+}
+
+// Dispatcher is safe for concurrent use. Close releases its janitor.
+type Dispatcher struct {
+	cfg Config
+
+	mu       sync.Mutex
+	queue    []*unit
+	leases   map[string]*lease
+	workers  map[string]time.Time // last activity
+	parked   map[string]int       // claimers currently long-polling
+	wake     chan struct{}        // closed-and-replaced broadcast
+	seq      int64
+	draining bool
+	closed   bool
+
+	claims, completes, reclaims int64
+	stales, noWorkers           int64
+
+	stop        chan struct{}
+	janitorDone chan struct{}
+}
+
+// New starts a dispatcher and its janitor goroutine.
+func New(cfg Config) *Dispatcher {
+	d := &Dispatcher{
+		cfg:         cfg.withDefaults(),
+		leases:      make(map[string]*lease),
+		workers:     make(map[string]time.Time),
+		parked:      make(map[string]int),
+		wake:        make(chan struct{}),
+		stop:        make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go d.janitor()
+	return d
+}
+
+// LeaseTTL reports the configured lease deadline window.
+func (d *Dispatcher) LeaseTTL() time.Duration { return d.cfg.LeaseTTL }
+
+func (d *Dispatcher) wakeLocked() {
+	close(d.wake)
+	d.wake = make(chan struct{})
+}
+
+// Execute submits the unit to the worker fleet and blocks until a
+// worker delivers its outcome. It returns ErrNoWorkers immediately
+// when no live worker is connected (or the dispatcher is draining),
+// and later if every worker disappears while the unit waits — in both
+// cases the caller should run the unit locally. Cancelling ctx
+// withdraws the unit; a completion that races the withdrawal wins.
+func (d *Dispatcher) Execute(ctx context.Context, spec Unit) (any, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if d.draining || !d.liveLocked(time.Now()) {
+		d.noWorkers++
+		d.mu.Unlock()
+		return nil, ErrNoWorkers
+	}
+	u := &unit{Unit: spec, state: unitQueued, done: make(chan outcome, 1)}
+	d.queue = append(d.queue, u)
+	d.wakeLocked()
+	d.mu.Unlock()
+
+	select {
+	case out := <-u.done:
+		return out.result, out.err
+	case <-ctx.Done():
+		d.withdraw(u)
+		select {
+		case out := <-u.done:
+			return out.result, out.err
+		default:
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// withdraw removes a unit whose submitter gave up waiting. A lease
+// already out for it becomes a dead letter: the worker's upload is
+// accepted and discarded as stale.
+func (d *Dispatcher) withdraw(u *unit) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if u.state == unitResolved {
+		return
+	}
+	if u.state == unitQueued {
+		d.dequeueLocked(u)
+	}
+	u.state = unitResolved
+}
+
+func (d *Dispatcher) dequeueLocked(u *unit) {
+	for i, q := range d.queue {
+		if q == u {
+			d.queue = append(d.queue[:i], d.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// liveLocked reports whether any worker is parked in a claim or was
+// seen within WorkerTTL.
+func (d *Dispatcher) liveLocked(now time.Time) bool {
+	if len(d.parked) > 0 {
+		return true
+	}
+	for _, seen := range d.workers {
+		if now.Sub(seen) <= d.cfg.WorkerTTL {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveWorkers counts workers currently parked in a claim or seen
+// within WorkerTTL.
+func (d *Dispatcher) LiveWorkers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.liveWorkersLocked(time.Now())
+}
+
+func (d *Dispatcher) liveWorkersLocked(now time.Time) int {
+	n := 0
+	for w, seen := range d.workers {
+		if d.parked[w] > 0 || now.Sub(seen) <= d.cfg.WorkerTTL {
+			n++
+		}
+	}
+	return n
+}
+
+// Claim hands the caller the oldest queued unit under a fresh lease,
+// long-polling up to wait when the queue is empty. ok=false means the
+// wait elapsed (or ctx was cancelled) with no work available.
+func (d *Dispatcher) Claim(ctx context.Context, worker string, wait time.Duration) (Lease, bool, error) {
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		now := time.Now()
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			return Lease{}, false, ErrClosed
+		}
+		if d.draining {
+			d.mu.Unlock()
+			return Lease{}, false, ErrDraining
+		}
+		d.workers[worker] = now
+		if len(d.queue) > 0 {
+			u := d.queue[0]
+			d.queue = d.queue[1:]
+			u.state = unitLeased
+			d.seq++
+			l := &lease{
+				id:       fmt.Sprintf("L%08d-%s", d.seq, u.Key[:min(8, len(u.Key))]),
+				u:        u,
+				worker:   worker,
+				deadline: now.Add(d.cfg.LeaseTTL),
+			}
+			d.leases[l.id] = l
+			d.claims++
+			out := Lease{ID: l.id, Unit: u.Unit, Worker: worker, Deadline: l.deadline, TTL: d.cfg.LeaseTTL}
+			d.mu.Unlock()
+			return out, true, nil
+		}
+		d.parked[worker]++
+		wake := d.wake
+		d.mu.Unlock()
+
+		wakeup := false
+		select {
+		case <-wake:
+			wakeup = true
+		case <-timer.C:
+		case <-ctx.Done():
+		case <-d.stop:
+		}
+		d.mu.Lock()
+		d.parked[worker]--
+		if d.parked[worker] <= 0 {
+			delete(d.parked, worker)
+		}
+		d.workers[worker] = time.Now()
+		d.mu.Unlock()
+		if !wakeup {
+			return Lease{}, false, ctx.Err()
+		}
+	}
+}
+
+// Heartbeat extends a lease's deadline by LeaseTTL and returns the new
+// deadline. Expired, resolved, or unknown leases get ErrLeaseNotFound.
+func (d *Dispatcher) Heartbeat(leaseID string) (time.Time, error) {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l, ok := d.leases[leaseID]
+	if !ok || l.done || l.u.state != unitLeased {
+		return time.Time{}, ErrLeaseNotFound
+	}
+	l.deadline = now.Add(d.cfg.LeaseTTL)
+	d.workers[l.worker] = now
+	return l.deadline, nil
+}
+
+// Complete resolves a lease with the worker's outcome. stale=true
+// reports that the unit had already been resolved elsewhere (a
+// duplicate or late upload) and the payload was discarded — execution
+// is idempotent by content hash, so this is harmless. An upload
+// against a lease that expired but whose unit is still pending is
+// accepted: the bytes are the same no matter who ran the arm.
+func (d *Dispatcher) Complete(leaseID string, result any, workErr error) (stale bool, err error) {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l, ok := d.leases[leaseID]
+	if !ok {
+		return false, ErrLeaseNotFound
+	}
+	d.workers[l.worker] = now
+	if !l.done {
+		l.done = true
+		l.resolvedAt = now
+	}
+	u := l.u
+	if u.state == unitResolved {
+		d.stales++
+		return true, nil
+	}
+	if u.state == unitQueued { // lease expired, unit re-queued, not yet re-claimed
+		d.dequeueLocked(u)
+	}
+	u.state = unitResolved
+	u.done <- outcome{result: result, err: workErr}
+	d.completes++
+	return false, nil
+}
+
+// Drain stops handing out new claims. Outstanding leases may still
+// heartbeat and complete; queued units fail over to ErrNoWorkers on
+// the next janitor sweep (no one can claim them anymore).
+func (d *Dispatcher) Drain() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return
+	}
+	d.draining = true
+	d.failQueueLocked()
+	d.wakeLocked()
+}
+
+// Draining reports whether Drain has been called.
+func (d *Dispatcher) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// Close drains, fails every unresolved unit with ErrClosed, and stops
+// the janitor. Idempotent.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.draining = true
+	for _, u := range d.queue {
+		u.state = unitResolved
+		u.done <- outcome{err: ErrClosed}
+	}
+	d.queue = nil
+	for _, l := range d.leases {
+		if !l.done && l.u.state == unitLeased {
+			l.done = true
+			l.u.state = unitResolved
+			l.u.done <- outcome{err: ErrClosed}
+		}
+	}
+	d.wakeLocked()
+	close(d.stop)
+	d.mu.Unlock()
+	<-d.janitorDone
+}
+
+// Stats returns a counters snapshot.
+func (d *Dispatcher) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	active := 0
+	for _, l := range d.leases {
+		if !l.done {
+			active++
+		}
+	}
+	return Stats{
+		QueueDepth:        len(d.queue),
+		ActiveLeases:      active,
+		Workers:           d.liveWorkersLocked(time.Now()),
+		Claims:            d.claims,
+		Completes:         d.completes,
+		Reclaims:          d.reclaims,
+		StaleUploads:      d.stales,
+		NoWorkerFallbacks: d.noWorkers,
+		Draining:          d.draining,
+	}
+}
+
+// failQueueLocked answers every queued unit with ErrNoWorkers so the
+// submitter runs it locally.
+func (d *Dispatcher) failQueueLocked() {
+	for _, u := range d.queue {
+		u.state = unitResolved
+		u.done <- outcome{err: ErrNoWorkers}
+		d.noWorkers++
+	}
+	d.queue = nil
+}
+
+// janitor expires overdue leases (reclaiming their units to the front
+// of the queue), fails queued units over to local execution when the
+// worker fleet disappears, and prunes stale bookkeeping.
+func (d *Dispatcher) janitor() {
+	defer close(d.janitorDone)
+	tick := time.NewTicker(d.cfg.Sweep)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			return
+		}
+		requeued := false
+		for id, l := range d.leases {
+			if l.done {
+				// Keep resolved leases around long enough for a late
+				// duplicate upload to be answered as stale.
+				if now.Sub(l.resolvedAt) > 4*d.cfg.LeaseTTL {
+					delete(d.leases, id)
+				}
+				continue
+			}
+			if now.After(l.deadline) {
+				l.done = true
+				l.resolvedAt = now
+				if l.u.state == unitLeased {
+					l.u.state = unitQueued
+					d.queue = append([]*unit{l.u}, d.queue...)
+					d.reclaims++
+					requeued = true
+				}
+			}
+		}
+		if len(d.queue) > 0 && (d.draining || !d.liveLocked(now)) {
+			d.failQueueLocked()
+		} else if requeued {
+			d.wakeLocked()
+		}
+		for w, seen := range d.workers {
+			if d.parked[w] == 0 && now.Sub(seen) > 2*d.cfg.WorkerTTL {
+				delete(d.workers, w)
+			}
+		}
+		d.mu.Unlock()
+	}
+}

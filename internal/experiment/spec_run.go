@@ -60,20 +60,53 @@ func RunSpec(ctx context.Context, sp *spec.Spec, sc Scale) (*FigureResult, error
 // distinct arms per call) and may return a nil sink to skip an arm's
 // stream; each non-nil sink is closed after the arm's last record.
 func RunSpecSinks(ctx context.Context, sp *spec.Spec, sc Scale, sinkFor func(i int, label string) (sink.Sink, error)) (*FigureResult, error) {
-	h := specHooks{}
+	return RunSpecExec(ctx, sp, sc, sinkFor, nil)
+}
+
+// RunSpecExec runs a spec like RunSpecSinks with an additional remote
+// executor consulted for every non-cached arm — the entry point the
+// job service's distributed dispatcher rides on. exec may be nil.
+func RunSpecExec(ctx context.Context, sp *spec.Spec, sc Scale, sinkFor func(i int, label string) (sink.Sink, error), exec ArmExecutor) (*FigureResult, error) {
+	h := specHooks{exec: exec}
 	if sinkFor != nil {
 		h.sinks = func(i int, a spec.Arm) (sink.Sink, error) { return sinkFor(i, a.Label) }
 	}
 	return runSpecHooked(ctx, sp, sc, h)
 }
 
+// ArmUnit describes one arm of a spec run as an independently
+// executable unit of work: everything a remote executor needs to
+// reproduce the arm byte-for-byte. Key is the arm's content hash —
+// sha256(arm JSON, scale fingerprint with the worker count zeroed) —
+// so two units with equal keys produce identical bytes no matter
+// where or how often they run.
+type ArmUnit struct {
+	Index int
+	Key   string
+	Spec  string
+	Arm   spec.Arm
+	Scale Scale
+}
+
+// ArmExecutor may run one arm somewhere other than this process (the
+// distributed dispatch path). Returning handled=false declines the
+// unit — the engine executes it locally, preserving single-process
+// behavior exactly. Returning handled=true with an error fails the
+// arm (transience decided by the usual core taxonomy); with a nil
+// error the returned Arm is taken as the unit's result and its
+// records are replayed into the arm's sinks, so event streams stay
+// byte-identical to local execution.
+type ArmExecutor func(ctx context.Context, u ArmUnit) (Arm, bool, error)
+
 // specHooks customize the executor per arm: a cache lookup that can
-// skip execution, a sink factory for streaming records, and a
-// completion callback. All three may be nil. Hooks are invoked from the
-// worker goroutines; the engine guarantees distinct arms per call, so
-// hooks only need to be safe across distinct arm indices.
+// skip execution, a remote executor consulted before running locally,
+// a sink factory for streaming records, and a completion callback.
+// All may be nil. Hooks are invoked from the worker goroutines; the
+// engine guarantees distinct arms per call, so hooks only need to be
+// safe across distinct arm indices.
 type specHooks struct {
 	lookup func(i int, a spec.Arm) (Arm, bool)
+	exec   ArmExecutor
 	sinks  func(i int, a spec.Arm) (sink.Sink, error)
 	done   func(i int, a spec.Arm, arm Arm, elapsed time.Duration) error
 }
@@ -101,23 +134,29 @@ func runSpecHooked(ctx context.Context, sp *spec.Spec, sc Scale, h specHooks) (*
 				return nil
 			}
 		}
-		var snk sink.Sink
-		if h.sinks != nil {
-			s, err := h.sinks(i, a)
+		start := time.Now()
+		arm, remote, err := runSpecArmRemote(ctx, sp, sc, i, a, h)
+		if err != nil {
+			return fmt.Errorf("experiment: %s arm %q: %w", sp.Name, a.Label, err)
+		}
+		if !remote {
+			var snk sink.Sink
+			if h.sinks != nil {
+				s, err := h.sinks(i, a)
+				if err != nil {
+					return fmt.Errorf("experiment: %s arm %q: %w", sp.Name, a.Label, err)
+				}
+				snk = s
+			}
+			arm, err = runSpecArmSafe(ctx, scArm, a, snk)
+			if snk != nil {
+				if cerr := snk.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
 			if err != nil {
 				return fmt.Errorf("experiment: %s arm %q: %w", sp.Name, a.Label, err)
 			}
-			snk = s
-		}
-		start := time.Now()
-		arm, err := runSpecArmSafe(ctx, scArm, a, snk)
-		if snk != nil {
-			if cerr := snk.Close(); cerr != nil && err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			return fmt.Errorf("experiment: %s arm %q: %w", sp.Name, a.Label, err)
 		}
 		if h.done != nil {
 			if err := h.done(i, a, arm, time.Since(start)); err != nil {
@@ -131,6 +170,53 @@ func runSpecHooked(ctx context.Context, sp *spec.Spec, sc Scale, h specHooks) (*
 		return nil, err
 	}
 	return fig, nil
+}
+
+// runSpecArmRemote offers one arm to the exec hook (the distributed
+// dispatch path). When the hook takes the unit, the remote result's
+// records are replayed into the arm's sinks here, so per-arm event
+// streams are byte-identical whether the arm ran locally or on a
+// worker. remote=false means the hook declined (or is absent) and the
+// caller should execute locally.
+func runSpecArmRemote(ctx context.Context, sp *spec.Spec, sc Scale, i int, a spec.Arm, h specHooks) (Arm, bool, error) {
+	if h.exec == nil {
+		return Arm{}, false, nil
+	}
+	key, err := armKey(a, sc)
+	if err != nil {
+		return Arm{}, false, err
+	}
+	arm, handled, err := h.exec(ctx, ArmUnit{Index: i, Key: key, Spec: sp.Name, Arm: a, Scale: sc})
+	if err != nil {
+		return Arm{}, true, err
+	}
+	if !handled {
+		return Arm{}, false, nil
+	}
+	if arm.Series == nil || arm.Label != a.Label {
+		return Arm{}, true, fmt.Errorf("remote executor returned arm %q, want %q", arm.Label, a.Label)
+	}
+	if h.sinks != nil {
+		snk, err := h.sinks(i, a)
+		if err != nil {
+			return Arm{}, true, err
+		}
+		if snk != nil {
+			var serr error
+			for _, rec := range arm.Series.Records {
+				if serr = snk.Record(rec); serr != nil {
+					break
+				}
+			}
+			if cerr := snk.Close(); cerr != nil && serr == nil {
+				serr = cerr
+			}
+			if serr != nil {
+				return Arm{}, true, serr
+			}
+		}
+	}
+	return arm, true, nil
 }
 
 // runSpecArmSafe is runSpecArm behind the resilience boundary: it fires
@@ -346,6 +432,12 @@ type SpecRunOptions struct {
 	// on disk. It is invoked from worker goroutines with distinct arms
 	// per call, in completion order — not spec order.
 	OnArmDone func(i int, report SpecArmReport)
+	// Exec, when non-nil, is offered every non-cached arm before local
+	// execution (see ArmExecutor). Results it returns flow through the
+	// same cache-write, event-stream, and results.csv paths as local
+	// runs — this is how remotely executed arms are ingested into the
+	// run directory and the shared result store.
+	Exec ArmExecutor
 }
 
 // SpecArmReport records how one arm of a spec run was satisfied.
@@ -568,6 +660,7 @@ func RunSpecDir(ctx context.Context, sp *spec.Spec, sc Scale, opts SpecRunOption
 
 	started := time.Now()
 	h := specHooks{
+		exec: opts.Exec,
 		done: func(i int, a spec.Arm, arm Arm, elapsed time.Duration) error {
 			reports[i].ElapsedSeconds = elapsed.Seconds()
 			cache := armCacheFile{

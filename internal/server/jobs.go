@@ -256,12 +256,16 @@ func (s *Server) runAttempt(ctx context.Context, j *job) (*dlsim.Result, error) 
 		dlsim.WithSeed(j.scale.Seed),
 		dlsim.WithWorkers(j.scale.Workers),
 		dlsim.WithSink(&jobSink{log: j.events}),
+		// Arms are offered to the worker fleet first; with no workers
+		// connected the executor declines synchronously and the arm
+		// runs in-process exactly as before.
+		dlsim.WithArmExecutor(s.armExecutor(j)),
 	)
 	if err != nil {
 		return nil, err
 	}
 	if s.cfg.CheckpointDir != "" {
-		res, _, err := runner.RunDir(ctx, j.spec, dlsim.DirOptions{
+		res, report, err := runner.RunDir(ctx, j.spec, dlsim.DirOptions{
 			OutDir: filepath.Join(s.cfg.CheckpointDir, j.key[:16]),
 			Resume: true,
 			Events: "none", // the event log is the stream; no second copy
@@ -270,6 +274,15 @@ func (s *Server) runAttempt(ctx context.Context, j *job) (*dlsim.Result, error) 
 			// across job boundaries through the shared handle.
 			StoreDir: s.cfg.StoreDir,
 		})
+		if report != nil {
+			for _, a := range report.Arms {
+				if a.Cached {
+					s.cacheHits.Add(1)
+				} else {
+					s.cacheMisses.Add(1)
+				}
+			}
+		}
 		return res, err
 	}
 	return runner.Run(ctx, j.spec)

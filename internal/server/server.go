@@ -28,6 +28,17 @@
 //	GET    /v1/catalog          scenario catalog and scales
 //	GET    /v1/version          build identity + spec-schema hash
 //	GET    /v1/healthz          liveness + queue stats
+//	GET    /v1/statz            dispatch + cache counters snapshot
+//	POST   /v1/work/claim       worker fleet: long-poll one arm lease
+//	POST   /v1/work/{lease}/heartbeat  renew a lease
+//	POST   /v1/work/{lease}/result     upload an arm outcome
+//
+// The work endpoints implement distributed sweep execution: `dlsim
+// worker` processes claim per-arm work units under deadline-bearing
+// leases, execute them with the same engine, and upload results keyed
+// by the arm's content hash — byte-identical to in-process execution,
+// cached cluster-wide through the shared result store. See
+// internal/distrib for the lease state machine.
 package server
 
 import (
@@ -43,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gossipmia/internal/distrib"
 	"gossipmia/internal/experiment"
 	"gossipmia/internal/faultinject"
 	"gossipmia/internal/server/middleware"
@@ -147,6 +159,9 @@ type Config struct {
 
 	// Retry is the transient-failure retry policy for job execution.
 	Retry RetryPolicy
+	// LeaseTTL is how long a worker-claimed arm stays leased without a
+	// heartbeat before it is reclaimed for re-dispatch. Default 15s.
+	LeaseTTL time.Duration
 	// CheckpointDir, when set, persists per-job run directories keyed
 	// by dedup key under it: retries and post-restart resubmissions
 	// resume from the per-arm caches instead of recomputing, and a
@@ -223,6 +238,15 @@ type Server struct {
 	byKey   map[string]*job
 	pending []*job
 
+	// dispatch leases per-arm work units to the pull-mode worker fleet;
+	// with no workers connected it answers ErrNoWorkers synchronously
+	// and jobs execute in-process exactly as before.
+	dispatch *distrib.Dispatcher
+	// localArms/remoteArms count where arms executed; cacheHits/Misses
+	// count checkpoint-cache lookups across jobs (statz observability).
+	localArms, remoteArms  atomic.Int64
+	cacheHits, cacheMisses atomic.Int64
+
 	// storeRelease drops the server's lifetime reference on the shared
 	// result store (nil without Config.StoreDir). Holding one reference
 	// from New to Close keeps the store — and its process lock — open
@@ -243,6 +267,7 @@ func New(cfg Config) *Server {
 		notify:     make(chan struct{}, 1),
 		jobs:       map[string]*job{},
 		byKey:      map[string]*job{},
+		dispatch:   distrib.New(distrib.Config{LeaseTTL: cfg.LeaseTTL}),
 	}
 	if cfg.StoreDir != "" {
 		if _, release, err := store.OpenShared(cfg.StoreDir, store.Options{}); err != nil {
@@ -276,9 +301,15 @@ func New(cfg Config) *Server {
 	handle("GET /v1/jobs/{id}", std, s.handleJob)
 	handle("DELETE /v1/jobs/{id}", std, s.handleCancel)
 	handle("GET /v1/jobs/{id}/events", base, s.handleEvents)
+	// The claim long-poll, like the events follow, must outlive any
+	// request timeout: it rides the base chain.
+	handle("POST /v1/work/claim", base, s.handleClaim)
+	handle("POST /v1/work/{lease}/heartbeat", std, s.handleHeartbeat)
+	handle("POST /v1/work/{lease}/result", std, s.handleWorkResult)
 	handle("GET /v1/catalog", std, s.handleCatalog)
 	handle("GET /v1/version", std, s.handleVersion)
 	handle("GET /v1/healthz", std, s.handleHealthz)
+	handle("GET /v1/statz", std, s.handleStatz)
 	s.mux = mux
 	s.wg.Add(cfg.Jobs)
 	for i := 0; i < cfg.Jobs; i++ {
@@ -298,6 +329,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Close() {
 	s.draining.Store(true)
 	s.baseCancel()
+	// Fail outstanding work units fast: their jobs are being cancelled
+	// anyway, and parked claim polls must return so workers disconnect.
+	s.dispatch.Close()
 	s.mu.Lock()
 	pending := append([]*job(nil), s.pending...)
 	s.mu.Unlock()
@@ -315,14 +349,20 @@ func (s *Server) Close() {
 }
 
 // Drain winds the service down gracefully: new submissions are refused
-// with 503 + Retry-After immediately, then Drain waits for every queued
-// and running job to reach a terminal state before stopping the
-// workers. If ctx expires first the remaining jobs are cancelled — with
-// a checkpoint directory configured each aborts at an arm boundary
-// leaving atomically-written caches, so a resubmission after restart
-// resumes instead of recomputing — and Drain returns ctx.Err().
+// with 503 + Retry-After immediately, new work claims are refused with
+// 503 + Retry-After (outstanding leases may still heartbeat and upload
+// their results — a leased arm is allowed to finish remotely, while
+// queued units fail over to local execution since no worker can claim
+// them anymore), then Drain waits for every queued and running job to
+// reach a terminal state before stopping the workers. If ctx expires
+// first the remaining jobs are cancelled and outstanding leases
+// reclaimed — with a checkpoint directory configured each job aborts
+// at an arm boundary leaving atomically-written caches, so a
+// resubmission after restart resumes instead of recomputing — and
+// Drain returns ctx.Err().
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.dispatch.Drain()
 	s.log.Info("drain started", "live", s.liveJobs())
 	t := time.NewTicker(20 * time.Millisecond)
 	defer t.Stop()

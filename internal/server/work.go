@@ -1,0 +1,227 @@
+package server
+
+// Distributed sweep execution endpoints: the server side of the
+// `dlsim worker` pull fleet.
+//
+//	POST /v1/work/claim            long-poll one arm work order
+//	POST /v1/work/{lease}/heartbeat renew the lease deadline
+//	POST /v1/work/{lease}/result   upload the arm's outcome
+//	GET  /v1/statz                 dispatch + cache counters snapshot
+//
+// Jobs decompose into per-arm units through the SDK's ArmExecutor
+// hook: when at least one worker is live, each non-cached arm is
+// enqueued on the dispatcher and the job's executing goroutine blocks
+// until a worker uploads the result (or every worker disappears, in
+// which case the arm falls back to local execution — a server with no
+// fleet behaves exactly as before). Results are keyed by the same
+// content hash as the in-process cache, so a worker's upload lands in
+// the server's result store through the ordinary RunDir ingest path
+// and the cache is shared cluster-wide.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gossipmia/internal/core"
+	"gossipmia/internal/distrib"
+	"gossipmia/internal/server/middleware"
+	"gossipmia/pkg/dlsim"
+)
+
+// maxClaimWait bounds how long one claim request may long-poll.
+const maxClaimWait = 30 * time.Second
+
+// armExecutor bridges a job's arms onto the dispatcher. It declines
+// (handled=false) when no worker fleet is live, so the engine runs
+// the arm in-process — the no-worker behavior is byte-identical to a
+// server without the distributed path.
+func (s *Server) armExecutor(j *job) dlsim.ArmExecutor {
+	return func(ctx context.Context, order dlsim.WorkOrder) (*dlsim.ArmResult, bool, error) {
+		order.Job = j.id
+		payload, err := json.Marshal(order)
+		if err != nil {
+			return nil, false, fmt.Errorf("server: encode work order: %w", err)
+		}
+		out, err := s.dispatch.Execute(ctx, distrib.Unit{
+			Key:     order.Key,
+			Job:     j.id,
+			Spec:    order.Spec,
+			Label:   order.Label,
+			Index:   order.Index,
+			Payload: payload,
+		})
+		if errors.Is(err, distrib.ErrNoWorkers) {
+			s.localArms.Add(1)
+			return nil, false, nil
+		}
+		if err != nil {
+			return nil, true, err
+		}
+		res, ok := out.(*dlsim.ArmResult)
+		if !ok || res == nil {
+			return nil, true, fmt.Errorf("server: worker returned no result for arm %q", order.Label)
+		}
+		s.remoteArms.Add(1)
+		return res, true, nil
+	}
+}
+
+// handleClaim is POST /v1/work/claim. It long-polls on the `base`
+// middleware chain (no request timeout — the poll is long-lived by
+// design) and answers 204 when the wait elapses without work.
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	var req dlsim.ClaimRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad claim request: %v", err)
+		return
+	}
+	if req.Worker == "" {
+		writeErr(w, http.StatusBadRequest, "claim request has no worker name")
+		return
+	}
+	wait := time.Duration(req.WaitSeconds) * time.Second
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > maxClaimWait {
+		wait = maxClaimWait
+	}
+	lease, ok, err := s.dispatch.Claim(r.Context(), req.Worker, wait)
+	switch {
+	case errors.Is(err, distrib.ErrDraining) || errors.Is(err, distrib.ErrClosed):
+		middleware.RetryAfter(w.Header(), 5*time.Second)
+		writeErr(w, http.StatusServiceUnavailable, "%v", ErrDraining)
+		return
+	case err != nil && r.Context().Err() != nil:
+		// Client went away mid-poll; the response is moot.
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "claim failed: %v", err)
+		return
+	case !ok:
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	var order dlsim.WorkOrder
+	if err := json.Unmarshal(lease.Unit.Payload, &order); err != nil {
+		writeErr(w, http.StatusInternalServerError, "corrupt work order: %v", err)
+		return
+	}
+	order.Lease = lease.ID
+	order.LeaseSeconds = lease.TTL.Seconds()
+	writeJSON(w, http.StatusOK, order)
+}
+
+// handleHeartbeat is POST /v1/work/{lease}/heartbeat. An expired or
+// unknown lease answers 410 Gone (the SDK maps it to ErrLeaseExpired)
+// so the worker abandons the unit — the arm has been reclaimed.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("lease")
+	deadline, err := s.dispatch.Heartbeat(id)
+	if err != nil {
+		writeErr(w, http.StatusGone, "lease %q expired or unknown", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, dlsim.WorkLease{
+		Lease:           id,
+		DeadlineSeconds: time.Until(deadline).Seconds(),
+	})
+}
+
+// handleWorkResult is POST /v1/work/{lease}/result. Uploads against
+// resolved or reclaimed-and-resolved units are acknowledged as stale
+// no-ops: execution is idempotent by content hash, so the duplicate
+// bytes carry no new information. An upload whose lease expired but
+// whose arm is still unresolved is accepted — same bytes, sooner.
+func (s *Server) handleWorkResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("lease")
+	var res dlsim.WorkResult
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&res); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "result exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "bad work result: %v", err)
+		return
+	}
+	var outcome *dlsim.ArmResult
+	var workErr error
+	switch {
+	case res.Error != "":
+		workErr = fmt.Errorf("server: worker execution: %s", res.Error)
+		if res.Transient {
+			workErr = core.Transient(workErr)
+		}
+	case res.Arm == nil:
+		writeErr(w, http.StatusBadRequest, "work result has neither arm nor error")
+		return
+	default:
+		outcome = res.Arm
+	}
+	stale, err := s.dispatch.Complete(id, outcome, workErr)
+	if errors.Is(err, distrib.ErrLeaseNotFound) {
+		// The server restarted or pruned the lease long after expiry.
+		// The upload is a duplicate of work that was (or will be)
+		// redone; acknowledge it so the worker moves on.
+		writeJSON(w, http.StatusOK, dlsim.WorkReceipt{Stale: true})
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "complete failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dlsim.WorkReceipt{Stale: stale})
+}
+
+// handleStatz is GET /v1/statz: the queue/dispatch/cache counters
+// snapshot behind `dlsim list -jobs`.
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	queued := len(s.pending)
+	running := 0
+	for _, j := range s.jobs {
+		if j.status == dlsim.StatusRunning {
+			running++
+		}
+	}
+	total := len(s.jobs)
+	s.mu.Unlock()
+	ds := s.dispatch.Stats()
+	hits, misses := s.cacheHits.Load(), s.cacheMisses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, dlsim.ServiceStats{
+		Status:   status,
+		Jobs:     total,
+		Queued:   queued,
+		Running:  running,
+		Draining: s.draining.Load(),
+		Work: dlsim.WorkStats{
+			QueueDepth:   ds.QueueDepth,
+			ActiveLeases: ds.ActiveLeases,
+			Workers:      ds.Workers,
+			Claims:       ds.Claims,
+			Completes:    ds.Completes,
+			Reclaims:     ds.Reclaims,
+			StaleUploads: ds.StaleUploads,
+			LocalArms:    s.localArms.Load(),
+			RemoteArms:   s.remoteArms.Load(),
+		},
+		Cache: dlsim.CacheStats{Hits: hits, Misses: misses, HitRate: rate},
+	})
+}

@@ -122,6 +122,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Status == http.StatusServiceUnavailable
 	case ErrNotFound:
 		return e.Status == http.StatusNotFound
+	case ErrLeaseExpired:
+		return e.Status == http.StatusGone
 	}
 	return false
 }
@@ -333,7 +335,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, raw []byte, ou
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return errorOf(resp, method, path)
 	}
-	if out == nil {
+	if out == nil || resp.StatusCode == http.StatusNoContent {
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

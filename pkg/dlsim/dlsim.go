@@ -56,7 +56,11 @@ func (f SinkFunc) Record(ev Event) error { return f(ev) }
 // runs share it and their events interleave.
 type Runner struct {
 	scale experiment.Scale
-	sink  Sink
+	// scaleName remembers which named scale the Runner was built at, so
+	// work orders handed to remote executors can name it on the wire.
+	scaleName string
+	sink      Sink
+	exec      ArmExecutor
 	// sinkMu serializes Record calls into sink across every arm of
 	// every run of this Runner — the no-locking contract of Sink.
 	sinkMu sync.Mutex
@@ -79,6 +83,7 @@ func WithScale(name string) Option {
 			sc.Seed = r.scale.Seed
 		}
 		r.scale = sc
+		r.scaleName = name
 		return nil
 	}
 }
@@ -115,10 +120,20 @@ func WithSink(s Sink) Option {
 	}
 }
 
+// WithArmExecutor offers every non-cached arm of a run to f before
+// executing it locally (see ArmExecutor) — the hook the job service
+// uses to dispatch arms to a connected worker fleet.
+func WithArmExecutor(f ArmExecutor) Option {
+	return func(r *Runner) error {
+		r.exec = f
+		return nil
+	}
+}
+
 // NewRunner builds a Runner at the quick scale, then applies opts in
 // order.
 func NewRunner(opts ...Option) (*Runner, error) {
-	r := &Runner{scale: defaultScale()}
+	r := &Runner{scale: defaultScale(), scaleName: "quick"}
 	for _, opt := range opts {
 		if err := opt(r); err != nil {
 			return nil, err
@@ -177,7 +192,7 @@ func (r *Runner) Run(ctx context.Context, sp *Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	fig, err := experiment.RunSpecSinks(ctx, compiled, r.scale, r.sinkFor())
+	fig, err := experiment.RunSpecExec(ctx, compiled, r.scale, r.sinkFor(), r.execFor())
 	if err != nil {
 		return nil, err
 	}
@@ -249,6 +264,7 @@ func (r *Runner) RunDir(ctx context.Context, sp *Spec, opts DirOptions) (*Result
 		Events:     opts.Events,
 		StoreDir:   opts.StoreDir,
 		ExtraSinks: r.sinkFor(),
+		Exec:       r.execFor(),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -278,7 +294,7 @@ func (r *Runner) RunFigure(ctx context.Context, name string) (*Result, error) {
 	if !e.Runnable() {
 		return nil, fmt.Errorf("dlsim: figure %q renders text only and cannot run as a spec", name)
 	}
-	fig, err := experiment.RunSpecSinks(ctx, e.Spec(r.scale), r.scale, r.sinkFor())
+	fig, err := experiment.RunSpecExec(ctx, e.Spec(r.scale), r.scale, r.sinkFor(), r.execFor())
 	if err != nil {
 		return nil, err
 	}

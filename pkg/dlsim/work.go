@@ -1,0 +1,248 @@
+package dlsim
+
+// Distributed sweep execution: the wire types and client methods of
+// the work-claim API (`POST /v1/work/claim`, `POST
+// /v1/work/{lease}/result`, `POST /v1/work/{lease}/heartbeat`), plus
+// the ArmExecutor hook a Runner uses to offer arms to a remote fleet.
+//
+// The unit of distribution is one arm, identified by its content hash
+// (arm JSON + scale fingerprint + seed, worker count excluded).
+// Execution is deterministic, so a work order is idempotent: any
+// worker, any number of times, produces byte-identical records —
+// which is what makes lease reclaim and duplicate uploads safe.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gossipmia/internal/experiment"
+	"gossipmia/internal/metrics"
+)
+
+// ErrLeaseExpired reports a work lease the server no longer honors:
+// it expired (and the arm was reclaimed for re-dispatch) or was never
+// known. Workers should abandon the unit; its result, if uploaded
+// anyway, is discarded as a harmless duplicate.
+var ErrLeaseExpired = errors.New("dlsim: work lease expired")
+
+// ArmExecutor may execute one arm of a run somewhere other than this
+// process. It is consulted for every arm that is not served from a
+// resume cache. Return handled=false to decline — the Runner executes
+// the arm locally. Return handled=true with a result to substitute
+// remote execution; the result must carry the records of the exact
+// ordered series the arm produces locally (guaranteed when the remote
+// side ran the same order through a Runner).
+type ArmExecutor func(ctx context.Context, order WorkOrder) (*ArmResult, bool, error)
+
+// WorkOrder is one leased arm execution: everything a worker needs to
+// reproduce the arm byte-for-byte, plus its lease obligations.
+type WorkOrder struct {
+	// Lease identifies the claim; heartbeat and result URLs embed it.
+	// It is empty inside a Runner's ArmExecutor hook (the lease is
+	// minted when a worker claims the unit).
+	Lease string `json:"lease,omitempty"`
+	// Job is the server job this arm belongs to.
+	Job string `json:"job,omitempty"`
+	// Spec and Index locate the arm within its submitted spec; Label
+	// names it; Key is its content hash (the idempotency identity and
+	// cluster-wide cache key).
+	Spec  string `json:"spec"`
+	Label string `json:"label"`
+	Index int    `json:"index"`
+	Key   string `json:"key"`
+	// Arm is the fully expanded declarative arm.
+	Arm Arm `json:"arm"`
+	// Scale names the experiment scale; Seed is the resolved base seed.
+	Scale string `json:"scale"`
+	Seed  int64  `json:"seed"`
+	// LeaseSeconds is how long the lease stays valid without a
+	// heartbeat; workers renew at a fraction of it.
+	LeaseSeconds float64 `json:"leaseSeconds,omitempty"`
+}
+
+// ClaimRequest is the POST /v1/work/claim body.
+type ClaimRequest struct {
+	// Worker identifies the claiming worker for lease bookkeeping and
+	// liveness; any stable non-empty string.
+	Worker string `json:"worker"`
+	// WaitSeconds long-polls the claim up to this many seconds before
+	// the server answers 204 No Content. The server clamps it.
+	WaitSeconds int `json:"waitSeconds,omitempty"`
+}
+
+// WorkResult is the POST /v1/work/{lease}/result body: the outcome of
+// executing one work order.
+type WorkResult struct {
+	// Arm is the executed arm's result (nil when Error is set).
+	Arm *ArmResult `json:"arm,omitempty"`
+	// Error reports a failed execution; Transient marks it retryable
+	// (the server's usual retry taxonomy applies).
+	Error     string `json:"error,omitempty"`
+	Transient bool   `json:"transient,omitempty"`
+	// ElapsedSeconds is the worker-side execution time.
+	ElapsedSeconds float64 `json:"elapsedSeconds,omitempty"`
+}
+
+// WorkReceipt is the result-upload response.
+type WorkReceipt struct {
+	// Stale reports that the unit had already been resolved (a
+	// duplicate or post-reclaim upload) and this payload was discarded
+	// — harmless, because execution is idempotent by content hash.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// WorkLease is the heartbeat response: the renewed lease window.
+type WorkLease struct {
+	Lease string `json:"lease"`
+	// DeadlineSeconds is how long from now the renewed lease lasts.
+	DeadlineSeconds float64 `json:"deadlineSeconds"`
+}
+
+// WorkStats counts the dispatcher side of distributed execution.
+type WorkStats struct {
+	QueueDepth   int   `json:"queueDepth"`   // arm units awaiting a claim
+	ActiveLeases int   `json:"activeLeases"` // claimed, not yet resolved
+	Workers      int   `json:"workers"`      // live workers
+	Claims       int64 `json:"claims"`
+	Completes    int64 `json:"completes"`
+	Reclaims     int64 `json:"reclaims"`     // expired leases re-dispatched
+	StaleUploads int64 `json:"staleUploads"` // duplicate uploads ignored
+	LocalArms    int64 `json:"localArms"`    // arms run in-process (fallback)
+	RemoteArms   int64 `json:"remoteArms"`   // arms executed by workers
+}
+
+// CacheStats counts result-store (or file-cache) hits across jobs.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// HitRate is Hits/(Hits+Misses), 0 when nothing was looked up.
+	HitRate float64 `json:"hitRate"`
+}
+
+// ServiceStats is the GET /v1/statz counters snapshot.
+type ServiceStats struct {
+	Status   string     `json:"status"` // "ok" or "draining"
+	Jobs     int        `json:"jobs"`   // jobs retained in memory
+	Queued   int        `json:"queued"`
+	Running  int        `json:"running"`
+	Work     WorkStats  `json:"work"`
+	Cache    CacheStats `json:"cache"`
+	Draining bool       `json:"draining,omitempty"`
+}
+
+// ClaimWork claims one work order from the service, long-polling up
+// to wait. It returns (nil, nil) when the wait elapsed with no work
+// available. 429/503 responses are retried per the client's retry
+// policy, honoring Retry-After.
+func (c *Client) ClaimWork(ctx context.Context, worker string, wait time.Duration) (*WorkOrder, error) {
+	if worker == "" {
+		return nil, fmt.Errorf("dlsim: claim needs a worker name")
+	}
+	var order WorkOrder
+	err := c.do(ctx, http.MethodPost, "/v1/work/claim",
+		ClaimRequest{Worker: worker, WaitSeconds: int(wait / time.Second)}, &order)
+	if err != nil {
+		return nil, err
+	}
+	if order.Lease == "" { // 204: nothing to do
+		return nil, nil
+	}
+	return &order, nil
+}
+
+// HeartbeatWork renews a lease and returns its remaining window.
+// ErrLeaseExpired (via errors.Is) means the server reclaimed the arm;
+// the worker should abandon the unit.
+func (c *Client) HeartbeatWork(ctx context.Context, lease string) (time.Duration, error) {
+	var out WorkLease
+	err := c.do(ctx, http.MethodPost, "/v1/work/"+lease+"/heartbeat", struct{}{}, &out)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(out.DeadlineSeconds * float64(time.Second)), nil
+}
+
+// CompleteWork uploads a work order's outcome under its lease.
+func (c *Client) CompleteWork(ctx context.Context, lease string, res WorkResult) (*WorkReceipt, error) {
+	var out WorkReceipt
+	if err := c.do(ctx, http.MethodPost, "/v1/work/"+lease+"/result", res, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Statz fetches the service's observability counters.
+func (c *Client) Statz(ctx context.Context) (*ServiceStats, error) {
+	var out ServiceStats
+	if err := c.do(ctx, http.MethodGet, "/v1/statz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// execFor adapts the Runner's public ArmExecutor into the engine's
+// hook, converting between the internal and wire arm representations
+// (their JSON encodings are identical by construction).
+func (r *Runner) execFor() experiment.ArmExecutor {
+	if r.exec == nil {
+		return nil
+	}
+	return func(ctx context.Context, u experiment.ArmUnit) (experiment.Arm, bool, error) {
+		order := WorkOrder{
+			Spec:  u.Spec,
+			Label: u.Arm.Label,
+			Index: u.Index,
+			Key:   u.Key,
+			Scale: r.scaleName,
+			Seed:  r.scale.Seed,
+		}
+		raw, err := json.Marshal(u.Arm)
+		if err != nil {
+			return experiment.Arm{}, false, fmt.Errorf("dlsim: encode arm: %w", err)
+		}
+		if err := json.Unmarshal(raw, &order.Arm); err != nil {
+			return experiment.Arm{}, false, fmt.Errorf("dlsim: decode arm: %w", err)
+		}
+		res, handled, err := r.exec(ctx, order)
+		if !handled || err != nil {
+			return experiment.Arm{}, handled, err
+		}
+		if res == nil || res.Label != u.Arm.Label {
+			return experiment.Arm{}, true, fmt.Errorf("dlsim: arm executor returned result for %q, want %q",
+				resLabel(res), u.Arm.Label)
+		}
+		return engineArmOf(*res), true, nil
+	}
+}
+
+func resLabel(res *ArmResult) string {
+	if res == nil {
+		return "<nil>"
+	}
+	return res.Label
+}
+
+// engineArmOf converts a wire arm result back into the engine's form.
+// RoundRecord mirrors metrics.RoundRecord field-for-field and floats
+// round-trip JSON exactly, so the conversion preserves bytes.
+func engineArmOf(a ArmResult) experiment.Arm {
+	s := &metrics.Series{Label: a.Label}
+	for _, r := range a.Records {
+		s.Append(metrics.RoundRecord{
+			Round: r.Round, TestAcc: r.TestAcc, MIAAcc: r.MIAAcc,
+			TPRAt1FPR: r.TPRAt1FPR, GenError: r.GenError,
+		})
+	}
+	return experiment.Arm{
+		Label:           a.Label,
+		Series:          s,
+		MessagesSent:    a.MessagesSent,
+		BytesSent:       a.BytesSent,
+		RealizedEpsilon: a.RealizedEpsilon,
+		NoiseMultiplier: a.NoiseMultiplier,
+	}
+}

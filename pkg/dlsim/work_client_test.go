@@ -1,0 +1,131 @@
+package dlsim
+
+// Work-claim client behavior against scripted fake servers: retry with
+// Retry-After honor on congested claims, the 204 no-work contract, and
+// the 410 -> ErrLeaseExpired mapping.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClaimRetriesWithRetryAfter: a draining/overloaded service answers
+// claims with 503 + Retry-After; the client waits at least the hinted
+// delay and retries until the claim lands.
+func TestClaimRetriesWithRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var sawWait atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req ClaimRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker != "w1" {
+			t.Errorf("bad claim body: %v (worker %q)", err, req.Worker)
+		}
+		sawWait.Store(int64(req.WaitSeconds))
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"draining"}`)
+			return
+		}
+		json.NewEncoder(w).Encode(WorkOrder{
+			Lease: "L00000001-abcd", Spec: "s", Label: "a", Key: "abcd", Scale: "tiny", Seed: 1,
+			LeaseSeconds: 15,
+		})
+	}))
+	defer ts.Close()
+
+	client := NewClient(ts.URL, WithClientRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond}))
+	start := time.Now()
+	order, err := client.ClaimWork(context.Background(), "w1", 7*time.Second)
+	if err != nil {
+		t.Fatalf("claim after retries = %v", err)
+	}
+	if order == nil || order.Lease != "L00000001-abcd" || order.LeaseSeconds != 15 {
+		t.Fatalf("order = %+v", order)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("claim took %d calls, want 3", calls.Load())
+	}
+	if sawWait.Load() != 7 {
+		t.Fatalf("claim sent waitSeconds=%d, want 7", sawWait.Load())
+	}
+	// Two 503s, each hinting Retry-After: 1 — far above the microsecond
+	// backoff, so honoring the hint is observable in wall-clock time.
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Fatalf("claim returned after %v; Retry-After hints were not honored", elapsed)
+	}
+}
+
+// TestClaimNoWork: 204 No Content means the long-poll elapsed idle —
+// the client reports (nil, nil), not an error.
+func TestClaimNoWork(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+	order, err := NewClient(ts.URL).ClaimWork(context.Background(), "w1", time.Second)
+	if err != nil || order != nil {
+		t.Fatalf("idle claim = (%+v, %v), want (nil, nil)", order, err)
+	}
+	if _, err := NewClient(ts.URL).ClaimWork(context.Background(), "", time.Second); err == nil {
+		t.Fatal("claim with empty worker name must fail client-side")
+	}
+}
+
+// TestHeartbeatLeaseExpired: 410 Gone maps to ErrLeaseExpired so the
+// worker can distinguish "abandon this arm" from transport trouble.
+func TestHeartbeatLeaseExpired(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusGone)
+		fmt.Fprint(w, `{"error":"lease \"L1\" expired or unknown"}`)
+	}))
+	defer ts.Close()
+	_, err := NewClient(ts.URL).HeartbeatWork(context.Background(), "L1")
+	if !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("heartbeat on gone lease = %v, want ErrLeaseExpired", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Retryable() {
+		t.Fatalf("410 = %+v, want typed non-retryable APIError", ae)
+	}
+}
+
+// TestHeartbeatRenewal: a live lease's heartbeat returns the renewed
+// window the worker paces itself by.
+func TestHeartbeatRenewal(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/work/L7/heartbeat" {
+			t.Errorf("heartbeat path = %q", r.URL.Path)
+		}
+		json.NewEncoder(w).Encode(WorkLease{Lease: "L7", DeadlineSeconds: 15})
+	}))
+	defer ts.Close()
+	left, err := NewClient(ts.URL).HeartbeatWork(context.Background(), "L7")
+	if err != nil || left != 15*time.Second {
+		t.Fatalf("heartbeat = (%v, %v), want 15s", left, err)
+	}
+}
+
+// TestCompleteWorkStaleReceipt: the upload round-trips the stale flag.
+func TestCompleteWorkStaleReceipt(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var res WorkResult
+		if err := json.NewDecoder(r.Body).Decode(&res); err != nil || res.Error != "boom" || !res.Transient {
+			t.Errorf("bad result body: %v (%+v)", err, res)
+		}
+		json.NewEncoder(w).Encode(WorkReceipt{Stale: true})
+	}))
+	defer ts.Close()
+	receipt, err := NewClient(ts.URL).CompleteWork(context.Background(), "L7",
+		WorkResult{Error: "boom", Transient: true})
+	if err != nil || !receipt.Stale {
+		t.Fatalf("complete = (%+v, %v), want stale receipt", receipt, err)
+	}
+}

@@ -43,6 +43,10 @@ go test -run=NONE -bench='BenchmarkStore(Put|Get|Scan|Reopen)' \
   -benchmem -benchtime=1000x -count=3 ./internal/store | tee -a "$RAW"
 go test -run=NONE -bench='BenchmarkResumeScan' \
   -benchmem -benchtime=3x ./internal/experiment | tee -a "$RAW"
+# Distributed dispatch: the claim/complete round-trip cost a worker
+# fleet adds per arm (coordination only; arm execution dominates).
+go test -run=NONE -bench='BenchmarkDispatcherPipeline' \
+  -benchmem -benchtime=500x -count=3 ./internal/distrib | tee -a "$RAW"
 
 # Snapshot: first-seen order, minimum ns/op per benchmark across the
 # repeated -count runs (see the host-noise note above).

@@ -208,6 +208,91 @@ cmp -s "$specout/store-run/results.csv" "$specout/store-file/results.csv" || {
 }
 echo "store smoke ok"
 
+# Distributed smoke, race-enabled: serve with a checkpoint + shared
+# result store and a short lease window, attach a two-worker pull
+# fleet, submit a sweep, and SIGKILL one worker mid-run — the lease
+# expires, the arm is reclaimed, and the job must still complete with
+# a results.csv byte-identical to the single-process sweep. Then
+# restart the server over the same store with no workers and resubmit:
+# every arm must be served from the cluster-shared store with zero
+# re-execution (no events streamed, all-hits cache counters).
+distspec=examples/specs/protocol_latency_grid.json
+"$specout/dlsim-store" sweep -spec "$distspec" -scale tiny -out "$specout/dist-file" -events none >/dev/null
+dckpt="$specout/dist-ckpt"
+"$specout/dlsim" serve -addr 127.0.0.1:0 -scale tiny \
+    -checkpoint "$dckpt" -store "$dckpt/store" -lease 2s >"$specout/dist.log" 2>&1 &
+serve_pid=$!
+base=""
+i=0
+while [ $i -lt 100 ]; do
+    base=$(sed -n 's|^dlsim: serving on \(http://[^ ]*\).*|\1|p' "$specout/dist.log")
+    [ -n "$base" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$specout/dist.log" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$base" ] || { echo "distributed serve never printed its address" >&2; cat "$specout/dist.log" >&2; exit 1; }
+"$specout/dlsim" worker -server "$base" -name w1 -parallel 2 >"$specout/dist-w1.log" 2>&1 &
+w1_pid=$!
+"$specout/dlsim" worker -server "$base" -name w2 -parallel 2 >"$specout/dist-w2.log" 2>&1 &
+w2_pid=$!
+"$specout/dlsim" run -spec "$distspec" -scale tiny -workers 4 -remote "$base" >"$specout/dist-run.log" 2>&1 &
+run_pid=$!
+# Kill w2 the moment it has an arm on lease: a mid-run worker loss.
+i=0
+while [ $i -lt 300 ]; do
+    grep -q 'claimed arm' "$specout/dist-w2.log" 2>/dev/null && break
+    kill -0 "$run_pid" 2>/dev/null || break
+    sleep 0.05
+    i=$((i + 1))
+done
+kill -9 "$w2_pid" 2>/dev/null || true
+wait "$run_pid" || { echo "distributed run failed after worker kill" >&2; cat "$specout/dist-run.log" >&2; exit 1; }
+dist_csv=$(find "$dckpt" -name results.csv | head -n 1)
+[ -n "$dist_csv" ] || { echo "distributed run left no results.csv" >&2; exit 1; }
+cmp -s "$dist_csv" "$specout/dist-file/results.csv" || {
+    echo "worker-fleet results.csv diverges from the single-process sweep:" >&2
+    diff "$dist_csv" "$specout/dist-file/results.csv" | head >&2
+    exit 1
+}
+grep -q 'arm done' "$specout/dist-w1.log" || { echo "surviving worker executed no arms" >&2; cat "$specout/dist-w1.log" >&2; exit 1; }
+kill "$w1_pid" 2>/dev/null || true
+wait "$w1_pid" 2>/dev/null || true
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+# Restart over the same store, no fleet: the resubmission is served
+# entirely from the cluster-shared cache.
+"$specout/dlsim" serve -addr 127.0.0.1:0 -scale tiny \
+    -checkpoint "$dckpt" -store "$dckpt/store" >"$specout/dist2.log" 2>&1 &
+serve_pid=$!
+base=""
+i=0
+while [ $i -lt 100 ]; do
+    base=$(sed -n 's|^dlsim: serving on \(http://[^ ]*\).*|\1|p' "$specout/dist2.log")
+    [ -n "$base" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$specout/dist2.log" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$base" ] || { echo "distributed restart never printed its address" >&2; cat "$specout/dist2.log" >&2; exit 1; }
+"$specout/dlsim" run -spec "$distspec" -scale tiny -remote "$base" >"$specout/dist-cached.log"
+if grep -q '^event ' "$specout/dist-cached.log"; then
+    echo "store-served resubmission re-executed arms (streamed events)" >&2
+    exit 1
+fi
+"$specout/dlsim" list -jobs -addr "$base" >"$specout/dist-statz.log"
+grep -q 'cache: 6 hits / 0 misses' "$specout/dist-statz.log" || {
+    echo "statz does not report an all-hit cache after the store-served rerun:" >&2
+    cat "$specout/dist-statz.log" >&2
+    exit 1
+}
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+echo "distributed smoke ok"
+
 # Intra-arm scaling smoke: a quick IntraArmSpeedup run at workers={1,4}.
 # Advisory, not a gate — single-run ns/op on a shared host is too noisy
 # to fail CI on, and on a 1-core runtime (GOMAXPROCS=1) parity is the
