@@ -523,6 +523,20 @@ func listJobs(addr string, limit, offset int) error {
 		st.Work.QueueDepth, st.Work.ActiveLeases, st.Work.Workers,
 		st.Work.Claims, st.Work.Completes, st.Work.Reclaims, st.Work.StaleUploads,
 		st.Work.RemoteArms, st.Work.LocalArms)
+	if st.Work.Poisoned+st.Work.Rejected+st.Work.Quarantines+st.Work.Audits > 0 {
+		fmt.Printf("health: poisoned=%d rejected=%d quarantines=%d audits=%d/%d failed\n",
+			st.Work.Poisoned, st.Work.Rejected, st.Work.Quarantines,
+			st.Work.AuditsFailed, st.Work.Audits)
+	}
+	if len(st.Work.PerWorker) > 0 {
+		fmt.Printf("%-24s %-12s %6s %7s %9s %8s %6s %10s %11s\n",
+			"worker", "state", "score", "leases", "completes", "expiries", "errors", "mismatches", "quarantines")
+		for _, row := range st.Work.PerWorker {
+			fmt.Printf("%-24s %-12s %6.2f %7d %9d %8d %6d %10d %11d\n",
+				row.Name, row.State, row.Score, row.Leases, row.Completes,
+				row.Expiries, row.Errors, row.Mismatches, row.Quarantines)
+		}
+	}
 	fmt.Printf("cache: %d hits / %d misses (%.1f%% hit rate)\n",
 		st.Cache.Hits, st.Cache.Misses, 100*st.Cache.HitRate)
 	return nil

@@ -35,6 +35,9 @@ func serveCmd(args []string) error {
 	storeDir := fs.String("store", "", "embedded result store directory shared by every job's arm caches (requires -checkpoint); content-hash keys dedup arms across jobs and restarts")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain window on SIGTERM/SIGINT before running jobs are checkpointed and aborted")
 	lease := fs.Duration("lease", 15*time.Second, "work-lease TTL for distributed workers; a worker that misses heartbeats this long has its arm reclaimed")
+	armAttempts := fs.Int("arm-attempts", 0, "distinct workers an arm may fail on before it is contained and executed locally; 0 keeps the default (3)")
+	quarantine := fs.Duration("quarantine", 0, "base quarantine cooldown for misbehaving workers; 0 keeps the default (4x the lease TTL)")
+	audit := fs.Float64("audit", 0, "fraction of worker-completed arms to re-execute locally and cross-check byte-for-byte (0 disables, 1 audits everything); a divergent worker is quarantined")
 	inject := fs.String("inject", "", `fault-injection spec for chaos testing, e.g. "arm-error=2,errors=3,arm-panic=5,panics=1,event-delay=10ms"`)
 	logLevel := fs.String("log", "info", "log level: debug, info, warn, or error")
 	if err := fs.Parse(args); err != nil {
@@ -48,6 +51,15 @@ func serveCmd(args []string) error {
 	}
 	if *lease <= 0 {
 		return fmt.Errorf("serve needs -lease > 0")
+	}
+	if *armAttempts < 0 {
+		return fmt.Errorf("serve needs -arm-attempts >= 0")
+	}
+	if *quarantine < 0 {
+		return fmt.Errorf("serve needs -quarantine >= 0")
+	}
+	if *audit < 0 || *audit > 1 {
+		return fmt.Errorf("serve needs -audit in [0, 1], got %v", *audit)
 	}
 	if *storeDir != "" && *checkpoint == "" {
 		return fmt.Errorf("-store requires -checkpoint (the store backs the per-job checkpoint caches)")
@@ -87,6 +99,9 @@ func serveCmd(args []string) error {
 		CheckpointDir:          *checkpoint,
 		StoreDir:               *storeDir,
 		LeaseTTL:               *lease,
+		MaxArmAttempts:         *armAttempts,
+		QuarantineCooldown:     *quarantine,
+		AuditFraction:          *audit,
 		Fault:                  injector,
 		Log:                    log,
 	})

@@ -15,13 +15,19 @@ import (
 	"gossipmia/pkg/dlsim"
 )
 
-// workerCmd runs a pull-mode worker: it long-polls the service's
-// /v1/work/claim endpoint, executes each claimed arm through the same
-// SDK Runner a local run uses (so the uploaded records are
-// byte-identical to in-process execution), heartbeats the lease while
-// the arm runs, and uploads the outcome. Any number of workers may
-// point at one service; the server leases each arm to exactly one of
-// them at a time and reclaims arms whose worker disappears.
+// workerCmd runs a pull-mode worker: it registers with the service,
+// long-polls the /v1/work/claim endpoint, executes each claimed arm
+// through the same SDK Runner a local run uses (so the uploaded
+// records are byte-identical to in-process execution), heartbeats the
+// lease while the arm runs, and uploads the outcome with its content
+// checksum. Any number of workers may point at one service; the
+// server leases each arm to exactly one of them at a time and
+// reclaims arms whose worker disappears.
+//
+// On SIGINT/SIGTERM the worker drains: it stops claiming new arms,
+// finishes and uploads the arms it already holds, deregisters, and
+// exits — so a clean shutdown never forces the server to wait out a
+// lease expiry.
 func workerCmd(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
 	serverURL := fs.String("server", "", "dlsim service base URL to pull work from (required)")
@@ -30,7 +36,7 @@ func workerCmd(args []string) error {
 	parallel := fs.Int("parallel", 1, "arms this worker executes concurrently")
 	workers := fs.Int("workers", 1, "goroutines inside each arm (intra-arm parallelism); results are identical for any value")
 	poll := fs.Duration("poll", 15*time.Second, "claim long-poll window (the server clamps it)")
-	inject := fs.String("inject", "", `fault-injection spec for chaos testing worker-side failures, e.g. "arm-error=2,errors=3,arm-panic=5,panics=1"`)
+	inject := fs.String("inject", "", `fault-injection spec for chaos testing worker-side failures, e.g. "arm-error=2,errors=3,upload-corrupt=1,corruptions=2"`)
 	logLevel := fs.String("log", "info", "log level: debug, info, warn, or error")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,13 +113,54 @@ func workerCmd(args []string) error {
 	return nil
 }
 
-// workerLoop is one claim-execute-upload loop; -parallel runs several.
+// workerLoop is one claim-execute-upload loop; -parallel runs several,
+// each registered under its own slot name. On context cancellation the
+// loop stops claiming (any in-flight arm is finished and uploaded by
+// runOrder before control returns here) and deregisters on the way
+// out, so the dispatcher drops the slot from the live set immediately
+// instead of waiting out the liveness TTL.
 func workerLoop(ctx context.Context, client *dlsim.Client, log *slog.Logger, who string, poll time.Duration, workers int) {
+	if err := client.RegisterWorker(ctx, who); err != nil {
+		if ctx.Err() != nil {
+			return
+		}
+		// Registration is a courtesy — the first claim registers
+		// implicitly — so a failed handshake only warns.
+		log.Warn("register failed; continuing (claims register implicitly)", "err", err)
+	}
+	defer func() {
+		// The loop context is typically already cancelled here; the
+		// goodbye goes out on its own short deadline.
+		byeCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+		defer cancel()
+		if err := client.DeregisterWorker(byeCtx, who); err != nil {
+			log.Warn("deregister failed; server will forget this worker after its TTL", "err", err)
+		} else {
+			log.Info("deregistered")
+		}
+	}()
 	for ctx.Err() == nil {
 		order, err := client.ClaimWork(ctx, who, poll)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
+			}
+			if errors.Is(err, dlsim.ErrWorkerQuarantined) {
+				// The server benched this worker. Honor the cooldown
+				// hint rather than hammering the claim endpoint with
+				// requests that can only answer 403.
+				wait := 5 * time.Second
+				var ae *dlsim.APIError
+				if errors.As(err, &ae) && ae.RetryAfter > 0 {
+					wait = ae.RetryAfter
+				}
+				log.Warn("worker is quarantined; backing off", "wait", wait)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(wait):
+				}
+				continue
 			}
 			// Draining, unreachable, or overloaded even after retries:
 			// back off and keep polling — the fleet outlives restarts.
@@ -136,11 +183,19 @@ func workerLoop(ctx context.Context, client *dlsim.Client, log *slog.Logger, who
 // goroutine renews the lease at a third of its window and cancels the
 // execution if the server reports the lease gone (the arm was
 // reclaimed — finishing it would only produce a stale duplicate).
+//
+// Worker shutdown (SIGTERM) does NOT cancel the arm: the execution
+// context is detached from the loop context, so a draining worker
+// finishes what it holds and uploads the result before exiting. Only
+// a lease expiry abandons the arm mid-run.
 func runOrder(ctx context.Context, client *dlsim.Client, log *slog.Logger, order *dlsim.WorkOrder, workers int) {
 	log = log.With("lease", order.Lease, "job", order.Job, "arm", order.Label)
 	log.Info("claimed arm", "spec", order.Spec, "scale", order.Scale)
 
-	armCtx, cancelArm := context.WithCancel(ctx)
+	// WithoutCancel keeps context values (the fault injector) while
+	// severing the arm from shutdown; cancelArm remains the lease
+	// expiry's kill switch.
+	armCtx, cancelArm := context.WithCancel(context.WithoutCancel(ctx))
 	defer cancelArm()
 	hbDone := make(chan struct{})
 	expired := false
@@ -173,14 +228,14 @@ func runOrder(ctx context.Context, client *dlsim.Client, log *slog.Logger, order
 	}()
 
 	start := time.Now()
-	res, runErr := executeOrder(armCtx, order, workers)
+	res, runErr := dlsim.ExecuteOrder(armCtx, order, workers)
 	cancelArm()
 	<-hbDone
 	elapsed := time.Since(start)
 
-	if expired || ctx.Err() != nil {
-		// Reclaimed mid-run or the worker is shutting down; either way
-		// the server redistributes the arm, so there is nothing to send.
+	if expired {
+		// Reclaimed mid-run: the server has redistributed the arm, so
+		// there is nothing worth sending.
 		return
 	}
 	result := dlsim.WorkResult{ElapsedSeconds: elapsed.Seconds()}
@@ -190,11 +245,20 @@ func runOrder(ctx context.Context, client *dlsim.Client, log *slog.Logger, order
 		log.Warn("arm failed", "err", runErr, "transient", result.Transient)
 	} else {
 		result.Arm = res
+		// The checksum covers the bytes this worker actually computed;
+		// the server re-hashes what it receives and rejects on any
+		// difference. Injected corruption below deliberately tampers
+		// AFTER the sum is taken — exactly the lie the audit catches.
+		result.Sum = res.Checksum()
+		if inj := faultinject.FromContext(ctx); inj != nil && inj.UploadCorrupt() {
+			result.Arm.BytesSent++
+			log.Warn("fault injection: corrupting upload payload")
+		}
 		log.Info("arm done", "rounds", len(res.Records), "elapsed", elapsed.Round(time.Millisecond))
 	}
-	// Uploading on a fresh context: ctx may die between the check above
-	// and here, and the bytes are already computed — deliver them.
-	upCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Uploading on a fresh context: the loop ctx may already be
+	// cancelled by shutdown, and the bytes are computed — deliver them.
+	upCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
 	defer cancel()
 	receipt, err := client.CompleteWork(upCtx, order.Lease, result)
 	switch {
@@ -203,32 +267,4 @@ func runOrder(ctx context.Context, client *dlsim.Client, log *slog.Logger, order
 	case receipt.Stale:
 		log.Info("upload was a stale duplicate (already resolved); discarded")
 	}
-}
-
-// executeOrder reproduces the arm exactly as the server would run it
-// in-process: a single-arm spec through the SDK Runner at the order's
-// scale and resolved seed. Determinism makes the execution idempotent,
-// which is what lease reclaim and duplicate uploads rely on.
-func executeOrder(ctx context.Context, order *dlsim.WorkOrder, workers int) (*dlsim.ArmResult, error) {
-	runner, err := dlsim.NewRunner(
-		dlsim.WithScale(order.Scale),
-		dlsim.WithSeed(order.Seed),
-		dlsim.WithWorkers(workers),
-	)
-	if err != nil {
-		return nil, err
-	}
-	sp := &dlsim.Spec{Name: order.Spec, Arms: []dlsim.Arm{order.Arm}}
-	res, err := runner.Run(ctx, sp)
-	if err != nil {
-		return nil, err
-	}
-	if len(res.Arms) != 1 {
-		return nil, fmt.Errorf("worker: order %q produced %d arms, want 1", order.Label, len(res.Arms))
-	}
-	arm := res.Arms[0]
-	if arm.Label != order.Label {
-		return nil, fmt.Errorf("worker: order %q produced arm %q", order.Label, arm.Label)
-	}
-	return &arm, nil
 }

@@ -39,7 +39,7 @@ func BenchmarkDispatcherPipeline(b *testing.B) {
 	u := Unit{Key: "benchmark-unit-key", Job: "bench", Label: "arm", Payload: []byte(`{}`)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := d.Execute(context.Background(), u); err != nil {
+		if _, _, err := d.Execute(context.Background(), u); err != nil {
 			b.Fatal(err)
 		}
 	}

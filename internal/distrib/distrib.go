@@ -11,12 +11,24 @@
 // experiment content hashes, so executing the same unit twice yields
 // the same bytes and a duplicate completion is a harmless no-op
 // (reported as stale).
+//
+// The dispatcher does not trust the fleet. Every worker carries a
+// decaying health score fed by its failures (lease expiries, reported
+// errors, checksum mismatches); crossing the threshold quarantines the
+// worker for a cooldown during which its claims are refused and its
+// leases are reclaimed, with a circuit-breaker half-open probe before
+// reinstatement. Units track which workers failed them, and a unit
+// that keeps failing across distinct workers is poisoned — resolved
+// with a PoisonedError carrying the per-worker history so the caller
+// can fall back to local execution instead of cycling forever.
 package distrib
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"time"
 )
@@ -32,9 +44,54 @@ var (
 	ErrClosed = errors.New("distrib: dispatcher closed")
 	// ErrLeaseNotFound reports an unknown or already-expired lease.
 	ErrLeaseNotFound = errors.New("distrib: unknown or expired lease")
+	// ErrQuarantined refuses claims from a quarantined worker. The
+	// concrete error is a *QuarantineError carrying the release time.
+	ErrQuarantined = errors.New("distrib: worker quarantined")
+	// ErrPoisoned resolves a unit that failed on too many distinct
+	// workers. The concrete error is a *PoisonedError carrying the
+	// per-worker failure history.
+	ErrPoisoned = errors.New("distrib: unit failed on too many workers")
 )
 
-// Config tunes lease and liveness windows. Zero values pick defaults.
+// QuarantineError is the concrete claim refusal for a quarantined
+// worker; errors.Is(err, ErrQuarantined) matches it.
+type QuarantineError struct {
+	Worker string
+	Until  time.Time
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("distrib: worker %q quarantined until %s", e.Worker, e.Until.Format(time.RFC3339))
+}
+
+func (e *QuarantineError) Unwrap() error { return ErrQuarantined }
+
+// UnitFailure is one failed execution attempt of a unit, attributed to
+// the worker that held its lease.
+type UnitFailure struct {
+	Worker string
+	Reason string
+}
+
+// PoisonedError resolves a unit whose failures span MaxAttempts
+// distinct workers (or twice that many total attempts): the arm, not
+// the fleet, is the likely culprit, so the submitter should run it
+// locally and surface the history. errors.Is(err, ErrPoisoned)
+// matches it.
+type PoisonedError struct {
+	Key      string
+	Label    string
+	Failures []UnitFailure
+}
+
+func (e *PoisonedError) Error() string {
+	return fmt.Sprintf("distrib: unit %q failed on %d attempts across workers; giving up on remote execution", e.Label, len(e.Failures))
+}
+
+func (e *PoisonedError) Unwrap() error { return ErrPoisoned }
+
+// Config tunes lease, liveness, and self-healing windows. Zero values
+// pick defaults.
 type Config struct {
 	// LeaseTTL is how long a claimed unit stays assigned without a
 	// heartbeat before it is reclaimed for re-dispatch. Default 15s.
@@ -46,6 +103,19 @@ type Config struct {
 	// Sweep is the janitor period. Default LeaseTTL/8 clamped to
 	// [5ms, 250ms].
 	Sweep time.Duration
+	// MaxAttempts poisons a unit once that many distinct workers have
+	// failed it (or 2×MaxAttempts attempts in total, so a one-worker
+	// fleet cannot cycle forever). Default 3.
+	MaxAttempts int
+	// FailThreshold is the decaying health score at which a worker is
+	// quarantined. Completions decay the score; expiries and reported
+	// errors add 1, checksum mismatches add 2. Default 2.5 — three
+	// quick errors or two mismatches trip it.
+	FailThreshold float64
+	// Cooldown is the base quarantine duration; consecutive
+	// quarantines double it up to 8×. It is also the score decay
+	// half-life. Default 4×LeaseTTL.
+	Cooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +133,15 @@ func (c Config) withDefaults() Config {
 		if c.Sweep > 250*time.Millisecond {
 			c.Sweep = 250 * time.Millisecond
 		}
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 4 * c.LeaseTTL
 	}
 	return c
 }
@@ -88,6 +167,20 @@ type Lease struct {
 	TTL      time.Duration
 }
 
+// WorkerStatus is one worker's row in the Stats snapshot.
+type WorkerStatus struct {
+	Name        string
+	State       string // "live", "quarantined", "probing", or "draining"
+	Score       float64
+	Leases      int // unresolved leases held
+	Completes   int64
+	Expiries    int64
+	Errors      int64 // worker-reported execution errors
+	Mismatches  int64 // checksum-mismatched or audit-divergent uploads
+	Quarantines int64
+	Registered  bool
+}
+
 // Stats is a point-in-time counters snapshot for observability.
 type Stats struct {
 	QueueDepth        int   // units waiting for a claim
@@ -98,7 +191,11 @@ type Stats struct {
 	Reclaims          int64 // expired leases re-queued for dispatch
 	StaleUploads      int64 // duplicate/late completions ignored
 	NoWorkerFallbacks int64 // units answered with ErrNoWorkers
+	Poisoned          int64 // units resolved with PoisonedError
+	Rejected          int64 // uploads rejected (checksum mismatch)
+	Quarantines       int64 // quarantine events across the fleet
 	Draining          bool
+	PerWorker         []WorkerStatus // sorted by name
 }
 
 type unitState int
@@ -111,22 +208,70 @@ const (
 
 type outcome struct {
 	result any
+	worker string // worker that produced result, "" for local paths
 	err    error
 }
 
 type unit struct {
 	Unit
-	state unitState
-	done  chan outcome // buffered 1; written exactly once
+	state    unitState
+	attempts int
+	failures []UnitFailure
+	done     chan outcome // buffered 1; written exactly once
 }
 
 type lease struct {
-	id         string
-	u          *unit
-	worker     string
-	deadline   time.Time
-	done       bool // expired or resolved; kept briefly for stale uploads
+	id       string
+	u        *unit
+	worker   string
+	deadline time.Time
+	done     bool // expired or resolved; kept briefly for stale uploads
+	// tainted marks a lease reclaimed from a quarantined worker: its
+	// late upload is never delivered, even if the unit is still queued.
+	tainted    bool
+	probe      bool // half-open probe claim of a quarantined worker
 	resolvedAt time.Time
+}
+
+type workerState int
+
+const (
+	workerLive workerState = iota
+	workerQuarantined
+	workerDraining // deregistered with leases still unresolved
+)
+
+func (s workerState) String() string {
+	switch s {
+	case workerQuarantined:
+		return "quarantined"
+	case workerDraining:
+		return "draining"
+	default:
+		return "live"
+	}
+}
+
+// workerRec is the registry entry for one worker: liveness, parked
+// long-polls, health score, and lifetime counters.
+type workerRec struct {
+	name       string
+	registered bool // explicit Register handshake (vs. implicit on claim)
+	seen       time.Time
+	parked     int // claimers currently long-polling
+	state      workerState
+
+	score   float64 // decaying failure score; quarantine at FailThreshold
+	scoreAt time.Time
+
+	quarUntil   time.Time
+	probeLease  string // outstanding half-open probe, if any
+	quarCount   int    // consecutive quarantines (cooldown backoff)
+	quarantines int64  // lifetime quarantine events
+
+	leases                 int // unresolved leases held
+	completes, expiries    int64
+	uploadErrs, mismatches int64
 }
 
 // Dispatcher is safe for concurrent use. Close releases its janitor.
@@ -136,15 +281,15 @@ type Dispatcher struct {
 	mu       sync.Mutex
 	queue    []*unit
 	leases   map[string]*lease
-	workers  map[string]time.Time // last activity
-	parked   map[string]int       // claimers currently long-polling
-	wake     chan struct{}        // closed-and-replaced broadcast
+	workers  map[string]*workerRec
+	wake     chan struct{} // closed-and-replaced broadcast
 	seq      int64
 	draining bool
 	closed   bool
 
-	claims, completes, reclaims int64
-	stales, noWorkers           int64
+	claims, completes, reclaims  int64
+	stales, noWorkers            int64
+	poisoned, rejected, quarEvts int64
 
 	stop        chan struct{}
 	janitorDone chan struct{}
@@ -155,8 +300,7 @@ func New(cfg Config) *Dispatcher {
 	d := &Dispatcher{
 		cfg:         cfg.withDefaults(),
 		leases:      make(map[string]*lease),
-		workers:     make(map[string]time.Time),
-		parked:      make(map[string]int),
+		workers:     make(map[string]*workerRec),
 		wake:        make(chan struct{}),
 		stop:        make(chan struct{}),
 		janitorDone: make(chan struct{}),
@@ -173,22 +317,192 @@ func (d *Dispatcher) wakeLocked() {
 	d.wake = make(chan struct{})
 }
 
+// recLocked returns the registry entry for worker, creating a live
+// implicit (unregistered) entry on first contact.
+func (d *Dispatcher) recLocked(worker string, now time.Time) *workerRec {
+	rec, ok := d.workers[worker]
+	if !ok {
+		rec = &workerRec{name: worker, state: workerLive, scoreAt: now}
+		d.workers[worker] = rec
+	}
+	rec.seen = now
+	return rec
+}
+
+// decayLocked applies exponential decay to the worker's failure score
+// with a half-life of Cooldown.
+func (d *Dispatcher) decayLocked(rec *workerRec, now time.Time) {
+	if dt := now.Sub(rec.scoreAt); dt > 0 && rec.score > 0 {
+		rec.score *= math.Pow(0.5, dt.Seconds()/d.cfg.Cooldown.Seconds())
+	}
+	rec.scoreAt = now
+}
+
+// penalizeLocked raises the worker's failure score and quarantines it
+// when the score crosses the threshold.
+func (d *Dispatcher) penalizeLocked(rec *workerRec, weight float64, now time.Time, reason string) {
+	d.decayLocked(rec, now)
+	rec.score += weight
+	if rec.state == workerLive && rec.score >= d.cfg.FailThreshold {
+		d.quarantineLocked(rec, now, reason)
+	}
+}
+
+// rewardLocked lowers the score on a successful completion.
+func (d *Dispatcher) rewardLocked(rec *workerRec, now time.Time) {
+	d.decayLocked(rec, now)
+	rec.score -= 0.5
+	if rec.score < 0 {
+		rec.score = 0
+	}
+}
+
+// quarantineLocked puts the worker in quarantine: its claims are
+// refused until the cooldown elapses (doubling per consecutive
+// quarantine, capped at 8×), and every lease it still holds is
+// reclaimed as tainted — the unit is re-queued (or poisoned) and a
+// late upload from the worker is discarded rather than trusted.
+func (d *Dispatcher) quarantineLocked(rec *workerRec, now time.Time, reason string) {
+	rec.state = workerQuarantined
+	mult := time.Duration(1) << min(rec.quarCount, 3)
+	rec.quarCount++
+	rec.quarantines++
+	rec.quarUntil = now.Add(d.cfg.Cooldown * mult)
+	rec.probeLease = ""
+	d.quarEvts++
+	for _, l := range d.leases {
+		if l.worker != rec.name || l.done {
+			continue
+		}
+		l.done = true
+		l.tainted = true
+		l.resolvedAt = now
+		rec.leases--
+		if l.u.state != unitLeased {
+			continue
+		}
+		d.reclaims++
+		if !d.failUnitLocked(l.u, rec.name, "worker quarantined: "+reason) {
+			l.u.state = unitQueued
+			d.queue = append([]*unit{l.u}, d.queue...)
+		}
+	}
+	// Wake every parked claim: requeued units need a new worker, and a
+	// parked claim from the quarantined worker itself should learn of
+	// the refusal now, not when its poll window lapses.
+	d.wakeLocked()
+}
+
+// reinstateLocked returns a quarantined worker to live after a
+// successful half-open probe, resetting its score and backoff.
+func (d *Dispatcher) reinstateLocked(rec *workerRec, now time.Time) {
+	rec.state = workerLive
+	rec.score = 0
+	rec.scoreAt = now
+	rec.quarCount = 0
+	rec.probeLease = ""
+	rec.quarUntil = time.Time{}
+}
+
+// failUnitLocked records a failed attempt and poisons the unit when
+// its failures span MaxAttempts distinct workers (or 2×MaxAttempts
+// attempts in total). Poisoned units are resolved immediately with a
+// PoisonedError; the caller must not requeue them. Reports whether
+// the unit was poisoned.
+func (d *Dispatcher) failUnitLocked(u *unit, worker, reason string) bool {
+	u.attempts++
+	u.failures = append(u.failures, UnitFailure{Worker: worker, Reason: reason})
+	distinct := make(map[string]bool, len(u.failures))
+	for _, f := range u.failures {
+		distinct[f.Worker] = true
+	}
+	if len(distinct) < d.cfg.MaxAttempts && u.attempts < 2*d.cfg.MaxAttempts {
+		return false
+	}
+	u.state = unitResolved
+	d.poisoned++
+	u.done <- outcome{err: &PoisonedError{
+		Key:      u.Key,
+		Label:    u.Label,
+		Failures: append([]UnitFailure(nil), u.failures...),
+	}}
+	return true
+}
+
+// Register adds the worker to the registry ahead of its first claim.
+// Registration is optional — a claim registers implicitly — but an
+// explicit handshake lets the fleet count the worker as live before
+// it parks and pairs with Deregister for a clean exit.
+func (d *Dispatcher) Register(worker string) error {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.draining {
+		return ErrDraining
+	}
+	rec := d.recLocked(worker, now)
+	rec.registered = true
+	return nil
+}
+
+// Deregister removes the worker from the live set immediately — no
+// waiting for WorkerTTL to lapse. Leases it still holds are reclaimed
+// to the front of the queue (without charging the unit a failure; the
+// worker is leaving, not misbehaving), though a late upload against
+// them is still accepted while the unit sits unclaimed.
+func (d *Dispatcher) Deregister(worker string) {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rec, ok := d.workers[worker]
+	if !ok || d.closed {
+		return
+	}
+	requeued := false
+	for _, l := range d.leases {
+		if l.worker != worker || l.done {
+			continue
+		}
+		l.done = true
+		l.resolvedAt = now
+		rec.leases--
+		if l.u.state == unitLeased {
+			l.u.state = unitQueued
+			d.queue = append([]*unit{l.u}, d.queue...)
+			d.reclaims++
+			requeued = true
+		}
+	}
+	delete(d.workers, worker)
+	// Parked claims from the worker, if any, re-register it on their
+	// next pass; waking them here lets an already-departed worker's
+	// stragglers notice the empty queue promptly.
+	if requeued {
+		d.wakeLocked()
+	}
+}
+
 // Execute submits the unit to the worker fleet and blocks until a
-// worker delivers its outcome. It returns ErrNoWorkers immediately
-// when no live worker is connected (or the dispatcher is draining),
-// and later if every worker disappears while the unit waits — in both
-// cases the caller should run the unit locally. Cancelling ctx
-// withdraws the unit; a completion that races the withdrawal wins.
-func (d *Dispatcher) Execute(ctx context.Context, spec Unit) (any, error) {
+// worker delivers its outcome, also reporting which worker produced
+// it. It returns ErrNoWorkers immediately when no live worker is
+// connected (or the dispatcher is draining), and later if every
+// worker disappears while the unit waits — in both cases the caller
+// should run the unit locally. A unit that keeps failing across
+// workers resolves with a *PoisonedError. Cancelling ctx withdraws
+// the unit; a completion that races the withdrawal wins.
+func (d *Dispatcher) Execute(ctx context.Context, spec Unit) (any, string, error) {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
-		return nil, ErrClosed
+		return nil, "", ErrClosed
 	}
 	if d.draining || !d.liveLocked(time.Now()) {
 		d.noWorkers++
 		d.mu.Unlock()
-		return nil, ErrNoWorkers
+		return nil, "", ErrNoWorkers
 	}
 	u := &unit{Unit: spec, state: unitQueued, done: make(chan outcome, 1)}
 	d.queue = append(d.queue, u)
@@ -197,14 +511,14 @@ func (d *Dispatcher) Execute(ctx context.Context, spec Unit) (any, error) {
 
 	select {
 	case out := <-u.done:
-		return out.result, out.err
+		return out.result, out.worker, out.err
 	case <-ctx.Done():
 		d.withdraw(u)
 		select {
 		case out := <-u.done:
-			return out.result, out.err
+			return out.result, out.worker, out.err
 		default:
-			return nil, ctx.Err()
+			return nil, "", ctx.Err()
 		}
 	}
 }
@@ -233,14 +547,14 @@ func (d *Dispatcher) dequeueLocked(u *unit) {
 	}
 }
 
-// liveLocked reports whether any worker is parked in a claim or was
-// seen within WorkerTTL.
+// liveLocked reports whether any live (not quarantined, not draining)
+// worker is parked in a claim or was seen within WorkerTTL.
 func (d *Dispatcher) liveLocked(now time.Time) bool {
-	if len(d.parked) > 0 {
-		return true
-	}
-	for _, seen := range d.workers {
-		if now.Sub(seen) <= d.cfg.WorkerTTL {
+	for _, rec := range d.workers {
+		if rec.state != workerLive {
+			continue
+		}
+		if rec.parked > 0 || now.Sub(rec.seen) <= d.cfg.WorkerTTL {
 			return true
 		}
 	}
@@ -248,7 +562,7 @@ func (d *Dispatcher) liveLocked(now time.Time) bool {
 }
 
 // LiveWorkers counts workers currently parked in a claim or seen
-// within WorkerTTL.
+// within WorkerTTL, excluding quarantined and draining ones.
 func (d *Dispatcher) LiveWorkers() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -257,8 +571,11 @@ func (d *Dispatcher) LiveWorkers() int {
 
 func (d *Dispatcher) liveWorkersLocked(now time.Time) int {
 	n := 0
-	for w, seen := range d.workers {
-		if d.parked[w] > 0 || now.Sub(seen) <= d.cfg.WorkerTTL {
+	for _, rec := range d.workers {
+		if rec.state != workerLive {
+			continue
+		}
+		if rec.parked > 0 || now.Sub(rec.seen) <= d.cfg.WorkerTTL {
 			n++
 		}
 	}
@@ -267,7 +584,11 @@ func (d *Dispatcher) liveWorkersLocked(now time.Time) int {
 
 // Claim hands the caller the oldest queued unit under a fresh lease,
 // long-polling up to wait when the queue is empty. ok=false means the
-// wait elapsed (or ctx was cancelled) with no work available.
+// wait elapsed (or ctx was cancelled) with no work available. Claims
+// from a quarantined worker are refused with a *QuarantineError until
+// its cooldown elapses; the first claim after the cooldown is a
+// half-open probe — exactly one lease whose outcome decides between
+// reinstatement and a doubled quarantine.
 func (d *Dispatcher) Claim(ctx context.Context, worker string, wait time.Duration) (Lease, bool, error) {
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
@@ -282,7 +603,24 @@ func (d *Dispatcher) Claim(ctx context.Context, worker string, wait time.Duratio
 			d.mu.Unlock()
 			return Lease{}, false, ErrDraining
 		}
-		d.workers[worker] = now
+		rec := d.recLocked(worker, now)
+		probe := false
+		if rec.state == workerQuarantined {
+			switch {
+			case now.Before(rec.quarUntil):
+				until := rec.quarUntil
+				d.mu.Unlock()
+				return Lease{}, false, &QuarantineError{Worker: worker, Until: until}
+			case rec.probeLease != "":
+				// One probe at a time: until the outstanding probe
+				// resolves, further claims stay refused.
+				until := now.Add(d.cfg.LeaseTTL)
+				d.mu.Unlock()
+				return Lease{}, false, &QuarantineError{Worker: worker, Until: until}
+			default:
+				probe = true
+			}
+		}
 		if len(d.queue) > 0 {
 			u := d.queue[0]
 			d.queue = d.queue[1:]
@@ -293,33 +631,45 @@ func (d *Dispatcher) Claim(ctx context.Context, worker string, wait time.Duratio
 				u:        u,
 				worker:   worker,
 				deadline: now.Add(d.cfg.LeaseTTL),
+				probe:    probe,
 			}
 			d.leases[l.id] = l
 			d.claims++
+			rec.leases++
+			if probe {
+				rec.probeLease = l.id
+			}
 			out := Lease{ID: l.id, Unit: u.Unit, Worker: worker, Deadline: l.deadline, TTL: d.cfg.LeaseTTL}
 			d.mu.Unlock()
 			return out, true, nil
 		}
-		d.parked[worker]++
+		rec.parked++
 		wake := d.wake
 		d.mu.Unlock()
 
-		wakeup := false
+		again := false
 		select {
 		case <-wake:
-			wakeup = true
+			again = true
+		case <-d.stop:
+			// Re-enter the loop: the closed check answers ErrClosed so
+			// a parked worker learns the server is gone immediately
+			// instead of hanging out its poll window.
+			again = true
 		case <-timer.C:
 		case <-ctx.Done():
-		case <-d.stop:
 		}
+		now = time.Now()
 		d.mu.Lock()
-		d.parked[worker]--
-		if d.parked[worker] <= 0 {
-			delete(d.parked, worker)
+		if r, ok := d.workers[worker]; ok {
+			r.parked--
+			if r.parked < 0 {
+				r.parked = 0
+			}
+			r.seen = now
 		}
-		d.workers[worker] = time.Now()
 		d.mu.Unlock()
-		if !wakeup {
+		if !again {
 			return Lease{}, false, ctx.Err()
 		}
 	}
@@ -336,7 +686,7 @@ func (d *Dispatcher) Heartbeat(leaseID string) (time.Time, error) {
 		return time.Time{}, ErrLeaseNotFound
 	}
 	l.deadline = now.Add(d.cfg.LeaseTTL)
-	d.workers[l.worker] = now
+	d.recLocked(l.worker, now)
 	return l.deadline, nil
 }
 
@@ -345,7 +695,13 @@ func (d *Dispatcher) Heartbeat(leaseID string) (time.Time, error) {
 // duplicate or late upload) and the payload was discarded — execution
 // is idempotent by content hash, so this is harmless. An upload
 // against a lease that expired but whose unit is still pending is
-// accepted: the bytes are the same no matter who ran the arm.
+// accepted: the bytes are the same no matter who ran the arm. Leases
+// reclaimed by a quarantine are tainted and never accepted.
+//
+// A non-nil workErr is charged to the worker's health score and the
+// unit's failure history, and the unit is re-queued for another
+// worker (or poisoned) rather than failing the submitter — a broken
+// worker must not take the sweep down with it.
 func (d *Dispatcher) Complete(leaseID string, result any, workErr error) (stale bool, err error) {
 	now := time.Now()
 	d.mu.Lock()
@@ -354,13 +710,18 @@ func (d *Dispatcher) Complete(leaseID string, result any, workErr error) (stale 
 	if !ok {
 		return false, ErrLeaseNotFound
 	}
-	d.workers[l.worker] = now
-	if !l.done {
+	rec := d.recLocked(l.worker, now)
+	active := !l.done
+	if active {
 		l.done = true
 		l.resolvedAt = now
+		rec.leases--
+	}
+	if workErr != nil {
+		return d.completeErrLocked(l, rec, active, workErr, now)
 	}
 	u := l.u
-	if u.state == unitResolved {
+	if l.tainted || u.state == unitResolved {
 		d.stales++
 		return true, nil
 	}
@@ -368,9 +729,112 @@ func (d *Dispatcher) Complete(leaseID string, result any, workErr error) (stale 
 		d.dequeueLocked(u)
 	}
 	u.state = unitResolved
-	u.done <- outcome{result: result, err: workErr}
+	u.done <- outcome{result: result, worker: l.worker}
 	d.completes++
+	rec.completes++
+	d.rewardLocked(rec, now)
+	if l.probe && rec.state == workerQuarantined {
+		d.reinstateLocked(rec, now)
+	}
 	return false, nil
+}
+
+// completeErrLocked handles an error upload: penalize the worker,
+// record the failure on the unit, and re-queue (or poison) the unit
+// so another worker retries it.
+func (d *Dispatcher) completeErrLocked(l *lease, rec *workerRec, active bool, workErr error, now time.Time) (bool, error) {
+	rec.uploadErrs++
+	if l.probe && rec.state == workerQuarantined {
+		// The half-open probe failed: straight back to quarantine with
+		// a doubled cooldown.
+		rec.probeLease = ""
+		d.quarantineLocked(rec, now, "probe failed: "+workErr.Error())
+	} else {
+		d.penalizeLocked(rec, 1, now, "execution error: "+workErr.Error())
+	}
+	u := l.u
+	if u.state == unitResolved {
+		d.stales++
+		return true, nil
+	}
+	if d.failUnitLocked(u, l.worker, workErr.Error()) {
+		d.dequeueLocked(u) // no-op unless the unit sat re-queued
+		return false, nil
+	}
+	// Not poisoned: make sure the unit is back in the queue. It may
+	// already be there (the lease expired earlier) or leased to
+	// another worker (leave that lease alone).
+	if active && u.state == unitLeased {
+		u.state = unitQueued
+		d.queue = append([]*unit{u}, d.queue...)
+		d.wakeLocked()
+	}
+	return false, nil
+}
+
+// Reject refuses an upload whose payload failed server-side
+// verification (checksum mismatch): the worker takes a heavy health
+// penalty, the unit is charged a failure and re-queued (or poisoned),
+// and the lease is tainted so nothing else arrives on it. stale=true
+// reports the unit had already been resolved elsewhere.
+func (d *Dispatcher) Reject(leaseID, reason string) (stale bool, err error) {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l, ok := d.leases[leaseID]
+	if !ok {
+		return false, ErrLeaseNotFound
+	}
+	rec := d.recLocked(l.worker, now)
+	active := !l.done
+	if active {
+		l.done = true
+		l.resolvedAt = now
+		rec.leases--
+	}
+	l.tainted = true
+	d.rejected++
+	rec.mismatches++
+	if l.probe && rec.state == workerQuarantined {
+		rec.probeLease = ""
+		d.quarantineLocked(rec, now, "probe failed: "+reason)
+	} else {
+		d.penalizeLocked(rec, 2, now, reason)
+	}
+	u := l.u
+	if u.state == unitResolved {
+		d.stales++
+		return true, nil
+	}
+	if d.failUnitLocked(u, l.worker, reason) {
+		d.dequeueLocked(u)
+		return false, nil
+	}
+	if active && u.state == unitLeased {
+		u.state = unitQueued
+		d.queue = append([]*unit{u}, d.queue...)
+		d.wakeLocked()
+	}
+	return false, nil
+}
+
+// Quarantine forces the worker into quarantine immediately, whatever
+// its score — the audit path calls this when a worker is caught
+// returning divergent bytes.
+func (d *Dispatcher) Quarantine(worker, reason string) {
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	rec := d.recLocked(worker, now)
+	rec.mismatches++
+	if rec.state == workerQuarantined {
+		return
+	}
+	rec.score = d.cfg.FailThreshold
+	d.quarantineLocked(rec, now, reason)
 }
 
 // Drain stops handing out new claims. Outstanding leases may still
@@ -422,8 +886,9 @@ func (d *Dispatcher) Close() {
 	<-d.janitorDone
 }
 
-// Stats returns a counters snapshot.
+// Stats returns a counters snapshot with one row per known worker.
 func (d *Dispatcher) Stats() Stats {
+	now := time.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	active := 0
@@ -432,16 +897,41 @@ func (d *Dispatcher) Stats() Stats {
 			active++
 		}
 	}
+	per := make([]WorkerStatus, 0, len(d.workers))
+	for _, rec := range d.workers {
+		d.decayLocked(rec, now)
+		state := rec.state.String()
+		if rec.state == workerQuarantined && (rec.probeLease != "" || !now.Before(rec.quarUntil)) {
+			state = "probing"
+		}
+		per = append(per, WorkerStatus{
+			Name:        rec.name,
+			State:       state,
+			Score:       rec.score,
+			Leases:      rec.leases,
+			Completes:   rec.completes,
+			Expiries:    rec.expiries,
+			Errors:      rec.uploadErrs,
+			Mismatches:  rec.mismatches,
+			Quarantines: rec.quarantines,
+			Registered:  rec.registered,
+		})
+	}
+	sort.Slice(per, func(i, j int) bool { return per[i].Name < per[j].Name })
 	return Stats{
 		QueueDepth:        len(d.queue),
 		ActiveLeases:      active,
-		Workers:           d.liveWorkersLocked(time.Now()),
+		Workers:           d.liveWorkersLocked(now),
 		Claims:            d.claims,
 		Completes:         d.completes,
 		Reclaims:          d.reclaims,
 		StaleUploads:      d.stales,
 		NoWorkerFallbacks: d.noWorkers,
+		Poisoned:          d.poisoned,
+		Rejected:          d.rejected,
+		Quarantines:       d.quarEvts,
 		Draining:          d.draining,
+		PerWorker:         per,
 	}
 }
 
@@ -457,8 +947,9 @@ func (d *Dispatcher) failQueueLocked() {
 }
 
 // janitor expires overdue leases (reclaiming their units to the front
-// of the queue), fails queued units over to local execution when the
-// worker fleet disappears, and prunes stale bookkeeping.
+// of the queue, charging the holder's health score), fails queued
+// units over to local execution when the worker fleet disappears, and
+// prunes stale bookkeeping.
 func (d *Dispatcher) janitor() {
 	defer close(d.janitorDone)
 	tick := time.NewTicker(d.cfg.Sweep)
@@ -485,13 +976,27 @@ func (d *Dispatcher) janitor() {
 				}
 				continue
 			}
-			if now.After(l.deadline) {
-				l.done = true
-				l.resolvedAt = now
-				if l.u.state == unitLeased {
+			if !now.After(l.deadline) {
+				continue
+			}
+			l.done = true
+			l.resolvedAt = now
+			rec := d.recLockedNoTouch(l.worker)
+			if rec != nil {
+				rec.leases--
+				rec.expiries++
+				if l.probe && rec.state == workerQuarantined {
+					rec.probeLease = ""
+					d.quarantineLocked(rec, now, "probe lease expired")
+				} else {
+					d.penalizeLocked(rec, 1, now, "lease expired without heartbeat")
+				}
+			}
+			if l.u.state == unitLeased {
+				d.reclaims++
+				if !d.failUnitLocked(l.u, l.worker, "lease expired (worker crashed or wedged)") {
 					l.u.state = unitQueued
 					d.queue = append([]*unit{l.u}, d.queue...)
-					d.reclaims++
 					requeued = true
 				}
 			}
@@ -501,11 +1006,33 @@ func (d *Dispatcher) janitor() {
 		} else if requeued {
 			d.wakeLocked()
 		}
-		for w, seen := range d.workers {
-			if d.parked[w] == 0 && now.Sub(seen) > 2*d.cfg.WorkerTTL {
+		for w, rec := range d.workers {
+			if rec.parked > 0 || rec.leases > 0 {
+				continue
+			}
+			// A quarantined worker is remembered until well past its
+			// release so it cannot shed the quarantine by vanishing and
+			// re-registering under the same name.
+			horizon := rec.seen
+			if rec.state == workerQuarantined && rec.quarUntil.After(horizon) {
+				horizon = rec.quarUntil
+			}
+			if now.Sub(horizon) > 2*d.cfg.WorkerTTL {
 				delete(d.workers, w)
 			}
 		}
 		d.mu.Unlock()
 	}
+}
+
+// recLockedNoTouch looks a worker up without refreshing its liveness
+// — the janitor must not keep a vanished worker alive by penalizing
+// it.
+func (d *Dispatcher) recLockedNoTouch(worker string) *workerRec {
+	rec, ok := d.workers[worker]
+	if !ok {
+		rec = &workerRec{name: worker, state: workerLive}
+		d.workers[worker] = rec
+	}
+	return rec
 }

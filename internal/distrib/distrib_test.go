@@ -29,8 +29,8 @@ func testUnit(key string) Unit {
 func execAsync(ctx context.Context, d *Dispatcher, u Unit) chan outcome {
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := d.Execute(ctx, u)
-		ch <- outcome{result: res, err: err}
+		res, worker, err := d.Execute(ctx, u)
+		ch <- outcome{result: res, worker: worker, err: err}
 	}()
 	return ch
 }
@@ -61,7 +61,7 @@ func claimOrFatal(t *testing.T, d *Dispatcher, worker string) Lease {
 
 func TestExecuteNoWorkersImmediate(t *testing.T) {
 	d := newTestDispatcher(t, fastCfg())
-	_, err := d.Execute(context.Background(), testUnit("a"))
+	_, _, err := d.Execute(context.Background(), testUnit("a"))
 	if !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("Execute with no fleet = %v, want ErrNoWorkers", err)
 	}
@@ -246,7 +246,7 @@ func TestDrain(t *testing.T) {
 	if _, _, err := d.Claim(context.Background(), "w2", time.Second); !errors.Is(err, ErrDraining) {
 		t.Fatalf("claim while draining = %v, want ErrDraining", err)
 	}
-	if _, err := d.Execute(context.Background(), testUnit("rejected")); !errors.Is(err, ErrNoWorkers) {
+	if _, _, err := d.Execute(context.Background(), testUnit("rejected")); !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("Execute while draining = %v, want ErrNoWorkers", err)
 	}
 
@@ -283,7 +283,7 @@ func TestCloseFailsEverything(t *testing.T) {
 	if _, _, err := d.Claim(context.Background(), "w2", time.Second); !errors.Is(err, ErrClosed) {
 		t.Fatalf("claim after close = %v, want ErrClosed", err)
 	}
-	if _, err := d.Execute(context.Background(), testUnit("x")); !errors.Is(err, ErrClosed) {
+	if _, _, err := d.Execute(context.Background(), testUnit("x")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Execute after close = %v, want ErrClosed", err)
 	}
 }
@@ -347,8 +347,8 @@ func TestConcurrentFleet(t *testing.T) {
 	for i := 0; i < units; i++ {
 		key := "unit-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
 		go func(key string) {
-			res, err := d.Execute(context.Background(), testUnit(key))
-			results <- outcome{result: res, err: err}
+			res, worker, err := d.Execute(context.Background(), testUnit(key))
+			results <- outcome{result: res, worker: worker, err: err}
 		}(key)
 	}
 	for i := 0; i < units; i++ {

@@ -42,12 +42,21 @@ type Config struct {
 	// EventDelay stalls every streamed round record by this long —
 	// a slow-consumer/slow-producer simulation for disconnect tests.
 	EventDelay time.Duration
+	// UploadCorruptEvery > 0 makes every Nth result upload tamper with
+	// its payload after the checksum is computed (1 = every upload) —
+	// a worker that lies about its bytes, for exercising the server's
+	// result audits and quarantine.
+	UploadCorruptEvery int
+	// UploadCorruptBudget caps injected corruptions; 0 with
+	// UploadCorruptEvery > 0 means unlimited.
+	UploadCorruptBudget int
 }
 
 // Validate reports nonsensical knob combinations.
 func (c Config) Validate() error {
 	if c.ArmErrorEvery < 0 || c.ArmPanicEvery < 0 ||
-		c.ArmErrorBudget < 0 || c.ArmPanicBudget < 0 || c.EventDelay < 0 {
+		c.ArmErrorBudget < 0 || c.ArmPanicBudget < 0 || c.EventDelay < 0 ||
+		c.UploadCorruptEvery < 0 || c.UploadCorruptBudget < 0 {
 		return fmt.Errorf("faultinject: negative knob in %+v", c)
 	}
 	return nil
@@ -55,7 +64,8 @@ func (c Config) Validate() error {
 
 // Enabled reports whether the config injects anything at all.
 func (c Config) Enabled() bool {
-	return c.ArmErrorEvery > 0 || c.ArmPanicEvery > 0 || c.EventDelay > 0
+	return c.ArmErrorEvery > 0 || c.ArmPanicEvery > 0 || c.EventDelay > 0 ||
+		c.UploadCorruptEvery > 0
 }
 
 // Parse decodes the CLI's compact injection spec: comma-separated
@@ -73,7 +83,7 @@ func Parse(s string) (Config, error) {
 			return Config{}, fmt.Errorf("faultinject: bad spec element %q (want key=value)", part)
 		}
 		switch key {
-		case "arm-error", "errors", "arm-panic", "panics":
+		case "arm-error", "errors", "arm-panic", "panics", "upload-corrupt", "corruptions":
 			n, err := strconv.Atoi(val)
 			if err != nil || n < 0 {
 				return Config{}, fmt.Errorf("faultinject: bad %s value %q", key, val)
@@ -87,6 +97,10 @@ func Parse(s string) (Config, error) {
 				cfg.ArmPanicEvery = n
 			case "panics":
 				cfg.ArmPanicBudget = n
+			case "upload-corrupt":
+				cfg.UploadCorruptEvery = n
+			case "corruptions":
+				cfg.UploadCorruptBudget = n
 			}
 		case "event-delay":
 			d, err := time.ParseDuration(val)
@@ -95,7 +109,7 @@ func Parse(s string) (Config, error) {
 			}
 			cfg.EventDelay = d
 		default:
-			return Config{}, fmt.Errorf("faultinject: unknown knob %q (want arm-error, errors, arm-panic, panics, event-delay)", key)
+			return Config{}, fmt.Errorf("faultinject: unknown knob %q (want arm-error, errors, arm-panic, panics, upload-corrupt, corruptions, event-delay)", key)
 		}
 	}
 	return cfg, cfg.Validate()
@@ -110,6 +124,8 @@ type Injector struct {
 	armStarts atomic.Int64
 	errsFired atomic.Int64
 	pansFired atomic.Int64
+	uploads   atomic.Int64
+	corrFired atomic.Int64
 }
 
 // New builds an Injector; a nil return means cfg injects nothing, which
@@ -146,6 +162,24 @@ func (i *Injector) ArmStart(label string) error {
 		}
 	}
 	return nil
+}
+
+// UploadCorrupt reports whether this result upload should be tampered
+// with (the caller mutates the payload after computing its checksum).
+// Like every fault it fires on a deterministic counter, so a chaos
+// fleet corrupts the same uploads on every run.
+func (i *Injector) UploadCorrupt() bool {
+	if i == nil || i.cfg.UploadCorruptEvery <= 0 {
+		return false
+	}
+	n := i.uploads.Add(1)
+	if n%int64(i.cfg.UploadCorruptEvery) != 0 {
+		return false
+	}
+	if b := int64(i.cfg.UploadCorruptBudget); b > 0 && i.corrFired.Add(1) > b {
+		return false
+	}
+	return true
 }
 
 // EventDelay stalls a streamed record by the configured delay, honoring

@@ -11,11 +11,14 @@ import (
 
 // TestParse decodes the CLI spec grammar and rejects malformed input.
 func TestParse(t *testing.T) {
-	cfg, err := Parse("arm-error=2,errors=3,arm-panic=5,panics=1,event-delay=10ms")
+	cfg, err := Parse("arm-error=2,errors=3,arm-panic=5,panics=1,event-delay=10ms,upload-corrupt=1,corruptions=2")
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Config{ArmErrorEvery: 2, ArmErrorBudget: 3, ArmPanicEvery: 5, ArmPanicBudget: 1, EventDelay: 10 * time.Millisecond}
+	want := Config{
+		ArmErrorEvery: 2, ArmErrorBudget: 3, ArmPanicEvery: 5, ArmPanicBudget: 1,
+		EventDelay: 10 * time.Millisecond, UploadCorruptEvery: 1, UploadCorruptBudget: 2,
+	}
 	if cfg != want {
 		t.Fatalf("Parse = %+v, want %+v", cfg, want)
 	}
@@ -40,8 +43,26 @@ func TestNilInjector(t *testing.T) {
 		t.Fatalf("nil ArmStart = %v", err)
 	}
 	i.EventDelay(context.Background()) // must not block or panic
+	if i.UploadCorrupt() {
+		t.Fatal("nil UploadCorrupt fired")
+	}
 	if got := FromContext(With(context.Background(), nil)); got != nil {
 		t.Fatalf("nil injector attached: %v", got)
+	}
+}
+
+// TestUploadCorruptSchedule: the corruption schedule fires every Nth
+// upload and stops at its budget.
+func TestUploadCorruptSchedule(t *testing.T) {
+	i := New(Config{UploadCorruptEvery: 2, UploadCorruptBudget: 2})
+	var fired []int
+	for n := 1; n <= 10; n++ {
+		if i.UploadCorrupt() {
+			fired = append(fired, n)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Fatalf("corruptions fired at %v, want [2 4] (every 2nd, budget 2)", fired)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"gossipmia/internal/distrib"
 	"gossipmia/internal/experiment"
 	"gossipmia/internal/faultinject"
 	"gossipmia/pkg/dlsim"
@@ -37,11 +38,17 @@ type job struct {
 	errMsg string
 	// attempts counts execution tries; > 1 means transient failures
 	// were retried.
-	attempts  int
-	result    *dlsim.Result
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	attempts int
+	// workerFailures is the aggregated per-worker error history of arms
+	// the fleet mishandled: poison-contained arms record every distinct
+	// worker that failed them, audits record workers caught uploading
+	// divergent bytes. The job itself still succeeds — these are the
+	// receipts of who misbehaved along the way.
+	workerFailures []dlsim.WorkerFailure
+	result         *dlsim.Result
+	submitted      time.Time
+	started        time.Time
+	finished       time.Time
 
 	// cancel aborts the job's context; safe to call in any status.
 	cancel context.CancelFunc
@@ -457,5 +464,22 @@ func (s *Server) statusOf(j *job, deduped bool) *dlsim.JobStatus {
 	if j.status == dlsim.StatusDone {
 		st.Result = j.result
 	}
+	if len(j.workerFailures) > 0 {
+		st.WorkerFailures = append([]dlsim.WorkerFailure(nil), j.workerFailures...)
+	}
 	return st
+}
+
+// recordWorkerFailures appends fleet misbehavior observed while
+// executing one of the job's arms to the job's status record.
+func (s *Server) recordWorkerFailures(j *job, arm string, failures []distrib.UnitFailure) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range failures {
+		j.workerFailures = append(j.workerFailures, dlsim.WorkerFailure{
+			Worker: f.Worker,
+			Arm:    arm,
+			Reason: f.Reason,
+		})
+	}
 }

@@ -30,6 +30,8 @@
 //	GET    /v1/healthz          liveness + queue stats
 //	GET    /v1/statz            dispatch + cache counters snapshot
 //	POST   /v1/work/claim       worker fleet: long-poll one arm lease
+//	POST   /v1/work/register    announce a worker before its first claim
+//	POST   /v1/work/deregister  remove a worker from the live set now
 //	POST   /v1/work/{lease}/heartbeat  renew a lease
 //	POST   /v1/work/{lease}/result     upload an arm outcome
 //
@@ -38,7 +40,12 @@
 // leases, execute them with the same engine, and upload results keyed
 // by the arm's content hash — byte-identical to in-process execution,
 // cached cluster-wide through the shared result store. See
-// internal/distrib for the lease state machine.
+// internal/distrib for the lease state machine. The fleet is not
+// trusted: every upload's checksum is re-verified before ingestion,
+// per-worker health scores quarantine misbehaving workers (claims get
+// 403 + Retry-After), arms that keep failing across workers are
+// contained to local execution, and an opt-in audit mode re-executes
+// a sample of worker-completed arms to cross-check byte-identity.
 package server
 
 import (
@@ -162,6 +169,24 @@ type Config struct {
 	// LeaseTTL is how long a worker-claimed arm stays leased without a
 	// heartbeat before it is reclaimed for re-dispatch. Default 15s.
 	LeaseTTL time.Duration
+	// MaxArmAttempts contains a poison arm: once that many distinct
+	// workers have failed it, the arm stops cycling through the fleet
+	// and executes locally, with the per-worker error history surfaced
+	// on the job status. Default 3.
+	MaxArmAttempts int
+	// FailThreshold is the decaying per-worker health score at which
+	// the dispatcher quarantines a worker. Default 2.5 (three quick
+	// errors or two checksum mismatches).
+	FailThreshold float64
+	// QuarantineCooldown is the base quarantine duration (doubling per
+	// consecutive quarantine, capped at 8×). Default 4×LeaseTTL.
+	QuarantineCooldown time.Duration
+	// AuditFraction in (0, 1] re-executes that fraction of
+	// worker-completed arms locally (sampled deterministically by arm
+	// content hash) and cross-checks byte-identity; a worker caught
+	// returning divergent bytes is quarantined and the local result is
+	// used. 0 disables audits.
+	AuditFraction float64
 	// CheckpointDir, when set, persists per-job run directories keyed
 	// by dedup key under it: retries and post-restart resubmissions
 	// resume from the per-arm caches instead of recomputing, and a
@@ -246,6 +271,9 @@ type Server struct {
 	// count checkpoint-cache lookups across jobs (statz observability).
 	localArms, remoteArms  atomic.Int64
 	cacheHits, cacheMisses atomic.Int64
+	// audits/auditsFailed count result audits (re-executions of
+	// worker-completed arms) and the divergences they caught.
+	audits, auditsFailed atomic.Int64
 
 	// storeRelease drops the server's lifetime reference on the shared
 	// result store (nil without Config.StoreDir). Holding one reference
@@ -267,7 +295,12 @@ func New(cfg Config) *Server {
 		notify:     make(chan struct{}, 1),
 		jobs:       map[string]*job{},
 		byKey:      map[string]*job{},
-		dispatch:   distrib.New(distrib.Config{LeaseTTL: cfg.LeaseTTL}),
+		dispatch: distrib.New(distrib.Config{
+			LeaseTTL:      cfg.LeaseTTL,
+			MaxAttempts:   cfg.MaxArmAttempts,
+			FailThreshold: cfg.FailThreshold,
+			Cooldown:      cfg.QuarantineCooldown,
+		}),
 	}
 	if cfg.StoreDir != "" {
 		if _, release, err := store.OpenShared(cfg.StoreDir, store.Options{}); err != nil {
@@ -304,6 +337,8 @@ func New(cfg Config) *Server {
 	// The claim long-poll, like the events follow, must outlive any
 	// request timeout: it rides the base chain.
 	handle("POST /v1/work/claim", base, s.handleClaim)
+	handle("POST /v1/work/register", std, s.handleRegister)
+	handle("POST /v1/work/deregister", std, s.handleDeregister)
 	handle("POST /v1/work/{lease}/heartbeat", std, s.handleHeartbeat)
 	handle("POST /v1/work/{lease}/result", std, s.handleWorkResult)
 	handle("GET /v1/catalog", std, s.handleCatalog)

@@ -37,6 +37,13 @@ func executeWorkOrder(ctx context.Context, order *dlsim.WorkOrder) (*dlsim.ArmRe
 	return &res.Arms[0], nil
 }
 
+// workResult wraps an arm result as an honest worker would upload it:
+// with the checksum over its own bytes (the server rejects uploads
+// whose sum does not match).
+func workResult(arm *dlsim.ArmResult) dlsim.WorkResult {
+	return dlsim.WorkResult{Arm: arm, Sum: arm.Checksum()}
+}
+
 // startWorker runs a claim-execute-upload loop (with heartbeats at a
 // third of the lease window) until ctx is cancelled — an in-process
 // stand-in for one `dlsim worker` slot.
@@ -67,9 +74,11 @@ func startWorker(ctx context.Context, t *testing.T, client *dlsim.Client, name s
 			}()
 			arm, runErr := executeWorkOrder(ctx, order)
 			stopHB()
-			result := dlsim.WorkResult{Arm: arm}
+			result := dlsim.WorkResult{}
 			if runErr != nil {
-				result = dlsim.WorkResult{Error: runErr.Error()}
+				result.Error = runErr.Error()
+			} else {
+				result = workResult(arm)
 			}
 			upCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			client.CompleteWork(upCtx, order.Lease, result)
@@ -204,11 +213,12 @@ func TestWorkerKillReclaimByteIdentical(t *testing.T) {
 	}
 }
 
-// TestWorkerTransientErrorRetries: a worker-side transient failure
-// (what `-inject arm-error` produces on a worker) flows through the
-// server's ordinary retry taxonomy — the attempt fails, the job
-// retries, and the retried result is byte-identical to the fault-free
-// run.
+// TestWorkerTransientErrorRetries: a worker-side failure (what
+// `-inject arm-error` produces on a worker) no longer fails the job's
+// attempt — the dispatcher charges the worker's health score, requeues
+// the arm, and the same (now behaving) worker redoes it. The job
+// completes on its first attempt, byte-identical to the fault-free
+// run, and the worker's error shows in the per-worker stats.
 func TestWorkerTransientErrorRetries(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs simulations")
@@ -238,9 +248,11 @@ func TestWorkerTransientErrorRetries(t *testing.T) {
 				continue
 			}
 			arm, runErr := executeWorkOrder(ctx, order)
-			res := dlsim.WorkResult{Arm: arm}
+			res := dlsim.WorkResult{}
 			if runErr != nil {
-				res = dlsim.WorkResult{Error: runErr.Error()}
+				res.Error = runErr.Error()
+			} else {
+				res = workResult(arm)
 			}
 			client.CompleteWork(ctx, order.Lease, res)
 		}
@@ -264,11 +276,24 @@ func TestWorkerTransientErrorRetries(t *testing.T) {
 	if final.Status != dlsim.StatusDone {
 		t.Fatalf("job after worker fault = %q (%s), want done", final.Status, final.Error)
 	}
-	if final.Attempts != 2 {
-		t.Fatalf("attempts = %d, want 2 (one transient worker fault, one clean attempt)", final.Attempts)
+	if final.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (the worker error requeues the arm, not the job)", final.Attempts)
 	}
 	if got := resultJSON(t, final.Result); got != refJSON {
-		t.Fatalf("retried distributed result diverged:\n got %s\nwant %s", got, refJSON)
+		t.Fatalf("redispatched distributed result diverged:\n got %s\nwant %s", got, refJSON)
+	}
+	st, err := client.Statz(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row *dlsim.WorkerRow
+	for i := range st.Work.PerWorker {
+		if st.Work.PerWorker[i].Name == "flaky" {
+			row = &st.Work.PerWorker[i]
+		}
+	}
+	if row == nil || row.Errors != 1 {
+		t.Fatalf("per-worker stats missing the reported error: %+v", st.Work.PerWorker)
 	}
 }
 
@@ -343,7 +368,7 @@ func TestDrainRefusesClaimsHonorsLeases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	receipt, err := client.CompleteWork(t.Context(), c.order.Lease, dlsim.WorkResult{Arm: arm})
+	receipt, err := client.CompleteWork(t.Context(), c.order.Lease, workResult(arm))
 	if err != nil || receipt.Stale {
 		t.Fatalf("upload during drain = (%+v, %v), want accepted", receipt, err)
 	}
@@ -397,13 +422,13 @@ func TestDuplicateUploadNoOp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if receipt, err := client.CompleteWork(t.Context(), order.Lease, dlsim.WorkResult{Arm: arm}); err != nil || receipt.Stale {
+	if receipt, err := client.CompleteWork(t.Context(), order.Lease, workResult(arm)); err != nil || receipt.Stale {
 		t.Fatalf("first upload = (%+v, %v)", receipt, err)
 	}
-	if receipt, err := client.CompleteWork(t.Context(), order.Lease, dlsim.WorkResult{Arm: arm}); err != nil || !receipt.Stale {
+	if receipt, err := client.CompleteWork(t.Context(), order.Lease, workResult(arm)); err != nil || !receipt.Stale {
 		t.Fatalf("duplicate upload = (%+v, %v), want stale no-op", receipt, err)
 	}
-	if receipt, err := client.CompleteWork(t.Context(), "L99999999-deadbeef", dlsim.WorkResult{Arm: arm}); err != nil || !receipt.Stale {
+	if receipt, err := client.CompleteWork(t.Context(), "L99999999-deadbeef", workResult(arm)); err != nil || !receipt.Stale {
 		t.Fatalf("unknown-lease upload = (%+v, %v), want stale no-op", receipt, err)
 	}
 	st, err := client.Statz(t.Context())

@@ -74,6 +74,18 @@ type JobStatus struct {
 	FinishedAt  string `json:"finishedAt,omitempty"`
 	// Result carries the full per-arm outcome once Status is "done".
 	Result *Result `json:"result,omitempty"`
+	// WorkerFailures aggregates the per-worker error history of arms
+	// that kept failing on the fleet and were contained (executed
+	// locally or failed for good) instead of cycling forever.
+	WorkerFailures []WorkerFailure `json:"workerFailures,omitempty"`
+}
+
+// WorkerFailure is one failed remote execution attempt of an arm,
+// attributed to the worker that held its lease.
+type WorkerFailure struct {
+	Worker string `json:"worker"`
+	Arm    string `json:"arm"`
+	Reason string `json:"reason"`
 }
 
 // APIError is the typed form of a non-2xx service response: the HTTP
@@ -124,6 +136,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Status == http.StatusNotFound
 	case ErrLeaseExpired:
 		return e.Status == http.StatusGone
+	case ErrWorkerQuarantined:
+		return e.Status == http.StatusForbidden
 	}
 	return false
 }

@@ -1,6 +1,7 @@
 package dlsim
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -212,6 +213,22 @@ type ArmResult struct {
 	BytesSent       int           `json:"bytesSent"`
 	RealizedEpsilon float64       `json:"realizedEpsilon,omitempty"`
 	NoiseMultiplier float64       `json:"noiseMultiplier,omitempty"`
+}
+
+// Checksum returns the sha256 (hex) of the arm result's canonical
+// JSON encoding. Floats survive a JSON round trip exactly (Go emits
+// the shortest representation that decodes back to the same value),
+// so decode(encode(a)).Checksum() == a.Checksum() — which lets the
+// service re-verify an uploaded result against the sum the worker
+// claimed, without trusting the worker's bytes.
+func (a ArmResult) Checksum() string {
+	raw, err := json.Marshal(a)
+	if err != nil {
+		// ArmResult contains only marshalable fields; this cannot
+		// happen for real values.
+		return ""
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(raw))
 }
 
 // AtMaxTestAcc returns the record of the round achieving the best

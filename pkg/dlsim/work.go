@@ -29,6 +29,12 @@ import (
 // anyway, is discarded as a harmless duplicate.
 var ErrLeaseExpired = errors.New("dlsim: work lease expired")
 
+// ErrWorkerQuarantined reports a claim the server refused because the
+// worker's health score crossed the failure threshold (HTTP 403). The
+// response's Retry-After carries the cooldown; claiming again after it
+// elapses is the half-open probe that decides reinstatement.
+var ErrWorkerQuarantined = errors.New("dlsim: worker quarantined")
+
 // ArmExecutor may execute one arm of a run somewhere other than this
 // process. It is consulted for every arm that is not served from a
 // resume cache. Return handled=false to decline — the Runner executes
@@ -79,12 +85,25 @@ type ClaimRequest struct {
 type WorkResult struct {
 	// Arm is the executed arm's result (nil when Error is set).
 	Arm *ArmResult `json:"arm,omitempty"`
-	// Error reports a failed execution; Transient marks it retryable
-	// (the server's usual retry taxonomy applies).
+	// Sum is the sha256 of Arm's canonical JSON encoding (see
+	// ArmResult.Checksum). The server re-verifies it before ingesting
+	// the result; a missing or mismatched sum rejects the upload and
+	// penalizes the worker's health score. Required when Arm is set.
+	Sum string `json:"sum,omitempty"`
+	// Error reports a failed execution. The server charges it to the
+	// worker's health score and re-dispatches the arm to another
+	// worker; an arm that fails across distinct workers is contained
+	// and executed locally. Transient is advisory.
 	Error     string `json:"error,omitempty"`
 	Transient bool   `json:"transient,omitempty"`
 	// ElapsedSeconds is the worker-side execution time.
 	ElapsedSeconds float64 `json:"elapsedSeconds,omitempty"`
+}
+
+// RegisterRequest is the POST /v1/work/register and
+// /v1/work/deregister body.
+type RegisterRequest struct {
+	Worker string `json:"worker"`
 }
 
 // WorkReceipt is the result-upload response.
@@ -113,6 +132,31 @@ type WorkStats struct {
 	StaleUploads int64 `json:"staleUploads"` // duplicate uploads ignored
 	LocalArms    int64 `json:"localArms"`    // arms run in-process (fallback)
 	RemoteArms   int64 `json:"remoteArms"`   // arms executed by workers
+	Poisoned     int64 `json:"poisoned"`     // arms contained after repeated worker failures
+	Rejected     int64 `json:"rejected"`     // uploads refused (checksum mismatch)
+	Quarantines  int64 `json:"quarantines"`  // quarantine events across the fleet
+	Audits       int64 `json:"audits"`       // completed arms re-executed for audit
+	AuditsFailed int64 `json:"auditsFailed"` // audits that caught divergent bytes
+	// PerWorker is one row per known worker, sorted by name.
+	PerWorker []WorkerRow `json:"perWorker,omitempty"`
+}
+
+// WorkerRow is one worker's health and lifetime counters in /v1/statz.
+type WorkerRow struct {
+	Name string `json:"name"`
+	// State is "live", "quarantined", "probing" (cooldown elapsed,
+	// half-open probe pending), or "draining".
+	State string `json:"state"`
+	// Score is the decaying failure score; the worker quarantines when
+	// it crosses the dispatcher's threshold.
+	Score       float64 `json:"score"`
+	Leases      int     `json:"leases"` // unresolved leases held
+	Completes   int64   `json:"completes"`
+	Expiries    int64   `json:"expiries"`
+	Errors      int64   `json:"errors"`     // worker-reported execution errors
+	Mismatches  int64   `json:"mismatches"` // checksum/audit failures
+	Quarantines int64   `json:"quarantines"`
+	Registered  bool    `json:"registered,omitempty"`
 }
 
 // CacheStats counts result-store (or file-cache) hits across jobs.
@@ -173,6 +217,59 @@ func (c *Client) CompleteWork(ctx context.Context, lease string, res WorkResult)
 		return nil, err
 	}
 	return &out, nil
+}
+
+// RegisterWorker announces a worker to the service ahead of its first
+// claim, making the fleet count as live immediately. Registration is
+// optional — claiming registers implicitly — but an explicit
+// handshake pairs with DeregisterWorker for a clean exit.
+func (c *Client) RegisterWorker(ctx context.Context, worker string) error {
+	if worker == "" {
+		return fmt.Errorf("dlsim: register needs a worker name")
+	}
+	return c.do(ctx, http.MethodPost, "/v1/work/register", RegisterRequest{Worker: worker}, nil)
+}
+
+// DeregisterWorker removes the worker from the service's live set
+// immediately, instead of leaving the server to notice its absence
+// after the liveness window lapses. Any lease the worker still holds
+// is reclaimed for re-dispatch.
+func (c *Client) DeregisterWorker(ctx context.Context, worker string) error {
+	if worker == "" {
+		return fmt.Errorf("dlsim: deregister needs a worker name")
+	}
+	return c.do(ctx, http.MethodPost, "/v1/work/deregister", RegisterRequest{Worker: worker}, nil)
+}
+
+// ExecuteOrder executes one work order exactly as the service would
+// run the arm in-process: a single-arm spec through a Runner at the
+// order's scale and resolved seed. Execution is deterministic, so the
+// produced records are byte-identical wherever the order runs — the
+// property lease reclaim, duplicate uploads, and result audits all
+// rely on. Workers call it to serve claims; the server calls it to
+// re-execute audited arms.
+func ExecuteOrder(ctx context.Context, order *WorkOrder, workers int) (*ArmResult, error) {
+	runner, err := NewRunner(
+		WithScale(order.Scale),
+		WithSeed(order.Seed),
+		WithWorkers(workers),
+	)
+	if err != nil {
+		return nil, err
+	}
+	sp := &Spec{Name: order.Spec, Arms: []Arm{order.Arm}}
+	res, err := runner.Run(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Arms) != 1 {
+		return nil, fmt.Errorf("dlsim: order %q produced %d arms, want 1", order.Label, len(res.Arms))
+	}
+	arm := res.Arms[0]
+	if arm.Label != order.Label {
+		return nil, fmt.Errorf("dlsim: order %q produced arm %q", order.Label, arm.Label)
+	}
+	return &arm, nil
 }
 
 // Statz fetches the service's observability counters.

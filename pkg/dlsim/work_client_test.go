@@ -79,6 +79,60 @@ func TestClaimNoWork(t *testing.T) {
 	}
 }
 
+// TestClaimQuarantined: 403 Forbidden maps to ErrWorkerQuarantined
+// with the Retry-After cooldown hint attached, and — being a judgment
+// on the worker, not congestion — is never retried by the policy.
+func TestClaimQuarantined(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "9")
+		w.WriteHeader(http.StatusForbidden)
+		fmt.Fprint(w, `{"error":"worker \"w1\" is quarantined"}`)
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL, WithClientRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond}))
+	_, err := client.ClaimWork(context.Background(), "w1", time.Second)
+	if !errors.Is(err, ErrWorkerQuarantined) {
+		t.Fatalf("quarantined claim = %v, want ErrWorkerQuarantined", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Retryable() || ae.RetryAfter != 9*time.Second {
+		t.Fatalf("403 = %+v, want non-retryable APIError with the cooldown hint", ae)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("quarantined claim was sent %d times, want 1 (no retry)", calls.Load())
+	}
+}
+
+// TestRegisterDeregisterClient: the lifecycle handshake hits its
+// endpoints with the worker name and treats 204 as success.
+func TestRegisterDeregisterClient(t *testing.T) {
+	var paths []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker != "w1" {
+			t.Errorf("bad body on %s: %v (%+v)", r.URL.Path, err, req)
+		}
+		paths = append(paths, r.URL.Path)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	if err := client.RegisterWorker(context.Background(), "w1"); err != nil {
+		t.Fatalf("register = %v", err)
+	}
+	if err := client.DeregisterWorker(context.Background(), "w1"); err != nil {
+		t.Fatalf("deregister = %v", err)
+	}
+	if len(paths) != 2 || paths[0] != "/v1/work/register" || paths[1] != "/v1/work/deregister" {
+		t.Fatalf("paths = %v", paths)
+	}
+	if err := client.RegisterWorker(context.Background(), ""); err == nil {
+		t.Fatal("register with empty worker name must fail client-side")
+	}
+}
+
 // TestHeartbeatLeaseExpired: 410 Gone maps to ErrLeaseExpired so the
 // worker can distinguish "abandon this arm" from transport trouble.
 func TestHeartbeatLeaseExpired(t *testing.T) {

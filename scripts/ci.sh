@@ -293,6 +293,84 @@ wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
 echo "distributed smoke ok"
 
+# Self-healing fleet smoke, race-enabled: a three-worker fleet where
+# one worker corrupts every upload after checksumming it (`-inject
+# upload-corrupt`). The server must reject the corrupt bytes and
+# quarantine the rogue, one healthy worker is SIGTERM'd mid-run and
+# must finish its leased arm, upload it, and deregister cleanly, and
+# the sweep's results.csv must still be byte-identical to the
+# single-process baseline. statz must show the penalty counters and
+# the per-worker table.
+hckpt="$specout/heal-ckpt"
+"$specout/dlsim" serve -addr 127.0.0.1:0 -scale tiny \
+    -checkpoint "$hckpt" -store "$hckpt/store" -lease 2s >"$specout/heal.log" 2>&1 &
+serve_pid=$!
+base=""
+i=0
+while [ $i -lt 100 ]; do
+    base=$(sed -n 's|^dlsim: serving on \(http://[^ ]*\).*|\1|p' "$specout/heal.log")
+    [ -n "$base" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$specout/heal.log" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$base" ] || { echo "self-heal serve never printed its address" >&2; cat "$specout/heal.log" >&2; exit 1; }
+"$specout/dlsim" worker -server "$base" -name good1 >"$specout/heal-good1.log" 2>&1 &
+hw1_pid=$!
+"$specout/dlsim" worker -server "$base" -name good2 >"$specout/heal-good2.log" 2>&1 &
+hw2_pid=$!
+"$specout/dlsim" worker -server "$base" -name rogue \
+    -inject "upload-corrupt=1,corruptions=99" >"$specout/heal-rogue.log" 2>&1 &
+hw3_pid=$!
+"$specout/dlsim" run -spec "$distspec" -scale tiny -workers 4 -remote "$base" >"$specout/heal-run.log" 2>&1 &
+run_pid=$!
+# SIGTERM good2 the moment it holds an arm: a graceful drain mid-run.
+# Unlike the SIGKILL in the distributed smoke, the worker must finish
+# the leased arm, upload it, and say goodbye — no lease expiry.
+i=0
+while [ $i -lt 300 ]; do
+    grep -q 'claimed arm' "$specout/heal-good2.log" 2>/dev/null && break
+    kill -0 "$run_pid" 2>/dev/null || break
+    sleep 0.05
+    i=$((i + 1))
+done
+kill -TERM "$hw2_pid" 2>/dev/null || true
+wait "$run_pid" || { echo "self-heal run failed" >&2; cat "$specout/heal-run.log" >&2; exit 1; }
+heal_csv=$(find "$hckpt" -name results.csv | head -n 1)
+[ -n "$heal_csv" ] || { echo "self-heal run left no results.csv" >&2; exit 1; }
+cmp -s "$heal_csv" "$specout/dist-file/results.csv" || {
+    echo "self-heal fleet results.csv diverges from the single-process sweep:" >&2
+    diff "$heal_csv" "$specout/dist-file/results.csv" | head >&2
+    exit 1
+}
+wait "$hw2_pid" 2>/dev/null || true
+grep -q 'arm done' "$specout/heal-good2.log" || { echo "drained worker never finished its leased arm" >&2; cat "$specout/heal-good2.log" >&2; exit 1; }
+grep -q 'deregistered' "$specout/heal-good2.log" || { echo "drained worker never deregistered" >&2; cat "$specout/heal-good2.log" >&2; exit 1; }
+"$specout/dlsim" list -jobs -addr "$base" >"$specout/heal-statz.log"
+grep -q 'health: .*rejected=' "$specout/heal-statz.log" || {
+    echo "statz shows no rejected-upload counters:" >&2
+    cat "$specout/heal-statz.log" >&2
+    exit 1
+}
+grep -E 'rogue +quarantined' "$specout/heal-statz.log" >/dev/null || {
+    echo "statz does not show the rogue worker quarantined:" >&2
+    cat "$specout/heal-statz.log" >&2
+    exit 1
+}
+kill -TERM "$hw1_pid" "$hw3_pid" 2>/dev/null || true
+wait "$hw1_pid" 2>/dev/null || true
+wait "$hw3_pid" 2>/dev/null || true
+"$specout/dlsim" list -jobs -addr "$base" >"$specout/heal-statz2.log"
+grep -q 'workers=0' "$specout/heal-statz2.log" || {
+    echo "deregistered fleet still counted in statz:" >&2
+    cat "$specout/heal-statz2.log" >&2
+    exit 1
+}
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+echo "self-heal smoke ok"
+
 # Intra-arm scaling smoke: a quick IntraArmSpeedup run at workers={1,4}.
 # Advisory, not a gate — single-run ns/op on a shared host is too noisy
 # to fail CI on, and on a 1-core runtime (GOMAXPROCS=1) parity is the
